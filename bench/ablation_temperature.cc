@@ -1,0 +1,61 @@
+// Ablation of the Gumbel-softmax temperature schedule (design choice
+// called out in DESIGN.md): annealed τ (start → end) vs fixed-high τ
+// (soft mixtures throughout — candidates blur together) vs fixed-low τ
+// (near-one-hot from the start — noisy, exploration-starved gradients).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+
+  for (const auto& name : DatasetList(flags, {"criteo_like"})) {
+    PrepareOptions popts;
+    popts.rows_scale = flags.GetDouble("rows_scale");
+    auto prepared = PrepareProfile(name, popts);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const PreparedDataset& p = *prepared;
+
+    struct Setting {
+      const char* label;
+      bool anneal;
+      float tau_start;
+      float tau_end;
+    };
+    const Setting kSettings[] = {
+        {"anneal 1.0->0.2", true, 1.0f, 0.2f},
+        {"fixed 1.0", false, 1.0f, 1.0f},
+        {"fixed 0.2", false, 0.2f, 0.2f},
+    };
+
+    PrintHeader("Temperature-schedule ablation: " + name);
+    for (const auto& s : kSettings) {
+      HyperParams hp = DefaultHyperParams(name);
+      ApplyOverrides(flags, &hp);
+      hp.gumbel_temp_start = s.tau_start;
+      hp.gumbel_temp_end = s.tau_end;
+      TrainOptions topts = MakeTrainOptions(flags, hp);
+      SearchOptions sopts;
+      sopts.search_epochs = hp.search_epochs;
+      sopts.anneal_temperature = s.anneal;
+      sopts.verbose = flags.GetBool("verbose");
+      OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
+      PrintModelRow(s.label, r.retrain.final_test.auc,
+                    r.retrain.final_test.logloss, r.param_count,
+                    ArchCountsToString(CountArchitecture(r.search.arch)));
+    }
+  }
+  return 0;
+}

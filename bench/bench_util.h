@@ -1,0 +1,97 @@
+// Shared plumbing for the table/figure reproduction harnesses: common
+// flags, dataset preparation, and table printing.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "models/hyperparams.h"
+#include "synth/prepare.h"
+#include "train/trainer.h"
+
+namespace optinter {
+namespace bench {
+
+/// Registers the flags every experiment harness shares.
+inline void AddCommonFlags(FlagParser* flags) {
+  flags->AddString("datasets", "",
+                   "comma-separated profile subset (default: all for this "
+                   "experiment)");
+  flags->AddDouble("rows_scale", 1.0,
+                   "multiplier on each profile's row count");
+  flags->AddInt("epochs", 0, "override training epochs (0 = profile default)");
+  flags->AddInt("seed", 0, "override base seed (0 = profile default)");
+  flags->AddInt("patience", -1,
+                "override early-stop patience (-1 = profile default)");
+  flags->AddBool("verbose", false, "per-epoch training logs");
+}
+
+/// Parses flags; returns false if the process should exit (help or error).
+inline bool ParseOrExit(FlagParser* flags, int argc, char** argv,
+                        int* exit_code) {
+  Status st = flags->Parse(argc, argv);
+  if (st.ok()) return true;
+  *exit_code = st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  if (*exit_code != 0) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return false;
+}
+
+/// Dataset list from --datasets (or the given defaults).
+inline std::vector<std::string> DatasetList(
+    const FlagParser& flags, const std::vector<std::string>& defaults) {
+  const std::string& arg = flags.GetString("datasets");
+  if (arg.empty()) return defaults;
+  std::vector<std::string> out;
+  for (auto& part : Split(arg, ',')) {
+    std::string name(Trim(part));
+    if (!name.empty()) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+/// Applies the common overrides to a profile's hyper-parameters.
+inline void ApplyOverrides(const FlagParser& flags, HyperParams* hp) {
+  if (flags.GetInt("epochs") > 0) {
+    hp->epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  }
+  if (flags.GetInt("seed") > 0) {
+    hp->seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  }
+  if (flags.GetInt("patience") >= 0) {
+    hp->early_stop_patience =
+        static_cast<size_t>(flags.GetInt("patience"));
+  }
+}
+
+/// TrainOptions consistent with the hyper-parameters + common flags.
+inline TrainOptions MakeTrainOptions(const FlagParser& flags,
+                                     const HyperParams& hp) {
+  TrainOptions opts;
+  opts.epochs = hp.epochs;
+  opts.batch_size = hp.batch_size;
+  opts.seed = hp.seed;
+  opts.patience = hp.early_stop_patience;
+  opts.verbose = flags.GetBool("verbose");
+  return opts;
+}
+
+/// Section header in the output stream.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// One Table-V-style row.
+inline void PrintModelRow(const std::string& model, double auc,
+                          double logloss, size_t params,
+                          const std::string& extra = "") {
+  std::printf("%-14s  AUC %.4f  logloss %.4f  params %8s  %s\n",
+              model.c_str(), auc, logloss, HumanCount(params).c_str(),
+              extra.c_str());
+}
+
+}  // namespace bench
+}  // namespace optinter

@@ -1,0 +1,63 @@
+// Factorization-function extension ablation (paper §II-C1: Hadamard is
+// "the representative" and the framework "can be extended easily to
+// taking multiple operations into account"): run OptInter-F and the full
+// OptInter pipeline with each supported factorization function and
+// compare.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fixed_arch_model.h"
+#include "core/pipeline.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+
+  for (const auto& name : DatasetList(flags, {"criteo_like"})) {
+    PrepareOptions popts;
+    popts.rows_scale = flags.GetDouble("rows_scale");
+    auto prepared = PrepareProfile(name, popts);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const PreparedDataset& p = *prepared;
+
+    PrintHeader("Factorization-function ablation: " + name);
+    for (const FactorizeFn fn :
+         {FactorizeFn::kHadamard, FactorizeFn::kInnerProduct,
+          FactorizeFn::kPointwiseSum}) {
+      HyperParams hp = DefaultHyperParams(name);
+      ApplyOverrides(flags, &hp);
+      hp.factorize_fn = fn;
+      TrainOptions topts = MakeTrainOptions(flags, hp);
+
+      {
+        auto model = FixedArchModel::MakeOptInterF(p.data, hp);
+        TrainSummary s = TrainModel(model.get(), p.data, p.splits, topts);
+        PrintModelRow(StrFormat("OptInter-F/%s", FactorizeFnName(fn)),
+                      s.final_test.auc, s.final_test.logloss,
+                      model->ParamCount());
+      }
+      {
+        SearchOptions sopts;
+        sopts.search_epochs = hp.search_epochs;
+        sopts.verbose = flags.GetBool("verbose");
+        OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
+        PrintModelRow(StrFormat("OptInter/%s", FactorizeFnName(fn)),
+                      r.retrain.final_test.auc,
+                      r.retrain.final_test.logloss, r.param_count,
+                      ArchCountsToString(
+                          CountArchitecture(r.search.arch)));
+      }
+    }
+  }
+  return 0;
+}

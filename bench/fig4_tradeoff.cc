@@ -1,0 +1,83 @@
+// Figure 4 reproduction: the efficiency–effectiveness trade-off between
+// OptInter-M and OptInter as the memorized embedding size s2 varies
+// (paper §III-D). The paper's observations to reproduce:
+//   1. OptInter matches/beats OptInter-M with far fewer parameters.
+//   2. Shrinking s2 shrinks parameters with only a slight AUC drop —
+//      better than throwing away memorized interactions.
+//
+// The OptInter architecture is searched once at the profile's default s2
+// and re-trained at each swept s2 (the search decides *what* to memorize;
+// the sweep varies *how big* the memory is).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fixed_arch_model.h"
+#include "core/pipeline.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddString("s2_list", "2,4,8", "memorized embedding sizes to sweep");
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+
+  std::vector<size_t> s2_values;
+  for (const auto& part : Split(flags.GetString("s2_list"), ',')) {
+    s2_values.push_back(static_cast<size_t>(std::stoul(part)));
+  }
+
+  for (const auto& name :
+       DatasetList(flags, {"criteo_like", "avazu_like"})) {
+    PrepareOptions popts;
+    popts.rows_scale = flags.GetDouble("rows_scale");
+    auto prepared = PrepareProfile(name, popts);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const PreparedDataset& p = *prepared;
+    HyperParams hp = DefaultHyperParams(name);
+    ApplyOverrides(flags, &hp);
+    TrainOptions topts = MakeTrainOptions(flags, hp);
+
+    // Search once at the default s2.
+    SearchOptions sopts;
+    sopts.search_epochs = hp.search_epochs;
+    sopts.verbose = flags.GetBool("verbose");
+    SearchResult search = RunSearchStage(p.data, p.splits, hp, sopts);
+
+    PrintHeader("Figure 4 analogue: " + name +
+                " — AUC vs #params (series over s2)");
+    for (const size_t s2 : s2_values) {
+      HyperParams hp_s2 = hp;
+      hp_s2.cross_embed_dim = s2;
+      {
+        FixedArchRun run = TrainFixedArch(
+            p.data, p.splits, AllMemorize(p.data.num_pairs()), hp_s2,
+            topts, "OptInter-M");
+        std::printf("OptInter-M(%zu)  params %10zu (%6s)  AUC %.4f  "
+                    "logloss %.4f\n",
+                    s2, run.param_count,
+                    HumanCount(run.param_count).c_str(),
+                    run.summary.final_test.auc,
+                    run.summary.final_test.logloss);
+      }
+      {
+        FixedArchRun run = TrainFixedArch(p.data, p.splits, search.arch,
+                                          hp_s2, topts, "OptInter");
+        std::printf("OptInter(%zu)    params %10zu (%6s)  AUC %.4f  "
+                    "logloss %.4f\n",
+                    s2, run.param_count,
+                    HumanCount(run.param_count).c_str(),
+                    run.summary.final_test.auc,
+                    run.summary.final_test.logloss);
+      }
+    }
+  }
+  return 0;
+}

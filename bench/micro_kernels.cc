@@ -1,0 +1,140 @@
+// Micro-benchmarks for the hot numeric kernels underlying every
+// experiment: GEMM variants, embedding gather/scatter + sparse Adam,
+// Hadamard interaction blocks, Gumbel-softmax sampling, and AUC.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "nn/embedding.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+namespace {
+
+void BM_GemmNT(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = 256;
+  const size_t n = 64;
+  std::vector<float> a(m * k, 0.5f), b(n * k, 0.25f), c(m * n);
+  for (auto _ : state) {
+    GemmNT(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GemmTN(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = 256;
+  const size_t n = 64;
+  std::vector<float> a(m * k, 0.5f), b(m * n, 0.25f), c(k * n);
+  for (auto _ : state) {
+    GemmTN(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(512);
+
+void BM_EmbeddingGather(benchmark::State& state) {
+  const size_t vocab = 100000;
+  const size_t dim = 16;
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  EmbeddingTable table("bench", vocab, dim, 1e-3f, 0.0f);
+  table.Init(&rng);
+  std::vector<int32_t> ids(batch);
+  for (auto& id : ids) {
+    id = static_cast<int32_t>(rng.UniformInt(vocab));
+  }
+  std::vector<float> out(batch * dim);
+  for (auto _ : state) {
+    for (size_t k = 0; k < batch; ++k) {
+      const float* row = table.Row(ids[k]);
+      std::copy(row, row + dim, out.data() + k * dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EmbeddingGather)->Arg(512)->Arg(4096);
+
+void BM_SparseAdamStep(benchmark::State& state) {
+  const size_t vocab = 100000;
+  const size_t dim = 16;
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  EmbeddingTable table("bench", vocab, dim, 1e-3f, 1e-6f);
+  table.Init(&rng);
+  std::vector<float> grad(dim, 0.01f);
+  for (auto _ : state) {
+    for (size_t k = 0; k < batch; ++k) {
+      table.AccumulateGrad(static_cast<int32_t>(rng.UniformInt(vocab)),
+                           grad.data());
+    }
+    table.SparseAdamStep();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SparseAdamStep)->Arg(512)->Arg(4096);
+
+void BM_HadamardBlock(benchmark::State& state) {
+  const size_t pairs = 78;
+  const size_t dim = 16;
+  std::vector<float> e(17 * dim, 0.3f), out(pairs * dim);
+  for (auto _ : state) {
+    size_t p = 0;
+    for (size_t i = 0; i < 13; ++i) {
+      for (size_t j = i + 1; j < 13; ++j, ++p) {
+        Hadamard(dim, e.data() + i * dim, e.data() + j * dim,
+                 out.data() + p * dim);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pairs * dim));
+}
+BENCHMARK(BM_HadamardBlock);
+
+void BM_GumbelSoftmaxSample(benchmark::State& state) {
+  const size_t pairs = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> alpha(pairs * 3, 0.1f), probs(pairs * 3);
+  const float tau = 0.5f;
+  for (auto _ : state) {
+    float noisy[3];
+    for (size_t p = 0; p < pairs; ++p) {
+      for (int k = 0; k < 3; ++k) {
+        noisy[k] = (alpha[p * 3 + k] + static_cast<float>(rng.Gumbel())) /
+                   tau;
+      }
+      Softmax(3, noisy, probs.data() + p * 3);
+    }
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_GumbelSoftmaxSample)->Arg(78)->Arg(325);
+
+void BM_Auc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> scores(n), labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.2) ? 1.0f : 0.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Auc(scores, labels));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Auc)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace optinter

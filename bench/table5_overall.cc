@@ -1,0 +1,150 @@
+// Table V reproduction: overall performance comparison of all baselines
+// plus AutoFIS and OptInter on every dataset profile — AUC, log loss and
+// parameter count per model — and the Table VI selection summary for the
+// hybrid/search methods.
+//
+// With --repeats > 1, also runs the paper's significance test (§III-A5):
+// a paired two-tailed t-test between OptInter and the best baseline over
+// repeated seeds.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/zoo.h"
+#include "metrics/metrics.h"
+#include "metrics/significance.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+namespace {
+
+struct Row {
+  std::string model;
+  double auc = 0.0;
+  double logloss = 0.0;
+  size_t params = 0;
+  std::string arch;
+};
+
+Row RunBaseline(const std::string& name, const PreparedDataset& p,
+                const HyperParams& hp, const TrainOptions& topts) {
+  auto model = CreateBaseline(name, p.data, hp);
+  CHECK(model.ok()) << model.status().ToString();
+  TrainSummary s = TrainModel(model->get(), p.data, p.splits, topts);
+  Row row;
+  row.model = name;
+  row.auc = s.final_test.auc;
+  row.logloss = s.final_test.logloss;
+  row.params = (*model)->ParamCount();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("repeats", 1,
+               "seeds per model; >1 enables the paired t-test vs the best "
+               "baseline");
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  const size_t repeats = static_cast<size_t>(flags.GetInt("repeats"));
+
+  for (const auto& name : DatasetList(flags, PaperProfileNames())) {
+    PrepareOptions popts;
+    popts.rows_scale = flags.GetDouble("rows_scale");
+    auto prepared = PrepareProfile(name, popts);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const PreparedDataset& p = *prepared;
+    HyperParams hp = DefaultHyperParams(name);
+    ApplyOverrides(flags, &hp);
+    TrainOptions topts = MakeTrainOptions(flags, hp);
+
+    PrintHeader("Table V analogue: " + name);
+    std::vector<Row> rows;
+    // AUC per seed, for the significance test.
+    std::map<std::string, std::vector<double>> auc_by_model;
+
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      HyperParams hp_rep = hp;
+      hp_rep.seed = hp.seed + rep * 1009;
+      TrainOptions topts_rep = topts;
+      topts_rep.seed = hp_rep.seed;
+
+      for (const auto& model_name : TableVBaselineNames()) {
+        Row row = RunBaseline(model_name, p, hp_rep, topts_rep);
+        auc_by_model[model_name].push_back(row.auc);
+        if (rep == 0) rows.push_back(row);
+      }
+      {
+        AutoFisResult r = RunAutoFis(p.data, p.splits, hp_rep, topts_rep);
+        auc_by_model["AutoFIS"].push_back(r.retrain.final_test.auc);
+        if (rep == 0) {
+          rows.push_back({"AutoFIS", r.retrain.final_test.auc,
+                          r.retrain.final_test.logloss, r.param_count,
+                          ArchCountsToString(CountArchitecture(r.arch))});
+        }
+      }
+      {
+        SearchOptions sopts;
+        sopts.search_epochs = hp_rep.search_epochs;
+        sopts.verbose = flags.GetBool("verbose");
+        OptInterResult r =
+            RunOptInter(p.data, p.splits, hp_rep, sopts, topts_rep);
+        auc_by_model["OptInter"].push_back(r.retrain.final_test.auc);
+        if (rep == 0) {
+          rows.push_back({"OptInter", r.retrain.final_test.auc,
+                          r.retrain.final_test.logloss, r.param_count,
+                          ArchCountsToString(
+                              CountArchitecture(r.search.arch))});
+        }
+      }
+    }
+
+    for (const auto& row : rows) {
+      PrintModelRow(row.model, row.auc, row.logloss, row.params, row.arch);
+    }
+
+    // Table VI summary: method selection per approach.
+    const size_t P = p.data.num_pairs();
+    PrintHeader("Table VI analogue: " + name +
+                " [memorize,factorize,naive] selections");
+    std::printf("%-14s [0,0,%zu]\n", "Naive(FNN)", P);
+    std::printf("%-14s [%zu,0,0]\n", "OptInter-M", P);
+    std::printf("%-14s [0,%zu,0]\n", "OptInter-F", P);
+    for (const auto& row : rows) {
+      if (row.model == "AutoFIS" || row.model == "OptInter") {
+        std::printf("%-14s %s\n", row.model.c_str(), row.arch.c_str());
+      }
+    }
+
+    if (repeats > 1) {
+      // Best baseline by mean AUC (excluding OptInter itself).
+      std::string best;
+      double best_mean = -1.0;
+      for (const auto& [model_name, aucs] : auc_by_model) {
+        if (model_name == "OptInter") continue;
+        const double m = Mean(aucs);
+        if (m > best_mean) {
+          best_mean = m;
+          best = model_name;
+        }
+      }
+      auto t = PairedTTest(auc_by_model["OptInter"], auc_by_model[best]);
+      std::printf(
+          "\nsignificance (%zu seeds): OptInter mean AUC %.4f vs best "
+          "baseline %s %.4f, paired t=%.3f, p=%.4g\n",
+          repeats, Mean(auc_by_model["OptInter"]), best.c_str(), best_mean,
+          t.t_statistic, t.p_value);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Deep dive into the OptInter search stage: watch the per-pair method
+// probabilities evolve during Gumbel-softmax training, then compare the
+// final architecture with the generator's planted ground truth and with
+// the mutual-information ranking (paper §II-C and §III-G).
+//
+//   ./build/examples/architecture_search [--dataset=tiny] [--epochs=3]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/search_model.h"
+#include "metrics/mutual_information.h"
+#include "synth/prepare.h"
+
+using namespace optinter;
+
+namespace {
+
+void PrintProbRow(const SearchModel& model, size_t pair, const char* tag) {
+  auto probs = model.PairProbabilities(pair);
+  std::printf("  pair %3zu [%-13s]  p(mem)=%.3f p(fact)=%.3f p(naive)=%.3f\n",
+              pair, tag, probs[0], probs[1], probs[2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "tiny", "profile to search on");
+  flags.AddInt("epochs", 3, "search epochs");
+  flags.AddDouble("rows_scale", 1.0, "row-count multiplier");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) return st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+
+  PrepareOptions popts;
+  popts.rows_scale = flags.GetDouble("rows_scale");
+  auto prepared = PrepareProfile(flags.GetString("dataset"), popts);
+  CHECK(prepared.ok()) << prepared.status().ToString();
+  const PreparedDataset& p = *prepared;
+  const auto kinds = p.config.PlantedKinds();
+
+  HyperParams hp = DefaultHyperParams(flags.GetString("dataset"));
+  hp.search_epochs = static_cast<size_t>(flags.GetInt("epochs"));
+
+  // Pick one planted pair of each kind to track.
+  size_t track[3] = {SIZE_MAX, SIZE_MAX, SIZE_MAX};
+  for (size_t q = 0; q < kinds.size(); ++q) {
+    if (kinds[q] == PlantedKind::kMemorize && track[0] == SIZE_MAX)
+      track[0] = q;
+    if (kinds[q] == PlantedKind::kFactorize && track[1] == SIZE_MAX)
+      track[1] = q;
+    if (kinds[q] == PlantedKind::kNoise && track[2] == SIZE_MAX)
+      track[2] = q;
+  }
+  const char* tags[3] = {"planted-mem", "planted-fact", "planted-noise"};
+
+  SearchModel model(p.data, hp, UpdateMode::kJoint);
+  Batcher batcher(&p.data, p.splits.train, hp.batch_size, hp.seed);
+  std::printf("search on %s: %zu pairs, tau %g -> %g over %zu epochs\n",
+              p.config.name.c_str(), p.data.num_pairs(),
+              hp.gumbel_temp_start, hp.gumbel_temp_end, hp.search_epochs);
+  for (size_t epoch = 0; epoch < hp.search_epochs; ++epoch) {
+    const float frac = hp.search_epochs > 1
+                           ? static_cast<float>(epoch) /
+                                 static_cast<float>(hp.search_epochs - 1)
+                           : 1.0f;
+    model.SetTemperature(hp.gumbel_temp_start +
+                         frac * (hp.gumbel_temp_end -
+                                 hp.gumbel_temp_start));
+    batcher.StartEpoch();
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    for (;;) {
+      Batch b = batcher.Next();
+      if (b.size == 0) break;
+      loss_sum += model.TrainStep(b);
+      ++batches;
+    }
+    std::printf("epoch %zu (tau %.2f): train loss %.4f\n", epoch,
+                model.temperature(), loss_sum / batches);
+    for (int k = 0; k < 3; ++k) {
+      if (track[k] != SIZE_MAX) PrintProbRow(model, track[k], tags[k]);
+    }
+  }
+
+  Architecture arch = model.ExtractArchitecture();
+  std::printf("\nfinal architecture: %s\n",
+              ArchCountsToString(CountArchitecture(arch)).c_str());
+
+  // Recall vs planted ground truth.
+  size_t mem_total = 0, mem_hit = 0, noise_total = 0, noise_not_mem = 0;
+  for (size_t q = 0; q < kinds.size(); ++q) {
+    if (kinds[q] == PlantedKind::kMemorize) {
+      ++mem_total;
+      mem_hit += arch[q] == InterMethod::kMemorize;
+    } else if (kinds[q] == PlantedKind::kNoise) {
+      ++noise_total;
+      noise_not_mem += arch[q] != InterMethod::kMemorize;
+    }
+  }
+  std::printf("planted memorize pairs recalled as memorize: %zu/%zu\n",
+              mem_hit, mem_total);
+  std::printf("planted noise pairs not memorized: %zu/%zu\n", noise_not_mem,
+              noise_total);
+
+  // MI of memorized vs naive selections.
+  const auto mi = AllPairMutualInformation(p.data, p.splits.train);
+  double mi_mem = 0.0, mi_naive = 0.0;
+  size_t n_mem = 0, n_naive = 0;
+  for (size_t q = 0; q < arch.size(); ++q) {
+    if (arch[q] == InterMethod::kMemorize) {
+      mi_mem += mi[q];
+      ++n_mem;
+    } else if (arch[q] == InterMethod::kNaive) {
+      mi_naive += mi[q];
+      ++n_naive;
+    }
+  }
+  if (n_mem > 0 && n_naive > 0) {
+    std::printf("mean MI: memorized %.4f vs naive %.4f nats\n",
+                mi_mem / n_mem, mi_naive / n_naive);
+  }
+  return 0;
+}

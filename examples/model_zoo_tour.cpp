@@ -1,0 +1,84 @@
+// Tour of the full model zoo (paper Table III): every baseline the
+// framework unifies — naïve, memorized, factorized (five flavours of
+// factorization function) and hybrid — trained on one small dataset.
+//
+//   ./build/examples/model_zoo_tour [--dataset=tiny] [--epochs=3]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/pipeline.h"
+#include "core/zoo.h"
+#include "synth/prepare.h"
+
+using namespace optinter;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "tiny", "profile to train on");
+  flags.AddInt("epochs", 3, "training epochs");
+  flags.AddDouble("rows_scale", 1.0, "row-count multiplier");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) return st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+
+  PrepareOptions popts;
+  popts.rows_scale = flags.GetDouble("rows_scale");
+  auto prepared = PrepareProfile(flags.GetString("dataset"), popts);
+  CHECK(prepared.ok()) << prepared.status().ToString();
+  const PreparedDataset& p = *prepared;
+
+  HyperParams hp = DefaultHyperParams(flags.GetString("dataset"));
+  hp.epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  TrainOptions topts;
+  topts.epochs = hp.epochs;
+  topts.batch_size = hp.batch_size;
+  topts.seed = hp.seed;
+  topts.patience = hp.early_stop_patience;
+
+  struct GroupEntry {
+    const char* group;
+    const char* model;
+  };
+  // Paper Table III's taxonomy: category × model × factorization function.
+  const GroupEntry kZoo[] = {
+      {"naive", "LR"},          {"naive", "FNN"},
+      {"memorized", "Poly2"},   {"memorized", "OptInter-M"},
+      {"factorized", "FM"},     {"factorized", "FFM"},
+      {"factorized", "FwFM"},
+      {"factorized", "FmFM"},   {"factorized", "IPNN"},
+      {"factorized", "OPNN"},   {"factorized", "DeepFM"},
+      {"factorized", "PIN"},    {"factorized", "OptInter-F"},
+  };
+
+  std::printf("%-11s %-12s %8s %9s %10s\n", "category", "model", "AUC",
+              "logloss", "params");
+  for (const auto& entry : kZoo) {
+    auto model = CreateBaseline(entry.model, p.data, hp);
+    CHECK(model.ok()) << model.status().ToString();
+    TrainSummary s = TrainModel(model->get(), p.data, p.splits, topts);
+    std::printf("%-11s %-12s %8.4f %9.4f %10s\n", entry.group, entry.model,
+                s.final_test.auc, s.final_test.logloss,
+                HumanCount((*model)->ParamCount()).c_str());
+  }
+
+  // Hybrid methods run their two-stage pipelines.
+  {
+    AutoFisResult r = RunAutoFis(p.data, p.splits, hp, topts);
+    std::printf("%-11s %-12s %8.4f %9.4f %10s  %s\n", "hybrid", "AutoFIS",
+                r.retrain.final_test.auc, r.retrain.final_test.logloss,
+                HumanCount(r.param_count).c_str(),
+                ArchCountsToString(CountArchitecture(r.arch)).c_str());
+  }
+  {
+    SearchOptions sopts;
+    sopts.search_epochs = hp.search_epochs;
+    OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
+    std::printf("%-11s %-12s %8.4f %9.4f %10s  %s\n", "hybrid", "OptInter",
+                r.retrain.final_test.auc, r.retrain.final_test.logloss,
+                HumanCount(r.param_count).c_str(),
+                ArchCountsToString(CountArchitecture(r.search.arch))
+                    .c_str());
+  }
+  return 0;
+}

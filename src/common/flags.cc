@@ -1,0 +1,174 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace optinter {
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::SetFromString(Flag* flag, const std::string& value) {
+  switch (flag->type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::Invalid("expected integer, got '" + value + "'");
+      }
+      flag->int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::Invalid("expected number, got '" + value + "'");
+      }
+      flag->double_value = v;
+      return Status::OK();
+    }
+    case Type::kString:
+      flag->string_value = value;
+      return Status::OK();
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        flag->bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::Invalid("expected bool, got '" + value + "'");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stderr);
+      return Status::FailedPrecondition("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::Invalid("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    } else {
+      name = arg;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::Invalid("unknown flag --" + name + "\n" +
+                             Usage(argv[0]));
+    }
+    if (!have_value) {
+      if (it->second.type == Type::kBool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::Invalid("flag --" + name + " requires a value");
+      }
+      value = argv[++i];
+    }
+    OPTINTER_RETURN_NOT_OK(SetFromString(&it->second, value));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetChecked(const std::string& name,
+                                               Type type) const {
+  auto it = flags_.find(name);
+  CHECK(it != flags_.end()) << "flag --" << name << " not registered";
+  CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return GetChecked(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetChecked(name, Type::kDouble).double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kInt:
+        os << "=<int> (default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        os << "=<num> (default " << flag.double_value << ")";
+        break;
+      case Type::kString:
+        os << "=<str> (default \"" << flag.string_value << "\")";
+        break;
+      case Type::kBool:
+        os << " (default " << (flag.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace optinter

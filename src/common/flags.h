@@ -1,0 +1,62 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+//
+//   FlagParser flags;
+//   flags.AddInt("epochs", 3, "training epochs");
+//   flags.AddString("dataset", "criteo_like", "dataset profile");
+//   CHECK_OK(flags.Parse(argc, argv));
+//   int epochs = flags.GetInt("epochs");
+//
+// Accepted syntax: --name=value, --name value, and --flag for bools.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace optinter {
+
+/// Declarative flag registry + parser. Not thread-safe; construct and use
+/// from main().
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; unknown flags are an error. `--help` prints usage and
+  /// returns a non-OK status the caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Usage text listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(Flag* flag, const std::string& value);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace optinter

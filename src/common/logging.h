@@ -1,0 +1,87 @@
+// Minimal streaming logger plus CHECK macros for invariant enforcement.
+//
+// CHECK is for programmer errors (violated invariants); recoverable errors
+// go through Status (status.h). CHECK failures print the failing condition
+// with file:line and abort.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace optinter {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level actually emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace optinter
+
+#define OPTINTER_LOG(level)                                          \
+  ::optinter::internal::LogMessage(::optinter::LogLevel::k##level,   \
+                                   __FILE__, __LINE__)               \
+      .stream()
+
+#define LOG_DEBUG() OPTINTER_LOG(Debug)
+#define LOG_INFO() OPTINTER_LOG(Info)
+#define LOG_WARNING() OPTINTER_LOG(Warning)
+#define LOG_ERROR() OPTINTER_LOG(Error)
+
+/// Aborts with a diagnostic when `condition` is false. Always on (release
+/// builds included): numeric code depends on these invariants.
+#define CHECK(condition)                                                   \
+  if (!(condition))                                                        \
+  ::optinter::internal::FatalLogMessage(__FILE__, __LINE__, #condition)   \
+      .stream()
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// CHECK that a Status-returning expression succeeded.
+#define CHECK_OK(expr)                                 \
+  do {                                                 \
+    ::optinter::Status _st = (expr);                   \
+    CHECK(_st.ok()) << _st.ToString();                 \
+  } while (false)

@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+#include <vector>
+
+namespace optinter {
+
+uint64_t Rng::Zipf(uint64_t n, double exponent) {
+  CHECK_GT(n, 0u);
+  // Linear-scan inverse CDF; adequate for data-generation setup paths.
+  double total = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+  }
+  double r = Uniform() * total;
+  for (uint64_t k = 0; k < n; ++k) {
+    r -= 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    if (r <= 0.0) return k;
+  }
+  return n - 1;
+}
+
+}  // namespace optinter

@@ -1,0 +1,157 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components (initializers, samplers, data generators,
+// Gumbel noise) draw from Rng so experiments are reproducible from a
+// single seed. xoshiro256** core seeded through SplitMix64, as recommended
+// by the xoshiro authors.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience sampling methods.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+    have_gaussian_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased via rejection.
+  uint64_t UniformInt(uint64_t n) {
+    CHECK_GT(n, 0u);
+    const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (have_gaussian_) {
+      have_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * mul;
+    have_gaussian_ = true;
+    return u * mul;
+  }
+
+  /// Normal with the given mean / stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Standard Gumbel(0, 1) sample: -log(-log(U)), U ~ Uniform(0,1).
+  /// Used by the Gumbel-softmax relaxation (paper Eq. 16).
+  double Gumbel() {
+    double u;
+    do {
+      u = Uniform();
+    } while (u <= 0.0);  // guard log(0)
+    return -std::log(-std::log(u));
+  }
+
+  /// Samples an index in [0, n) from unnormalized non-negative weights.
+  /// Requires at least one strictly positive weight.
+  template <typename Container>
+  size_t Categorical(const Container& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    CHECK_GT(total, 0.0);
+    double r = Uniform() * total;
+    size_t last = 0;
+    size_t i = 0;
+    for (double w : weights) {
+      r -= w;
+      if (r <= 0.0) return i;
+      last = i;
+      ++i;
+    }
+    return last;
+  }
+
+  /// Zipf-distributed integer in [0, n): P(k) ∝ 1 / (k+1)^exponent.
+  /// Inverse-CDF over a precomputed table is the caller's job for hot
+  /// paths; this is a simple rejection-free linear scan for setup code.
+  uint64_t Zipf(uint64_t n, double exponent);
+
+  /// Fisher–Yates shuffle of an indexable container.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    if (c->size() < 2) return;
+    for (size_t i = c->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*c)[i], (*c)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace optinter

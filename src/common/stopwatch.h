@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for benches and training-loop reporting.
+
+#pragma once
+
+#include <chrono>
+
+namespace optinter {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed.
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return Elapsed() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,32 @@
+// Small string helpers shared by the data pipeline and CLI tooling.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optinter {
+
+/// Splits `s` on `delim`, keeping empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a parameter count the way the paper's tables do: "13M", "0.5M",
+/// "827M", "1012M"; values below 1e5 are printed exactly.
+std::string HumanCount(size_t n);
+
+}  // namespace optinter

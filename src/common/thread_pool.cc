@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t n = std::thread::hardware_concurrency();
+    if (n == 0) n = 4;
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t min_chunk) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t max_chunks = pool.num_threads() * 4;
+  size_t chunk = std::max(min_chunk, (n + max_chunks - 1) / max_chunks);
+  if (n <= chunk) {
+    body(begin, end);
+    return;
+  }
+  std::atomic<size_t> next{begin};
+  const size_t num_tasks =
+      std::min(pool.num_threads(), (n + chunk - 1) / chunk);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Submit([&next, end, chunk, &body] {
+      for (;;) {
+        size_t lo = next.fetch_add(chunk);
+        if (lo >= end) return;
+        body(lo, std::min(lo + chunk, end));
+      }
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body, size_t grain) {
+  ParallelForChunks(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+}  // namespace optinter

@@ -1,0 +1,63 @@
+// Fixed-size worker pool with a ParallelFor convenience used by the tensor
+// kernels (GEMM row-blocking, elementwise maps) and batch evaluation.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace optinter {
+
+/// A fixed pool of worker threads executing queued tasks.
+///
+/// Thread-safe. Destruction drains the queue and joins all workers.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end), splitting the range across the pool.
+/// Blocks until every index has been processed. Falls back to a serial loop
+/// for small ranges (fewer than `grain` items per worker would be wasteful).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t grain = 256);
+
+/// Runs body(chunk_begin, chunk_end) over contiguous chunks in parallel.
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t min_chunk = 256);
+
+}  // namespace optinter

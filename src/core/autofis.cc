@@ -1,0 +1,136 @@
+#include "core/autofis.h"
+
+#include <cstring>
+
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+AutoFisSearchModel::AutoFisSearchModel(const EncodedDataset& data,
+                                       const HyperParams& hp)
+    : data_(data),
+      s1_(hp.embed_dim),
+      rng_(hp.seed),
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_),
+      gate_opt_(hp.grda) {
+  cat_pairs_ = EnumeratePairs(data.num_categorical());
+  gates_.name = "autofis/gates";
+  gates_.Resize({data.num_pairs()});
+  // All interactions start switched on, small enough that the GRDA
+  // threshold can overtake unsupported gates within our training budget.
+  gates_.value.Fill(0.1f);
+  gates_.lr = hp.lr_gate;
+  gate_opt_.AddParam(&gates_);
+
+  MlpConfig cfg;
+  cfg.hidden = hp.mlp_hidden;
+  cfg.out_dim = 1;
+  cfg.layer_norm = hp.layer_norm;
+  cfg.lr = hp.lr_orig;
+  cfg.l2 = hp.l2_orig;
+  mlp_ = std::make_unique<Mlp>(
+      "mlp", emb_.output_dim() + data.num_pairs() * s1_, cfg, &rng_);
+  mlp_->RegisterParams(&theta_opt_);
+}
+
+void AutoFisSearchModel::Forward(const Batch& batch) {
+  emb_.Forward(batch, &emb_out_);
+  const size_t b = batch.size;
+  const size_t emb_cols = emb_out_.cols();
+  const size_t num_pairs = data_.num_pairs();
+  z_.Resize({b, emb_cols + num_pairs * s1_});
+  const float* g = gates_.value.data();
+  for (size_t k = 0; k < b; ++k) {
+    float* zr = z_.row(k);
+    std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const auto [i, j] = cat_pairs_[p];
+      const float* ei = e + i * s1_;
+      const float* ej = e + j * s1_;
+      float* block = zr + emb_cols + p * s1_;
+      for (size_t t = 0; t < s1_; ++t) block[t] = g[p] * ei[t] * ej[t];
+    }
+  }
+  mlp_->Forward(z_, &mlp_out_);
+  logits_.resize(b);
+  for (size_t k = 0; k < b; ++k) logits_[k] = mlp_out_.at(k, 0);
+}
+
+float AutoFisSearchModel::TrainStep(const Batch& batch) {
+  Forward(batch);
+  const size_t b = batch.size;
+  labels_.resize(b);
+  dlogits_.resize(b);
+  for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
+  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(), b,
+                                       dlogits_.data());
+
+  Tensor dmlp_out({b, 1});
+  for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
+  Tensor dz;
+  mlp_->Backward(dmlp_out, &dz);
+
+  const size_t emb_cols = emb_out_.cols();
+  const size_t num_pairs = data_.num_pairs();
+  Tensor demb({b, emb_cols});
+  const float* g = gates_.value.data();
+  float* dg = gates_.grad.data();
+  for (size_t k = 0; k < b; ++k) {
+    const float* dzr = dz.row(k);
+    std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    float* de = demb.row(k);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const auto [i, j] = cat_pairs_[p];
+      const float* ei = e + i * s1_;
+      const float* ej = e + j * s1_;
+      float* dei = de + i * s1_;
+      float* dej = de + j * s1_;
+      const float* dblock = dzr + emb_cols + p * s1_;
+      double dgp = 0.0;
+      for (size_t t = 0; t < s1_; ++t) {
+        const float had = ei[t] * ej[t];
+        dgp += static_cast<double>(dblock[t]) * had;
+        dei[t] += g[p] * dblock[t] * ej[t];
+        dej[t] += g[p] * dblock[t] * ei[t];
+      }
+      dg[p] += static_cast<float>(dgp);
+    }
+  }
+  emb_.Backward(demb);
+  emb_.Step();
+  theta_opt_.Step();
+  theta_opt_.ZeroGrad();
+  gate_opt_.Step();
+  gate_opt_.ZeroGrad();
+  return loss;
+}
+
+void AutoFisSearchModel::Predict(const Batch& batch,
+                                 std::vector<float>* probs) {
+  Forward(batch);
+  probs->resize(batch.size);
+  SigmoidForward(logits_.data(), batch.size, probs->data());
+}
+
+void AutoFisSearchModel::CollectState(std::vector<Tensor*>* out) {
+  emb_.CollectState(out);
+  for (DenseParam* p : theta_opt_.params()) out->push_back(&p->value);
+  out->push_back(&gates_.value);
+}
+
+size_t AutoFisSearchModel::ParamCount() const {
+  return emb_.ParamCount() + mlp_->ParamCount() + gates_.size();
+}
+
+Architecture AutoFisSearchModel::ExtractArchitecture() const {
+  Architecture arch(data_.num_pairs(), InterMethod::kNaive);
+  for (size_t p = 0; p < data_.num_pairs(); ++p) {
+    if (gates_.value[p] != 0.0f) arch[p] = InterMethod::kFactorize;
+  }
+  return arch;
+}
+
+}  // namespace optinter

@@ -1,0 +1,212 @@
+#include "core/fixed_arch_model.h"
+
+#include <cstring>
+
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+FixedArchModel::FixedArchModel(const EncodedDataset& data,
+                               const Architecture& arch,
+                               const HyperParams& hp, std::string name,
+                               std::vector<size_t> memorized_triples,
+                               std::vector<FactorizeFn> pair_fns)
+    : name_(std::move(name)),
+      arch_(arch),
+      s1_(hp.embed_dim),
+      s2_(hp.cross_embed_dim),
+      pair_fns_(std::move(pair_fns)),
+      rng_(hp.seed),
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+  CHECK_EQ(arch_.size(), data.num_pairs());
+  if (pair_fns_.empty()) {
+    pair_fns_.assign(arch_.size(), hp.factorize_fn);
+  }
+  CHECK_EQ(pair_fns_.size(), arch_.size());
+  cat_pairs_ = EnumeratePairs(data.num_categorical());
+
+  // Lay out interaction blocks and collect memorized pairs.
+  std::vector<size_t> mem_pairs;
+  block_offset_.assign(arch_.size(), kNone);
+  mem_slot_.assign(arch_.size(), kNone);
+  size_t offset = 0;
+  for (size_t p = 0; p < arch_.size(); ++p) {
+    switch (arch_[p]) {
+      case InterMethod::kMemorize:
+        block_offset_[p] = offset;
+        mem_slot_[p] = mem_pairs.size();
+        mem_pairs.push_back(p);
+        offset += s2_;
+        break;
+      case InterMethod::kFactorize:
+        block_offset_[p] = offset;
+        offset += FactorizedWidth(pair_fns_[p], s1_);
+        break;
+      case InterMethod::kNaive:
+        break;
+    }
+  }
+  inter_dim_ = offset;
+  if (!mem_pairs.empty()) {
+    cross_emb_ = std::make_unique<CrossEmbedding>(
+        data, mem_pairs, s2_, hp.lr_cross, hp.l2_cross, &rng_);
+  }
+  if (!memorized_triples.empty()) {
+    triple_emb_ = std::make_unique<TripleEmbedding>(
+        data, std::move(memorized_triples), s2_, hp.lr_cross, hp.l2_cross,
+        &rng_);
+    inter_dim_ += triple_emb_->output_dim();
+  }
+
+  MlpConfig cfg;
+  cfg.hidden = hp.mlp_hidden;
+  cfg.out_dim = 1;
+  cfg.layer_norm = hp.layer_norm;
+  cfg.lr = hp.lr_orig;
+  cfg.l2 = hp.l2_orig;
+  mlp_ = std::make_unique<Mlp>("mlp", emb_.output_dim() + inter_dim_, cfg,
+                               &rng_);
+  mlp_->RegisterParams(&dense_opt_);
+}
+
+void FixedArchModel::Forward(const Batch& batch) {
+  emb_.Forward(batch, &emb_out_);
+  if (cross_emb_) cross_emb_->Forward(batch, &cross_out_);
+  if (triple_emb_) triple_emb_->Forward(batch, &triple_out_);
+  const size_t b = batch.size;
+  const size_t emb_cols = emb_out_.cols();
+  z_.Resize({b, emb_cols + inter_dim_});
+  for (size_t k = 0; k < b; ++k) {
+    float* zr = z_.row(k);
+    std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    for (size_t p = 0; p < arch_.size(); ++p) {
+      switch (arch_[p]) {
+        case InterMethod::kMemorize:
+          std::memcpy(zr + emb_cols + block_offset_[p],
+                      cross_out_.row(k) + mem_slot_[p] * s2_,
+                      s2_ * sizeof(float));
+          break;
+        case InterMethod::kFactorize: {
+          const auto [i, j] = cat_pairs_[p];
+          FactorizedForward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
+                            zr + emb_cols + block_offset_[p]);
+          break;
+        }
+        case InterMethod::kNaive:
+          break;
+      }
+    }
+    if (triple_emb_) {
+      std::memcpy(zr + emb_cols + inter_dim_ - triple_emb_->output_dim(),
+                  triple_out_.row(k),
+                  triple_emb_->output_dim() * sizeof(float));
+    }
+  }
+  mlp_->Forward(z_, &mlp_out_);
+  logits_.resize(b);
+  for (size_t k = 0; k < b; ++k) logits_[k] = mlp_out_.at(k, 0);
+}
+
+float FixedArchModel::TrainStep(const Batch& batch) {
+  Forward(batch);
+  const size_t b = batch.size;
+  labels_.resize(b);
+  dlogits_.resize(b);
+  for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
+  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(), b,
+                                       dlogits_.data());
+
+  Tensor dmlp_out({b, 1});
+  for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
+  Tensor dz;
+  mlp_->Backward(dmlp_out, &dz);
+
+  const size_t emb_cols = emb_out_.cols();
+  Tensor demb({b, emb_cols});
+  Tensor dcross;
+  if (cross_emb_) dcross.Resize({b, cross_out_.cols()});
+  for (size_t k = 0; k < b; ++k) {
+    const float* dzr = dz.row(k);
+    std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    float* de = demb.row(k);
+    for (size_t p = 0; p < arch_.size(); ++p) {
+      switch (arch_[p]) {
+        case InterMethod::kMemorize:
+          std::memcpy(dcross.row(k) + mem_slot_[p] * s2_,
+                      dzr + emb_cols + block_offset_[p],
+                      s2_ * sizeof(float));
+          break;
+        case InterMethod::kFactorize: {
+          const auto [i, j] = cat_pairs_[p];
+          const float* dblock = dzr + emb_cols + block_offset_[p];
+          FactorizedBackward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
+                             dblock, 1.0f, de + i * s1_, de + j * s1_);
+          break;
+        }
+        case InterMethod::kNaive:
+          break;
+      }
+    }
+  }
+  emb_.Backward(demb);
+  if (cross_emb_) cross_emb_->Backward(dcross);
+  if (triple_emb_) {
+    Tensor dtriple({b, triple_emb_->output_dim()});
+    const size_t triple_off =
+        emb_cols + inter_dim_ - triple_emb_->output_dim();
+    for (size_t k = 0; k < b; ++k) {
+      std::memcpy(dtriple.row(k), dz.row(k) + triple_off,
+                  triple_emb_->output_dim() * sizeof(float));
+    }
+    triple_emb_->Backward(dtriple);
+  }
+  emb_.Step();
+  if (cross_emb_) cross_emb_->Step();
+  if (triple_emb_) triple_emb_->Step();
+  dense_opt_.Step();
+  dense_opt_.ZeroGrad();
+  return loss;
+}
+
+void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs) {
+  Forward(batch);
+  probs->resize(batch.size);
+  SigmoidForward(logits_.data(), batch.size, probs->data());
+}
+
+void FixedArchModel::CollectState(std::vector<Tensor*>* out) {
+  emb_.CollectState(out);
+  if (cross_emb_) cross_emb_->CollectState(out);
+  if (triple_emb_) triple_emb_->CollectState(out);
+  for (DenseParam* p : dense_opt_.params()) out->push_back(&p->value);
+}
+
+size_t FixedArchModel::ParamCount() const {
+  size_t total = emb_.ParamCount() + mlp_->ParamCount();
+  if (cross_emb_) total += cross_emb_->ParamCount();
+  if (triple_emb_) total += triple_emb_->ParamCount();
+  return total;
+}
+
+std::unique_ptr<FixedArchModel> FixedArchModel::MakeFnn(
+    const EncodedDataset& data, const HyperParams& hp) {
+  return std::make_unique<FixedArchModel>(data, AllNaive(data.num_pairs()),
+                                          hp, "FNN");
+}
+
+std::unique_ptr<FixedArchModel> FixedArchModel::MakeOptInterM(
+    const EncodedDataset& data, const HyperParams& hp) {
+  return std::make_unique<FixedArchModel>(
+      data, AllMemorize(data.num_pairs()), hp, "OptInter-M");
+}
+
+std::unique_ptr<FixedArchModel> FixedArchModel::MakeOptInterF(
+    const EncodedDataset& data, const HyperParams& hp) {
+  return std::make_unique<FixedArchModel>(
+      data, AllFactorize(data.num_pairs()), hp, "OptInter-F");
+}
+
+}  // namespace optinter

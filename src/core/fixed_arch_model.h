@@ -1,0 +1,97 @@
+// The OptInter framework with a *fixed* per-pair method assignment —
+// the re-train-stage model (paper Algorithm 2, Eq. 19), and by choosing
+// uniform architectures, also the FNN / OptInter-M / OptInter-F instances
+// of the framework (paper Table III).
+//
+// Feature interaction layer (paper §II-B3): for every categorical field
+// pair (i, j), the interaction embedding e^b_(i,j) is
+//   memorize:  E^m_(i,j)[cross id]                (width s2)
+//   factorize: e^o_i ⊙ e^o_j  (Hadamard, Eq. 14)  (width s1)
+//   naïve:     omitted                            (width 0)
+// The classifier (§II-B4) is an MLP with LayerNorm+ReLU over
+// e = [e^o, e^b], ending in a sigmoid (applied inside the loss).
+
+#pragma once
+
+#include <memory>
+
+#include "models/cross_embedding.h"
+#include "models/feature_embedding.h"
+#include "models/triple_embedding.h"
+#include "models/hyperparams.h"
+#include "models/interaction.h"
+#include "models/model.h"
+#include "nn/mlp.h"
+
+namespace optinter {
+
+/// OptInter with a frozen architecture.
+class FixedArchModel : public CtrModel {
+ public:
+  /// `arch` assigns a method to each categorical pair (canonical order).
+  /// The dataset must have cross features built if any pair memorizes.
+  /// `memorized_triples` (optional) lists indices into the dataset's
+  /// built third-order triples to memorize alongside the pairwise
+  /// architecture — the paper's higher-order extension. The dataset must
+  /// have triple features built when non-empty.
+  ///
+  /// `pair_fns` (optional) assigns each factorized pair its own
+  /// factorization function (multi-operation search space, §II-C1);
+  /// empty means hp.factorize_fn for every pair.
+  FixedArchModel(const EncodedDataset& data, const Architecture& arch,
+                 const HyperParams& hp, std::string name = "OptInter",
+                 std::vector<size_t> memorized_triples = {},
+                 std::vector<FactorizeFn> pair_fns = {});
+
+  std::string Name() const override { return name_; }
+  float TrainStep(const Batch& batch) override;
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+  size_t ParamCount() const override;
+  void CollectState(std::vector<Tensor*>* out) override;
+
+  const Architecture& arch() const { return arch_; }
+
+  /// Instances of the framework with uniform methods (paper Table III).
+  static std::unique_ptr<FixedArchModel> MakeFnn(const EncodedDataset& data,
+                                                 const HyperParams& hp);
+  static std::unique_ptr<FixedArchModel> MakeOptInterM(
+      const EncodedDataset& data, const HyperParams& hp);
+  static std::unique_ptr<FixedArchModel> MakeOptInterF(
+      const EncodedDataset& data, const HyperParams& hp);
+
+ private:
+  void Forward(const Batch& batch);
+
+  std::string name_;
+  Architecture arch_;
+  size_t s1_;
+  size_t s2_;
+  std::vector<FactorizeFn> pair_fns_;  // one per pair
+  Rng rng_;
+  FeatureEmbedding emb_;
+  std::unique_ptr<CrossEmbedding> cross_emb_;  // memorized pairs only
+  std::unique_ptr<TripleEmbedding> triple_emb_;  // higher-order extension
+  std::unique_ptr<Mlp> mlp_;
+  Adam dense_opt_;
+
+  // Categorical-pair bookkeeping: for each pair, the MLP-input column
+  // offset of its interaction block (or kNone for naïve pairs), and for
+  // memorized pairs the block index within cross_emb_.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<std::pair<size_t, size_t>> cat_pairs_;
+  std::vector<size_t> block_offset_;  // into z_ columns
+  std::vector<size_t> mem_slot_;      // into cross_emb_ blocks
+  size_t inter_dim_ = 0;              // total interaction columns
+
+  // Caches.
+  Tensor emb_out_;
+  Tensor cross_out_;
+  Tensor triple_out_;
+  Tensor z_;
+  Tensor mlp_out_;
+  std::vector<float> logits_;
+  std::vector<float> labels_;
+  std::vector<float> dlogits_;
+};
+
+}  // namespace optinter

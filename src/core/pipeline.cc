@@ -1,0 +1,155 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "metrics/mutual_information.h"
+#include "core/autofis.h"
+#include "core/fixed_arch_model.h"
+
+namespace optinter {
+
+SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
+                            const HyperParams& hp,
+                            const SearchOptions& options) {
+  CHECK(!splits.train.empty());
+  Stopwatch timer;
+  SearchModel model(data, hp, options.mode);
+  Batcher train_batcher(&data, splits.train, hp.batch_size, hp.seed);
+  // Bi-level updates α on validation batches (DARTS-style); fall back to
+  // train rows if no val split exists.
+  Batcher arch_batcher(&data, splits.val.empty() ? splits.train : splits.val,
+                       hp.batch_size, hp.seed ^ 0xa5c3ULL);
+  arch_batcher.StartEpoch();
+
+  const size_t epochs = std::max<size_t>(1, options.search_epochs);
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    if (options.anneal_temperature) {
+      const float frac =
+          epochs > 1 ? static_cast<float>(epoch) /
+                           static_cast<float>(epochs - 1)
+                     : 1.0f;
+      model.SetTemperature(hp.gumbel_temp_start +
+                           frac * (hp.gumbel_temp_end -
+                                   hp.gumbel_temp_start));
+    }
+    train_batcher.StartEpoch();
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    for (;;) {
+      Batch b = train_batcher.Next();
+      if (b.size == 0) break;
+      loss_sum += model.TrainStep(b);
+      ++batches;
+      if (options.mode == UpdateMode::kBilevel) {
+        Batch vb = arch_batcher.Next();
+        if (vb.size == 0) {
+          arch_batcher.StartEpoch();
+          vb = arch_batcher.Next();
+        }
+        model.ArchStep(vb);
+      }
+    }
+    if (options.verbose) {
+      LOG_INFO() << model.Name() << " search epoch " << epoch << " loss="
+                 << (batches ? loss_sum / static_cast<double>(batches) : 0.0)
+                 << " tau=" << model.temperature();
+    }
+  }
+
+  SearchResult result;
+  result.arch = model.ExtractArchitecture();
+  if (!splits.val.empty()) {
+    result.search_val = EvaluateModel(&model, data, splits.val);
+  }
+  if (!splits.test.empty()) {
+    result.search_test = EvaluateModel(&model, data, splits.test);
+  }
+  result.seconds = timer.Elapsed();
+  return result;
+}
+
+OptInterResult RunOptInter(const EncodedDataset& data, const Splits& splits,
+                           const HyperParams& hp,
+                           const SearchOptions& search_options,
+                           const TrainOptions& train_options) {
+  OptInterResult result;
+  result.search = RunSearchStage(data, splits, hp, search_options);
+  FixedArchRun run = TrainFixedArch(data, splits, result.search.arch, hp,
+                                    train_options, "OptInter");
+  result.retrain = std::move(run.summary);
+  result.param_count = run.param_count;
+  return result;
+}
+
+Architecture RandomArchitecture(size_t num_pairs, Rng* rng) {
+  Architecture arch(num_pairs);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    arch[p] = static_cast<InterMethod>(rng->UniformInt(3));
+  }
+  return arch;
+}
+
+FixedArchRun TrainFixedArch(const EncodedDataset& data, const Splits& splits,
+                            const Architecture& arch, const HyperParams& hp,
+                            const TrainOptions& options,
+                            const std::string& name) {
+  FixedArchModel model(data, arch, hp, name);
+  FixedArchRun run;
+  run.summary = TrainModel(&model, data, splits, options);
+  run.param_count = model.ParamCount();
+  return run;
+}
+
+std::vector<size_t> SelectTopTriplesByMiLift(const EncodedDataset& data,
+                                             const std::vector<size_t>& rows,
+                                             size_t k) {
+  CHECK(data.has_triples());
+  const size_t n = data.num_triples();
+  std::vector<double> lift(n);
+  const size_t m = data.num_categorical();
+  for (size_t t = 0; t < n; ++t) {
+    const auto& tr = data.triple_fields[t];
+    // OOV-collapsed MI on both sides keeps the comparison on one scale
+    // (raw-id plug-in MI is inflated for sparse features).
+    const double tri_mi = TripleLabelMutualInformation(data, t, rows);
+    double best_pair = 0.0;
+    best_pair = std::max(
+        best_pair, CrossLabelMutualInformation(
+                       data, PairIndex(tr[0], tr[1], m), rows));
+    best_pair = std::max(
+        best_pair, CrossLabelMutualInformation(
+                       data, PairIndex(tr[0], tr[2], m), rows));
+    best_pair = std::max(
+        best_pair, CrossLabelMutualInformation(
+                       data, PairIndex(tr[1], tr[2], m), rows));
+    lift[t] = tri_mi - best_pair;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return lift[a] > lift[b]; });
+  order.resize(std::min(k, n));
+  return order;
+}
+
+AutoFisResult RunAutoFis(const EncodedDataset& data, const Splits& splits,
+                         const HyperParams& hp,
+                         const TrainOptions& train_options) {
+  AutoFisResult result;
+  {
+    AutoFisSearchModel search(data, hp);
+    TrainOptions search_options = train_options;
+    search_options.patience = 0;  // let GRDA prune for the full budget
+    TrainModel(&search, data, splits, search_options);
+    result.arch = search.ExtractArchitecture();
+  }
+  FixedArchRun run =
+      TrainFixedArch(data, splits, result.arch, hp, train_options, "AutoFIS");
+  result.retrain = std::move(run.summary);
+  result.param_count = run.param_count;
+  return result;
+}
+
+}  // namespace optinter

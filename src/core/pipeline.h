@@ -1,0 +1,85 @@
+// The OptInter two-stage learning pipeline (paper §II-C):
+// search stage (Algorithm 1) → architecture freeze (Eq. 19) →
+// re-train from scratch (Algorithm 2). Also the ablation machinery:
+// bi-level search, random architectures, no-retrain evaluation, and the
+// AutoFIS search/re-train pipeline.
+
+#pragma once
+
+#include "core/search_model.h"
+#include "models/hyperparams.h"
+#include "models/interaction.h"
+#include "train/trainer.h"
+
+namespace optinter {
+
+/// Options for the search stage.
+struct SearchOptions {
+  size_t search_epochs = 2;
+  UpdateMode mode = UpdateMode::kJoint;
+  /// Anneal the Gumbel-softmax temperature linearly across epochs from
+  /// HyperParams::gumbel_temp_start to gumbel_temp_end.
+  bool anneal_temperature = true;
+  bool verbose = false;
+};
+
+/// Outcome of the search stage.
+struct SearchResult {
+  Architecture arch;
+  /// Metrics of the (mixed-weights) search model itself — what you get if
+  /// you skip re-training (Table IX "w.o." column).
+  EvalMetrics search_val;
+  EvalMetrics search_test;
+  double seconds = 0.0;
+};
+
+/// Runs the search stage only (joint or bi-level).
+SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
+                            const HyperParams& hp,
+                            const SearchOptions& options);
+
+/// Full OptInter run: search + re-train from scratch.
+struct OptInterResult {
+  SearchResult search;
+  TrainSummary retrain;
+  size_t param_count = 0;
+};
+OptInterResult RunOptInter(const EncodedDataset& data, const Splits& splits,
+                           const HyperParams& hp,
+                           const SearchOptions& search_options,
+                           const TrainOptions& train_options);
+
+/// Uniformly random per-pair method assignment (Table VIII "Random").
+Architecture RandomArchitecture(size_t num_pairs, Rng* rng);
+
+/// Trains a FixedArchModel with the given architecture; returns the
+/// summary and parameter count.
+struct FixedArchRun {
+  TrainSummary summary;
+  size_t param_count = 0;
+};
+FixedArchRun TrainFixedArch(const EncodedDataset& data, const Splits& splits,
+                            const Architecture& arch, const HyperParams& hp,
+                            const TrainOptions& options,
+                            const std::string& name = "OptInter");
+
+/// Ranks the dataset's built third-order triples by the *interaction
+/// lift* of their MI over the best constituent pair, and returns the
+/// indices of the top `k` — a simple MI-guided selector for the paper's
+/// higher-order extension.
+std::vector<size_t> SelectTopTriplesByMiLift(const EncodedDataset& data,
+                                             const std::vector<size_t>& rows,
+                                             size_t k);
+
+/// AutoFIS pipeline: GRDA-gated search, then re-train the selected
+/// {factorize, naïve} architecture.
+struct AutoFisResult {
+  Architecture arch;
+  TrainSummary retrain;
+  size_t param_count = 0;
+};
+AutoFisResult RunAutoFis(const EncodedDataset& data, const Splits& splits,
+                         const HyperParams& hp,
+                         const TrainOptions& train_options);
+
+}  // namespace optinter

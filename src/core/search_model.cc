@@ -1,0 +1,258 @@
+#include "core/search_model.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+namespace {
+std::vector<size_t> AllPairIndices(const EncodedDataset& data) {
+  std::vector<size_t> pairs(data.num_pairs());
+  std::iota(pairs.begin(), pairs.end(), 0);
+  return pairs;
+}
+}  // namespace
+
+SearchModel::SearchModel(const EncodedDataset& data, const HyperParams& hp,
+                         UpdateMode mode)
+    : data_(data),
+      mode_(mode),
+      s1_(hp.embed_dim),
+      s2_(hp.cross_embed_dim),
+      fn_(hp.factorize_fn),
+      fact_width_(FactorizedWidth(hp.factorize_fn, hp.embed_dim)),
+      db_(std::max(FactorizedWidth(hp.factorize_fn, hp.embed_dim),
+                   hp.cross_embed_dim)),
+      tau_(hp.gumbel_temp_start),
+      rng_(hp.seed),
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+  CHECK(data.has_cross()) << "search requires cross features";
+  cross_emb_ = std::make_unique<CrossEmbedding>(
+      data, AllPairIndices(data), s2_, hp.lr_cross, hp.l2_cross, &rng_);
+  cat_pairs_ = EnumeratePairs(data.num_categorical());
+
+  alpha_.name = "arch/alpha";
+  alpha_.Resize({data.num_pairs(), 3});
+  // Near-uniform start with a tiny symmetric perturbation: pairs whose
+  // gradients never separate the candidates resolve to an arbitrary
+  // method, mirroring the paper's behaviour on uninformative pairs.
+  UniformInit(&alpha_.value, -0.05, 0.05, &rng_);
+  alpha_.lr = hp.lr_arch;
+  alpha_.l2 = hp.l2_arch;
+  arch_opt_.AddParam(&alpha_);
+
+  MlpConfig cfg;
+  cfg.hidden = hp.mlp_hidden;
+  cfg.out_dim = 1;
+  cfg.layer_norm = hp.layer_norm;
+  cfg.lr = hp.lr_orig;
+  cfg.l2 = hp.l2_orig;
+  mlp_ = std::make_unique<Mlp>(
+      "mlp", emb_.output_dim() + data.num_pairs() * db_, cfg, &rng_);
+  mlp_->RegisterParams(&theta_opt_);
+  fact_scratch_.resize(fact_width_);
+}
+
+void SearchModel::SampleProbs(std::vector<float>* probs) {
+  const size_t num_pairs = data_.num_pairs();
+  probs->resize(num_pairs * 3);
+  float noisy[3];
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const float* a = alpha_.value.row(p);
+    for (int k = 0; k < 3; ++k) {
+      noisy[k] = (a[k] + static_cast<float>(rng_.Gumbel())) / tau_;
+    }
+    Softmax(3, noisy, probs->data() + p * 3);
+  }
+}
+
+void SearchModel::ForwardWithProbs(const Batch& batch,
+                                   const std::vector<float>& probs) {
+  emb_.Forward(batch, &emb_out_);
+  cross_emb_->Forward(batch, &cross_out_);
+  const size_t b = batch.size;
+  const size_t emb_cols = emb_out_.cols();
+  const size_t num_pairs = data_.num_pairs();
+  z_.Resize({b, emb_cols + num_pairs * db_});
+  for (size_t k = 0; k < b; ++k) {
+    float* zr = z_.row(k);
+    std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    const float* cr = cross_out_.row(k);
+    float* blocks = zr + emb_cols;
+    std::memset(blocks, 0, num_pairs * db_ * sizeof(float));
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const float pm = probs[p * 3 + 0];
+      const float pf = probs[p * 3 + 1];
+      float* block = blocks + p * db_;
+      const float* mem = cr + p * s2_;
+      for (size_t t = 0; t < s2_; ++t) block[t] += pm * mem[t];
+      const auto [i, j] = cat_pairs_[p];
+      FactorizedForward(fn_, s1_, e + i * s1_, e + j * s1_,
+                        fact_scratch_.data());
+      for (size_t t = 0; t < fact_width_; ++t) {
+        block[t] += pf * fact_scratch_[t];
+      }
+      // Naïve candidate is the zero vector: contributes nothing.
+    }
+  }
+  mlp_->Forward(z_, &mlp_out_);
+  logits_.resize(b);
+  for (size_t k = 0; k < b; ++k) logits_[k] = mlp_out_.at(k, 0);
+}
+
+float SearchModel::Step(const Batch& batch, bool update_theta,
+                        bool update_alpha) {
+  SampleProbs(&probs_cache_);
+  ForwardWithProbs(batch, probs_cache_);
+  const size_t b = batch.size;
+  labels_.resize(b);
+  dlogits_.resize(b);
+  for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
+  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(), b,
+                                       dlogits_.data());
+
+  Tensor dmlp_out({b, 1});
+  for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
+  Tensor dz;
+  mlp_->Backward(dmlp_out, &dz);
+
+  const size_t emb_cols = emb_out_.cols();
+  const size_t num_pairs = data_.num_pairs();
+  Tensor demb({b, emb_cols});
+  Tensor dcross({b, cross_out_.cols()});
+  // d(loss)/d(candidate probability), accumulated over the batch.
+  std::vector<double> dp(num_pairs * 3, 0.0);
+  for (size_t k = 0; k < b; ++k) {
+    const float* dzr = dz.row(k);
+    std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+    const float* e = emb_out_.row(k);
+    const float* cr = cross_out_.row(k);
+    float* de = demb.row(k);
+    float* dcr = dcross.row(k);
+    const float* dblocks = dzr + emb_cols;
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const float pm = probs_cache_[p * 3 + 0];
+      const float pf = probs_cache_[p * 3 + 1];
+      const float* dblock = dblocks + p * db_;
+      const float* mem = cr + p * s2_;
+      float* dmem = dcr + p * s2_;
+      double dpm = 0.0;
+      for (size_t t = 0; t < s2_; ++t) {
+        dpm += static_cast<double>(dblock[t]) * mem[t];
+        dmem[t] = pm * dblock[t];
+      }
+      const auto [i, j] = cat_pairs_[p];
+      const float* ei = e + i * s1_;
+      const float* ej = e + j * s1_;
+      FactorizedForward(fn_, s1_, ei, ej, fact_scratch_.data());
+      double dpf = 0.0;
+      for (size_t t = 0; t < fact_width_; ++t) {
+        dpf += static_cast<double>(dblock[t]) * fact_scratch_[t];
+      }
+      FactorizedBackward(fn_, s1_, ei, ej, dblock, pf, de + i * s1_,
+                         de + j * s1_);
+      dp[p * 3 + 0] += dpm;
+      dp[p * 3 + 1] += dpf;
+      // dp for naïve stays 0: its candidate embedding is the zero vector.
+    }
+  }
+
+  // Softmax backward into the architecture logits:
+  //   da_k = (1/τ) · p_k · (dp_k − Σ_l p_l · dp_l).
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const float* pr = probs_cache_.data() + p * 3;
+    const double* dpr = dp.data() + p * 3;
+    double weighted = 0.0;
+    for (int k = 0; k < 3; ++k) weighted += pr[k] * dpr[k];
+    float* da = alpha_.grad.row(p);
+    for (int k = 0; k < 3; ++k) {
+      da[k] += static_cast<float>(pr[k] * (dpr[k] - weighted) / tau_);
+    }
+  }
+
+  emb_.Backward(demb);
+  cross_emb_->Backward(dcross);
+
+  if (update_theta) {
+    emb_.Step();
+    cross_emb_->Step();
+    theta_opt_.Step();
+  } else {
+    emb_.ClearGrads();
+    cross_emb_->ClearGrads();
+  }
+  theta_opt_.ZeroGrad();
+  if (update_alpha) {
+    arch_opt_.Step();
+  }
+  arch_opt_.ZeroGrad();
+  return loss;
+}
+
+float SearchModel::TrainStep(const Batch& batch) {
+  const bool update_alpha = mode_ == UpdateMode::kJoint;
+  return Step(batch, /*update_theta=*/true, update_alpha);
+}
+
+float SearchModel::ArchStep(const Batch& batch) {
+  return Step(batch, /*update_theta=*/false, /*update_alpha=*/true);
+}
+
+void SearchModel::Predict(const Batch& batch, std::vector<float>* probs) {
+  // Noise-free expectation: p = softmax(α/τ).
+  const size_t num_pairs = data_.num_pairs();
+  std::vector<float> p(num_pairs * 3);
+  float scaled[3];
+  for (size_t q = 0; q < num_pairs; ++q) {
+    const float* a = alpha_.value.row(q);
+    for (int k = 0; k < 3; ++k) scaled[k] = a[k] / tau_;
+    Softmax(3, scaled, p.data() + q * 3);
+  }
+  ForwardWithProbs(batch, p);
+  // ForwardWithProbs caches gradients' inputs but eval discards them; the
+  // embedding layers only record rows at Backward, so nothing to clear.
+  probs->resize(batch.size);
+  SigmoidForward(logits_.data(), batch.size, probs->data());
+}
+
+void SearchModel::CollectState(std::vector<Tensor*>* out) {
+  emb_.CollectState(out);
+  cross_emb_->CollectState(out);
+  for (DenseParam* p : theta_opt_.params()) out->push_back(&p->value);
+  out->push_back(&alpha_.value);
+}
+
+size_t SearchModel::ParamCount() const {
+  return emb_.ParamCount() + cross_emb_->ParamCount() +
+         mlp_->ParamCount() + alpha_.size();
+}
+
+Architecture SearchModel::ExtractArchitecture() const {
+  Architecture arch(data_.num_pairs());
+  for (size_t p = 0; p < data_.num_pairs(); ++p) {
+    const float* a = alpha_.value.row(p);
+    int best = 0;
+    for (int k = 1; k < 3; ++k) {
+      if (a[k] > a[best]) best = k;
+    }
+    arch[p] = static_cast<InterMethod>(best);
+  }
+  return arch;
+}
+
+std::array<float, 3> SearchModel::PairProbabilities(size_t p) const {
+  CHECK_LT(p, data_.num_pairs());
+  const float* a = alpha_.value.row(p);
+  float scaled[3];
+  for (int k = 0; k < 3; ++k) scaled[k] = a[k] / tau_;
+  std::array<float, 3> out;
+  Softmax(3, scaled, out.data());
+  return out;
+}
+
+}  // namespace optinter

@@ -1,0 +1,124 @@
+// OptInter search-stage model (paper §II-C, Algorithm 1).
+//
+// Every categorical pair owns architecture logits a_(i,j) ∈ R³ over
+// {memorize, factorize, naïve}. During training the discrete choice is
+// relaxed with the Gumbel-softmax trick (Eq. 16–17):
+//
+//   p_k = softmax_k( (a_k + g_k) / τ ),  g_k ~ Gumbel(0,1) i.i.d.
+//
+// and the combination block outputs the p-weighted sum of the three
+// candidate embeddings (Eq. 18), zero-padded to a common width
+// d_b = max(s1, s2) so the sum is well-typed (the naïve candidate is the
+// zero vector, matching the paper's e^n).
+//
+// Model parameters Θ and architecture parameters α are optimized
+// *jointly* by default (the paper's choice); the bi-level alternative
+// (DARTS-style alternation, §III-E ablation) is supported via
+// ArchStep() + UpdateMode::kBilevel.
+
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "models/cross_embedding.h"
+#include "models/feature_embedding.h"
+#include "models/hyperparams.h"
+#include "models/interaction.h"
+#include "models/model.h"
+#include "nn/mlp.h"
+
+namespace optinter {
+
+/// How Θ and α are updated during search.
+enum class UpdateMode {
+  /// One gradient step updates both Θ and α (paper Algorithm 1).
+  kJoint,
+  /// TrainStep updates Θ only; ArchStep (on validation batches) updates α
+  /// only — the bi-level baseline of the §III-E ablation.
+  kBilevel,
+};
+
+/// The differentiable search-stage model.
+class SearchModel : public CtrModel {
+ public:
+  SearchModel(const EncodedDataset& data, const HyperParams& hp,
+              UpdateMode mode = UpdateMode::kJoint);
+
+  std::string Name() const override {
+    return mode_ == UpdateMode::kJoint ? "OptInter-search"
+                                       : "OptInter-search-bilevel";
+  }
+
+  /// One step on a training batch. Joint mode updates Θ and α; bi-level
+  /// mode updates Θ only.
+  float TrainStep(const Batch& batch) override;
+
+  /// Bi-level only: one α-update step (typically on a validation batch).
+  float ArchStep(const Batch& batch);
+
+  /// Eval-time prediction: expectation under softmax(α/τ), no noise.
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+
+  size_t ParamCount() const override;
+  void CollectState(std::vector<Tensor*>* out) override;
+
+  /// Gumbel-softmax temperature (annealed by the search driver).
+  void SetTemperature(float tau) {
+    CHECK_GT(tau, 0.0f);
+    tau_ = tau;
+  }
+  float temperature() const { return tau_; }
+
+  /// Selected method per pair: argmax_k α_(i,j)^k (paper Eq. 19).
+  Architecture ExtractArchitecture() const;
+
+  /// Current selection probabilities softmax(α/τ) for pair `p`.
+  std::array<float, 3> PairProbabilities(size_t p) const;
+
+  /// Raw architecture logits (tests / diagnostics).
+  const DenseParam& alpha() const { return alpha_; }
+  DenseParam& mutable_alpha() { return alpha_; }
+
+ private:
+  /// Forward with the given per-pair method probabilities laid out as
+  /// probs[p*3 + k].
+  void ForwardWithProbs(const Batch& batch, const std::vector<float>& probs);
+
+  /// Computes per-pair probabilities with fresh Gumbel noise.
+  void SampleProbs(std::vector<float>* probs);
+
+  /// Full forward/backward; steps the chosen parameter families.
+  float Step(const Batch& batch, bool update_theta, bool update_alpha);
+
+  const EncodedDataset& data_;
+  UpdateMode mode_;
+  size_t s1_;
+  size_t s2_;
+  FactorizeFn fn_;
+  size_t fact_width_;
+  size_t db_;  // candidate width max(factorized width, s2)
+  float tau_ = 1.0f;
+  Rng rng_;
+  FeatureEmbedding emb_;
+  std::unique_ptr<CrossEmbedding> cross_emb_;  // all pairs
+  std::unique_ptr<Mlp> mlp_;
+  DenseParam alpha_;  // [P × 3] logits, order {m, f, n}
+  Adam theta_opt_;
+  Adam arch_opt_;
+
+  std::vector<std::pair<size_t, size_t>> cat_pairs_;
+
+  // Caches.
+  Tensor emb_out_;
+  Tensor cross_out_;
+  Tensor z_;
+  Tensor mlp_out_;
+  std::vector<float> probs_cache_;
+  std::vector<float> fact_scratch_;
+  std::vector<float> logits_;
+  std::vector<float> labels_;
+  std::vector<float> dlogits_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,31 @@
+// Model zoo: construct any fixed-architecture model from the paper's
+// tables by name. Search-based methods (AutoFIS, OptInter) have their own
+// pipelines in pipeline.h because they are two-stage.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "models/hyperparams.h"
+#include "models/model.h"
+
+namespace optinter {
+
+/// Creates a baseline by table name. Recognized names: "LR", "Poly2",
+/// "FM", "FFM", "FwFM", "FmFM", "FNN", "IPNN", "OPNN", "DeepFM", "PIN",
+/// "OptInter-F", "OptInter-M". The dataset must have cross features built
+/// for Poly2 / OptInter-M.
+Result<std::unique_ptr<CtrModel>> CreateBaseline(const std::string& name,
+                                                 const EncodedDataset& data,
+                                                 const HyperParams& hp);
+
+/// Names of the Table V baselines, in the paper's row order.
+std::vector<std::string> TableVBaselineNames();
+
+/// True when the named model requires cross-product features.
+bool BaselineNeedsCross(const std::string& name);
+
+}  // namespace optinter

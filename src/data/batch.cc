@@ -1,0 +1,47 @@
+#include "data/batch.h"
+
+#include <numeric>
+
+namespace optinter {
+
+Splits MakeSplits(size_t num_rows, double train_frac, double val_frac,
+                  Rng* rng) {
+  CHECK_GT(num_rows, 0u);
+  CHECK_GT(train_frac, 0.0);
+  CHECK_GE(val_frac, 0.0);
+  CHECK_LT(train_frac + val_frac, 1.0 + 1e-12);
+  std::vector<size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const size_t n_train = static_cast<size_t>(num_rows * train_frac);
+  const size_t n_val = static_cast<size_t>(num_rows * val_frac);
+  Splits s;
+  s.train.assign(order.begin(), order.begin() + n_train);
+  s.val.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+  s.test.assign(order.begin() + n_train + n_val, order.end());
+  return s;
+}
+
+std::vector<size_t> DownsampleNegatives(const EncodedDataset& data,
+                                        const std::vector<size_t>& rows,
+                                        double keep_rate, Rng* rng) {
+  CHECK_GT(keep_rate, 0.0);
+  CHECK_LE(keep_rate, 1.0);
+  std::vector<size_t> kept;
+  kept.reserve(rows.size());
+  for (size_t r : rows) {
+    if (data.label(r) > 0.5f || rng->Bernoulli(keep_rate)) {
+      kept.push_back(r);
+    }
+  }
+  return kept;
+}
+
+float RecalibrateProbability(float p, double keep_rate) {
+  CHECK_GT(keep_rate, 0.0);
+  CHECK_LE(keep_rate, 1.0);
+  const double q = static_cast<double>(p);
+  return static_cast<float>(q / (q + (1.0 - q) / keep_rate));
+}
+
+}  // namespace optinter

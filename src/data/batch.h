@@ -1,0 +1,84 @@
+// Train/val/test splits and shuffled mini-batch iteration.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace optinter {
+
+/// Row-index partition of a dataset.
+struct Splits {
+  std::vector<size_t> train;
+  std::vector<size_t> val;
+  std::vector<size_t> test;
+};
+
+/// Randomly shuffles row ids and splits them by the given fractions
+/// (paper: 80% train+val / 20% test; we carve val out of the 80%).
+Splits MakeSplits(size_t num_rows, double train_frac, double val_frac,
+                  Rng* rng);
+
+/// A view over a contiguous run of (shuffled) row indices.
+struct Batch {
+  const EncodedDataset* data = nullptr;
+  const size_t* rows = nullptr;
+  size_t size = 0;
+
+  size_t row(size_t k) const { return rows[k]; }
+  float label(size_t k) const { return data->label(rows[k]); }
+};
+
+/// Keeps every positive row and a `keep_rate` fraction of negatives —
+/// the standard CTR training trick for heavily imbalanced logs (paper's
+/// iPinYou regime). Predicted probabilities on downsampled-trained
+/// models must be recalibrated with RecalibrateProbability.
+std::vector<size_t> DownsampleNegatives(const EncodedDataset& data,
+                                        const std::vector<size_t>& rows,
+                                        double keep_rate, Rng* rng);
+
+/// Undoes negative downsampling in probability space:
+/// p' = p / (p + (1 - p) / keep_rate).
+float RecalibrateProbability(float p, double keep_rate);
+
+/// Yields shuffled mini-batches over a fixed index set, reshuffling each
+/// epoch.
+class Batcher {
+ public:
+  Batcher(const EncodedDataset* data, std::vector<size_t> indices,
+          size_t batch_size, uint64_t seed)
+      : data_(data), indices_(std::move(indices)), batch_size_(batch_size),
+        rng_(seed) {
+    CHECK_GT(batch_size_, 0u);
+  }
+
+  /// Starts a new epoch (reshuffles).
+  void StartEpoch() {
+    rng_.Shuffle(&indices_);
+    cursor_ = 0;
+  }
+
+  /// Returns the next batch; Batch.size == 0 signals epoch end.
+  Batch Next() {
+    Batch b;
+    b.data = data_;
+    if (cursor_ >= indices_.size()) return b;
+    b.rows = indices_.data() + cursor_;
+    b.size = std::min(batch_size_, indices_.size() - cursor_);
+    cursor_ += b.size;
+    return b;
+  }
+
+  size_t num_rows() const { return indices_.size(); }
+
+ private:
+  const EncodedDataset* data_;
+  std::vector<size_t> indices_;
+  size_t batch_size_;
+  Rng rng_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace optinter

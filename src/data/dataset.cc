@@ -1,0 +1,24 @@
+#include "data/dataset.h"
+
+namespace optinter {
+
+size_t EncodedDataset::TotalOrigVocab() const {
+  size_t total = 0;
+  for (size_t v : cat_vocab_sizes) total += v;
+  return total;
+}
+
+size_t EncodedDataset::TotalCrossVocab() const {
+  size_t total = 0;
+  for (size_t v : cross_vocab_sizes) total += v;
+  return total;
+}
+
+double EncodedDataset::PositiveRatio() const {
+  if (labels.empty()) return 0.0;
+  double pos = 0.0;
+  for (float y : labels) pos += y;
+  return pos / static_cast<double>(labels.size());
+}
+
+}  // namespace optinter

@@ -1,0 +1,100 @@
+// Raw and encoded dataset containers.
+//
+// RawDataset holds generator/loader output: per-row raw categorical values
+// (64-bit, in each field's natural domain), raw continuous values, and
+// labels. EncodedDataset is what models consume: dense per-field ids
+// (0 = OOV), min-max-normalized continuous values, and — once
+// BuildCrossFeatures has run — encoded cross-product transformed feature
+// ids for every categorical field pair (paper Eq. 4 / §II-B1).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/schema.h"
+
+namespace optinter {
+
+/// Un-encoded dataset as produced by a generator or file loader.
+struct RawDataset {
+  DatasetSchema schema;
+  size_t num_rows = 0;
+  /// Row-major [num_rows × num_categorical] raw values.
+  std::vector<int64_t> cat_values;
+  /// Row-major [num_rows × num_continuous] raw values.
+  std::vector<float> cont_values;
+  std::vector<float> labels;
+
+  int64_t cat(size_t row, size_t cat_field) const {
+    return cat_values[row * schema.num_categorical() + cat_field];
+  }
+  float cont(size_t row, size_t cont_field) const {
+    return cont_values[row * schema.num_continuous() + cont_field];
+  }
+};
+
+/// Fully encoded dataset ready for model consumption.
+class EncodedDataset {
+ public:
+  DatasetSchema schema;
+  size_t num_rows = 0;
+
+  /// Row-major [num_rows × num_categorical] encoded ids (0 = OOV).
+  std::vector<int32_t> cat_ids;
+  /// Vocab size (including OOV) per categorical field.
+  std::vector<size_t> cat_vocab_sizes;
+
+  /// Row-major [num_rows × num_continuous], normalized to [0, 1].
+  std::vector<float> cont_values;
+
+  std::vector<float> labels;
+
+  /// Row-major [num_rows × num_pairs] encoded cross ids (0 = OOV).
+  /// Empty until the cross transform has been applied.
+  std::vector<int32_t> cross_ids;
+  /// Vocab size (including OOV) per pair, in canonical pair order.
+  std::vector<size_t> cross_vocab_sizes;
+
+  /// Third-order extension (paper §II-B1: "our methods could easily be
+  /// extended to higher-order"): cross-product transformed features for a
+  /// chosen set of categorical field triples. Row-major
+  /// [num_rows × triple_fields.size()].
+  std::vector<std::array<size_t, 3>> triple_fields;
+  std::vector<int32_t> triple_ids;
+  std::vector<size_t> triple_vocab_sizes;
+
+  size_t num_categorical() const { return schema.num_categorical(); }
+  size_t num_continuous() const { return schema.num_continuous(); }
+  size_t num_pairs() const { return schema.num_pairs(); }
+  bool has_cross() const { return !cross_ids.empty(); }
+  size_t num_triples() const { return triple_fields.size(); }
+  bool has_triples() const { return !triple_ids.empty(); }
+
+  int32_t cat(size_t row, size_t cat_field) const {
+    return cat_ids[row * num_categorical() + cat_field];
+  }
+  float cont(size_t row, size_t cont_field) const {
+    return cont_values[row * num_continuous() + cont_field];
+  }
+  int32_t cross(size_t row, size_t pair) const {
+    return cross_ids[row * num_pairs() + pair];
+  }
+  int32_t triple(size_t row, size_t t) const {
+    return triple_ids[row * num_triples() + t];
+  }
+  float label(size_t row) const { return labels[row]; }
+
+  /// Total distinct values across original categorical fields
+  /// (Table II "#orig value").
+  size_t TotalOrigVocab() const;
+  /// Total distinct values across cross-product transformed features
+  /// (Table II "#cross value").
+  size_t TotalCrossVocab() const;
+  /// Fraction of positive labels (Table II "pos ratio").
+  double PositiveRatio() const;
+};
+
+}  // namespace optinter

@@ -1,0 +1,54 @@
+// Dataset encoding: vocab fitting, min-max normalization, and the
+// cross-product transformation.
+//
+// Statistics (vocabularies, continuous min/max) are fitted on the training
+// rows only; validation/test rows are transformed with the fitted state so
+// unseen values fall into OOV — mirroring deployment conditions.
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/vocab.h"
+
+namespace optinter {
+
+/// Options controlling encoding.
+struct EncoderOptions {
+  /// Min occurrences for an original categorical value to escape OOV
+  /// (paper: 20 on Criteo, 5 on Avazu).
+  size_t cat_min_count = 4;
+  /// Min occurrences for a cross-product value to escape OOV.
+  size_t cross_min_count = 10;
+};
+
+/// Fits vocabularies / normalization on `fit_rows` of `raw` and encodes the
+/// whole dataset. Cross features are NOT built here (call
+/// BuildCrossFeatures on the result); models that never touch crosses
+/// avoid the cost.
+Result<EncodedDataset> EncodeDataset(const RawDataset& raw,
+                                     const std::vector<size_t>& fit_rows,
+                                     const EncoderOptions& options);
+
+/// Adds cross-product transformed features to an encoded dataset
+/// (paper Eq. 4): for every categorical pair (i, j), the pair of encoded
+/// ids becomes a new categorical value with its own frequency-thresholded
+/// vocabulary, fitted on `fit_rows`.
+Status BuildCrossFeatures(EncodedDataset* data,
+                          const std::vector<size_t>& fit_rows,
+                          const EncoderOptions& options);
+
+/// Adds third-order cross-product transformed features for the given
+/// categorical field triples (each {i, j, k} with i < j < k), with
+/// per-triple frequency-thresholded vocabularies fitted on `fit_rows`
+/// (threshold = options.cross_min_count). The paper's higher-order
+/// extension (§II-B1).
+Status BuildTripleCrossFeatures(
+    EncodedDataset* data, const std::vector<size_t>& fit_rows,
+    const EncoderOptions& options,
+    const std::vector<std::array<size_t, 3>>& triples);
+
+}  // namespace optinter

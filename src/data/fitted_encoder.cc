@@ -1,0 +1,261 @@
+#include "data/fitted_encoder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace optinter {
+
+namespace {
+
+int64_t PairKey(int32_t a, int32_t b) {
+  return (static_cast<int64_t>(a) << 32) |
+         static_cast<int64_t>(static_cast<uint32_t>(b));
+}
+
+constexpr char kMagic[4] = {'O', 'E', 'N', 'C'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  s->resize(n);
+  in.read(s->data(), n);
+  return static_cast<bool>(in);
+}
+
+void WriteVocab(std::ofstream& out, const Vocab& v) {
+  const auto items = v.Items();
+  WritePod(out, static_cast<uint64_t>(items.size()));
+  for (const auto& [value, id] : items) {
+    WritePod(out, value);
+    // id is implicit (dense, in order); stored size suffices.
+  }
+}
+
+bool ReadVocab(std::ifstream& in, Vocab* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  std::vector<std::pair<int64_t, int32_t>> items;
+  items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t value = 0;
+    if (!ReadPod(in, &value)) return false;
+    items.emplace_back(value, static_cast<int32_t>(i + 1));
+  }
+  *v = Vocab::FromItems(items);
+  return true;
+}
+
+}  // namespace
+
+Result<FittedEncoder> FittedEncoder::Fit(const RawDataset& raw,
+                                         const std::vector<size_t>& fit_rows,
+                                         const EncoderOptions& options,
+                                         bool with_cross) {
+  if (raw.num_rows == 0) return Status::Invalid("empty dataset");
+  if (fit_rows.empty()) return Status::Invalid("fit_rows must be non-empty");
+  for (size_t r : fit_rows) {
+    if (r >= raw.num_rows) {
+      return Status::OutOfRange("fit row index out of range");
+    }
+  }
+
+  FittedEncoder enc;
+  enc.schema_ = raw.schema;
+  const size_t num_cat = raw.schema.num_categorical();
+  const size_t num_cont = raw.schema.num_continuous();
+
+  enc.cat_vocabs_.resize(num_cat);
+  for (size_t r : fit_rows) {
+    for (size_t f = 0; f < num_cat; ++f) {
+      enc.cat_vocabs_[f].Add(raw.cat(r, f));
+    }
+  }
+  for (size_t f = 0; f < num_cat; ++f) {
+    enc.cat_vocabs_[f].Finalize(options.cat_min_count);
+  }
+
+  enc.cont_stats_.resize(num_cont);
+  for (size_t f = 0; f < num_cont; ++f) {
+    enc.cont_stats_[f].min = std::numeric_limits<float>::max();
+    enc.cont_stats_[f].max = std::numeric_limits<float>::lowest();
+  }
+  for (size_t r : fit_rows) {
+    for (size_t f = 0; f < num_cont; ++f) {
+      const float v = raw.cont(r, f);
+      enc.cont_stats_[f].min = std::min(enc.cont_stats_[f].min, v);
+      enc.cont_stats_[f].max = std::max(enc.cont_stats_[f].max, v);
+    }
+  }
+
+  if (with_cross && num_cat >= 2) {
+    const auto pairs = EnumeratePairs(num_cat);
+    enc.cross_vocabs_.resize(pairs.size());
+    for (size_t r : fit_rows) {
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        const auto [i, j] = pairs[p];
+        enc.cross_vocabs_[p].Add(
+            PairKey(enc.cat_vocabs_[i].Encode(raw.cat(r, i)),
+                    enc.cat_vocabs_[j].Encode(raw.cat(r, j))));
+      }
+    }
+    for (auto& v : enc.cross_vocabs_) v.Finalize(options.cross_min_count);
+  }
+  return enc;
+}
+
+Result<EncodedDataset> FittedEncoder::Transform(const RawDataset& raw) const {
+  if (raw.schema.num_fields() != schema_.num_fields()) {
+    return Status::Invalid("schema field count mismatch");
+  }
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    if (raw.schema.field(f).name != schema_.field(f).name ||
+        raw.schema.field(f).type != schema_.field(f).type) {
+      return Status::Invalid("schema mismatch at field '" +
+                             schema_.field(f).name + "'");
+    }
+  }
+  if (raw.num_rows == 0) return Status::Invalid("empty dataset");
+
+  const size_t num_cat = schema_.num_categorical();
+  const size_t num_cont = schema_.num_continuous();
+
+  EncodedDataset out;
+  out.schema = schema_;
+  out.num_rows = raw.num_rows;
+  out.labels = raw.labels;
+  out.cat_vocab_sizes.resize(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) {
+    out.cat_vocab_sizes[f] = cat_vocabs_[f].size();
+  }
+  out.cat_ids.resize(raw.num_rows * num_cat);
+  for (size_t r = 0; r < raw.num_rows; ++r) {
+    for (size_t f = 0; f < num_cat; ++f) {
+      out.cat_ids[r * num_cat + f] = cat_vocabs_[f].Encode(raw.cat(r, f));
+    }
+  }
+  if (num_cont > 0) {
+    out.cont_values.resize(raw.num_rows * num_cont);
+    for (size_t r = 0; r < raw.num_rows; ++r) {
+      for (size_t f = 0; f < num_cont; ++f) {
+        const float range = cont_stats_[f].max - cont_stats_[f].min;
+        const float v =
+            range > 0.0f
+                ? (raw.cont(r, f) - cont_stats_[f].min) / range
+                : 0.0f;
+        out.cont_values[r * num_cont + f] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  if (!cross_vocabs_.empty()) {
+    const auto pairs = EnumeratePairs(num_cat);
+    out.cross_vocab_sizes.resize(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      out.cross_vocab_sizes[p] = cross_vocabs_[p].size();
+    }
+    out.cross_ids.resize(raw.num_rows * pairs.size());
+    for (size_t r = 0; r < raw.num_rows; ++r) {
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        const auto [i, j] = pairs[p];
+        out.cross_ids[r * pairs.size() + p] = cross_vocabs_[p].Encode(
+            PairKey(out.cat(r, i), out.cat(r, j)));
+      }
+    }
+  }
+  return out;
+}
+
+Status FittedEncoder::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(schema_.num_fields()));
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    WriteString(out, schema_.field(f).name);
+    WritePod(out, static_cast<uint8_t>(schema_.field(f).type));
+  }
+  WritePod(out, static_cast<uint32_t>(cat_vocabs_.size()));
+  for (const auto& v : cat_vocabs_) WriteVocab(out, v);
+  WritePod(out, static_cast<uint32_t>(cont_stats_.size()));
+  for (const auto& s : cont_stats_) {
+    WritePod(out, s.min);
+    WritePod(out, s.max);
+  }
+  WritePod(out, static_cast<uint32_t>(cross_vocabs_.size()));
+  for (const auto& v : cross_vocabs_) WriteVocab(out, v);
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<FittedEncoder> FittedEncoder::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("'" + path + "' is not a fitted-encoder file");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Invalid("unsupported encoder version");
+  }
+  uint32_t num_fields = 0;
+  if (!ReadPod(in, &num_fields)) return Status::IoError("truncated");
+  std::vector<FieldSpec> fields(num_fields);
+  for (auto& f : fields) {
+    uint8_t type = 0;
+    if (!ReadString(in, &f.name) || !ReadPod(in, &type)) {
+      return Status::IoError("truncated schema");
+    }
+    f.type = static_cast<FieldType>(type);
+  }
+  FittedEncoder enc;
+  enc.schema_ = DatasetSchema(std::move(fields));
+
+  uint32_t n = 0;
+  if (!ReadPod(in, &n)) return Status::IoError("truncated");
+  enc.cat_vocabs_.resize(n);
+  for (auto& v : enc.cat_vocabs_) {
+    if (!ReadVocab(in, &v)) return Status::IoError("truncated vocab");
+  }
+  if (!ReadPod(in, &n)) return Status::IoError("truncated");
+  enc.cont_stats_.resize(n);
+  for (auto& s : enc.cont_stats_) {
+    if (!ReadPod(in, &s.min) || !ReadPod(in, &s.max)) {
+      return Status::IoError("truncated stats");
+    }
+  }
+  if (!ReadPod(in, &n)) return Status::IoError("truncated");
+  enc.cross_vocabs_.resize(n);
+  for (auto& v : enc.cross_vocabs_) {
+    if (!ReadVocab(in, &v)) return Status::IoError("truncated vocab");
+  }
+  if (enc.cat_vocabs_.size() != enc.schema_.num_categorical() ||
+      enc.cont_stats_.size() != enc.schema_.num_continuous()) {
+    return Status::Invalid("inconsistent encoder file");
+  }
+  return enc;
+}
+
+}  // namespace optinter

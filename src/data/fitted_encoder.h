@@ -1,0 +1,60 @@
+// Stateful, serializable encoder: fit once on training data, transform
+// any number of datasets (including single serving batches) with the
+// identical vocabulary / normalization / cross-product state.
+//
+// EncodeDataset + BuildCrossFeatures (encoder.h) remain the one-shot
+// experiment path; FittedEncoder is the deployment path — its state can
+// be saved next to a model checkpoint and reloaded in a serving process
+// so that ids line up with the embedding tables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "data/vocab.h"
+
+namespace optinter {
+
+/// Fitted encoding state (categorical vocabularies, continuous min/max,
+/// optional cross-product vocabularies).
+class FittedEncoder {
+ public:
+  /// Min/max of one continuous field, fitted on training rows.
+  struct ContStats {
+    float min = 0.0f;
+    float max = 1.0f;
+  };
+
+  /// Fits on `fit_rows` of `raw`. With `with_cross`, also fits the
+  /// cross-product vocabularies (on the encoded fit rows).
+  static Result<FittedEncoder> Fit(const RawDataset& raw,
+                                   const std::vector<size_t>& fit_rows,
+                                   const EncoderOptions& options,
+                                   bool with_cross = true);
+
+  /// Encodes a dataset with the fitted state; unseen values map to OOV.
+  /// The dataset's schema must match the fitted schema (field names and
+  /// types, in order). Cross features are produced iff they were fitted.
+  Result<EncodedDataset> Transform(const RawDataset& raw) const;
+
+  /// Persists the fitted state (binary).
+  Status Save(const std::string& path) const;
+  /// Restores a fitted encoder saved by Save().
+  static Result<FittedEncoder> Load(const std::string& path);
+
+  const DatasetSchema& schema() const { return schema_; }
+  bool has_cross() const { return !cross_vocabs_.empty(); }
+  size_t cat_vocab_size(size_t f) const { return cat_vocabs_[f].size(); }
+
+ private:
+  DatasetSchema schema_;
+  std::vector<Vocab> cat_vocabs_;
+  std::vector<ContStats> cont_stats_;
+  std::vector<Vocab> cross_vocabs_;  // canonical pair order; may be empty
+};
+
+}  // namespace optinter

@@ -1,0 +1,38 @@
+#include "data/schema.h"
+
+namespace optinter {
+
+std::vector<std::pair<size_t, size_t>> EnumeratePairs(size_t num_cat) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(num_cat * (num_cat - 1) / 2);
+  for (size_t i = 0; i < num_cat; ++i) {
+    for (size_t j = i + 1; j < num_cat; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+size_t PairIndex(size_t i, size_t j, size_t num_cat) {
+  CHECK_LT(i, j);
+  CHECK_LT(j, num_cat);
+  // Offset of row i in the upper triangle plus column offset.
+  // Row i contributes (num_cat - 1 - i) entries.
+  size_t offset = 0;
+  for (size_t r = 0; r < i; ++r) offset += num_cat - 1 - r;
+  return offset + (j - i - 1);
+}
+
+std::vector<std::array<size_t, 3>> EnumerateTriples(size_t num_cat) {
+  std::vector<std::array<size_t, 3>> triples;
+  for (size_t i = 0; i < num_cat; ++i) {
+    for (size_t j = i + 1; j < num_cat; ++j) {
+      for (size_t k = j + 1; k < num_cat; ++k) {
+        triples.push_back({i, j, k});
+      }
+    }
+  }
+  return triples;
+}
+
+}  // namespace optinter

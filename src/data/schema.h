@@ -1,0 +1,88 @@
+// Dataset schema: multi-field layout of a CTR dataset (paper §II-A1).
+//
+// Fields are either categorical (one-hot encoded values) or continuous
+// (min-max normalized to [0,1] and multiplied with a single learned
+// embedding, following the paper's Criteo preprocessing, Eq. 20).
+// Cross-product transformed features exist only between categorical
+// fields — Table II counts #cross = C(#cate, 2).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+enum class FieldType { kCategorical, kContinuous };
+
+/// One original feature field.
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kCategorical;
+};
+
+/// Ordered collection of fields plus derived index maps.
+class DatasetSchema {
+ public:
+  DatasetSchema() = default;
+  explicit DatasetSchema(std::vector<FieldSpec> fields)
+      : fields_(std::move(fields)) {
+    for (size_t f = 0; f < fields_.size(); ++f) {
+      if (fields_[f].type == FieldType::kCategorical) {
+        cat_fields_.push_back(f);
+      } else {
+        cont_fields_.push_back(f);
+      }
+    }
+  }
+
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  size_t num_categorical() const { return cat_fields_.size(); }
+  size_t num_continuous() const { return cont_fields_.size(); }
+
+  /// Field indices (into fields()) of the categorical fields, in order.
+  const std::vector<size_t>& categorical_fields() const {
+    return cat_fields_;
+  }
+  const std::vector<size_t>& continuous_fields() const {
+    return cont_fields_;
+  }
+
+  /// Number of second-order interactions among categorical fields:
+  /// C(num_categorical, 2).
+  size_t num_pairs() const {
+    const size_t m = num_categorical();
+    return m * (m - 1) / 2;
+  }
+
+  const FieldSpec& field(size_t i) const {
+    CHECK_LT(i, fields_.size());
+    return fields_[i];
+  }
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::vector<size_t> cat_fields_;
+  std::vector<size_t> cont_fields_;
+};
+
+/// Enumerates categorical-field pairs (i, j), i < j, in the canonical
+/// order used throughout: (0,1), (0,2), ..., (0,M-1), (1,2), ...
+/// Indices are positions within the categorical fields, not raw field ids.
+std::vector<std::pair<size_t, size_t>> EnumeratePairs(size_t num_cat);
+
+/// Maps a categorical-field pair (i, j), i < j, to its index in the
+/// canonical pair order.
+size_t PairIndex(size_t i, size_t j, size_t num_cat);
+
+/// Enumerates categorical-field triples {i, j, k}, i < j < k, in
+/// lexicographic order (the higher-order analogue of EnumeratePairs).
+std::vector<std::array<size_t, 3>> EnumerateTriples(size_t num_cat);
+
+}  // namespace optinter

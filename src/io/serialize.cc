@@ -1,0 +1,162 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace optinter {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'P', 'T', 'I'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::vector<const Tensor*>& tensors) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor* t : tensors) {
+    CHECK(t != nullptr);
+    WritePod(out, static_cast<uint32_t>(t->ndim()));
+    for (size_t d : t->shape()) {
+      WritePod(out, static_cast<uint64_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(t->data()),
+              static_cast<std::streamsize>(t->size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadTensors(const std::string& path,
+                   const std::vector<Tensor*>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("'" + path + "' is not an OptInter checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Invalid(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (count != tensors.size()) {
+    return Status::Invalid(StrFormat(
+        "checkpoint holds %llu tensors, model expects %zu",
+        static_cast<unsigned long long>(count), tensors.size()));
+  }
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    Tensor* t = tensors[i];
+    CHECK(t != nullptr);
+    uint32_t ndim = 0;
+    if (!ReadPod(in, &ndim)) return Status::IoError("truncated tensor");
+    std::vector<size_t> shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint64_t dim = 0;
+      if (!ReadPod(in, &dim)) return Status::IoError("truncated shape");
+      shape[d] = static_cast<size_t>(dim);
+    }
+    if (shape != t->shape()) {
+      return Status::Invalid(StrFormat(
+          "tensor %zu shape mismatch: checkpoint %s vs model %s", i,
+          Tensor(shape).ShapeString().c_str(), t->ShapeString().c_str()));
+    }
+    in.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated tensor data");
+  }
+  return Status::OK();
+}
+
+Status SaveModel(CtrModel* model, const std::string& path) {
+  CHECK(model != nullptr);
+  std::vector<Tensor*> state;
+  model->CollectState(&state);
+  if (state.empty()) {
+    return Status::FailedPrecondition(
+        model->Name() + " exposes no state to checkpoint");
+  }
+  std::vector<const Tensor*> const_state(state.begin(), state.end());
+  return SaveTensors(path, const_state);
+}
+
+Status LoadModel(CtrModel* model, const std::string& path) {
+  CHECK(model != nullptr);
+  std::vector<Tensor*> state;
+  model->CollectState(&state);
+  if (state.empty()) {
+    return Status::FailedPrecondition(
+        model->Name() + " exposes no state to checkpoint");
+  }
+  return LoadTensors(path, state);
+}
+
+Status SaveArchitecture(const Architecture& arch, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  for (size_t p = 0; p < arch.size(); ++p) {
+    out << p << " " << InterMethodName(arch[p]) << "\n";
+  }
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<Architecture> LoadArchitecture(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  Architecture arch;
+  std::string line;
+  size_t expected = 0;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream is{std::string(trimmed)};
+    size_t index = 0;
+    std::string method;
+    if (!(is >> index >> method)) {
+      return Status::Invalid("malformed architecture line: '" + line + "'");
+    }
+    if (index != expected) {
+      return Status::Invalid(
+          StrFormat("architecture lines out of order at %zu", index));
+    }
+    if (method == "memorize") {
+      arch.push_back(InterMethod::kMemorize);
+    } else if (method == "factorize") {
+      arch.push_back(InterMethod::kFactorize);
+    } else if (method == "naive") {
+      arch.push_back(InterMethod::kNaive);
+    } else {
+      return Status::Invalid("unknown method '" + method + "'");
+    }
+    ++expected;
+  }
+  if (arch.empty()) return Status::Invalid("empty architecture file");
+  return arch;
+}
+
+}  // namespace optinter

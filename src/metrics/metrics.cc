@@ -1,0 +1,101 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  CHECK_GT(n, 0u);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Midranks: average rank within each tied block.
+  double rank_sum_pos = 0.0;
+  size_t n_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      }
+    }
+    i = j;
+  }
+  const size_t n_neg = n - n_pos;
+  CHECK_GT(n_pos, 0u);
+  CHECK_GT(n_neg, 0u);
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels, double eps) {
+  CHECK_EQ(probs.size(), labels.size());
+  CHECK_GT(probs.size(), 0u);
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p =
+        std::clamp(static_cast<double>(probs[i]), eps, 1.0 - eps);
+    const double y = labels[i];
+    total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+double AucStandardError(double auc, size_t n_pos, size_t n_neg) {
+  CHECK_GT(n_pos, 0u);
+  CHECK_GT(n_neg, 0u);
+  const double q1 = auc / (2.0 - auc);
+  const double q2 = 2.0 * auc * auc / (1.0 + auc);
+  const double np = static_cast<double>(n_pos);
+  const double nn = static_cast<double>(n_neg);
+  const double var =
+      (auc * (1.0 - auc) + (np - 1.0) * (q1 - auc * auc) +
+       (nn - 1.0) * (q2 - auc * auc)) /
+      (np * nn);
+  return std::sqrt(std::max(0.0, var));
+}
+
+AucCi AucWithConfidence(const std::vector<float>& scores,
+                        const std::vector<float>& labels, double z) {
+  size_t n_pos = 0;
+  for (float y : labels) n_pos += y > 0.5f;
+  const size_t n_neg = labels.size() - n_pos;
+  AucCi out;
+  out.auc = Auc(scores, labels);
+  out.stderr_ = AucStandardError(out.auc, n_pos, n_neg);
+  out.lo = std::max(0.0, out.auc - z * out.stderr_);
+  out.hi = std::min(1.0, out.auc + z * out.stderr_);
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  CHECK_GE(xs.size(), 2u);
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace optinter

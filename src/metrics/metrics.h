@@ -1,0 +1,42 @@
+// Evaluation metrics for CTR prediction (paper §III-A2): AUC and log loss.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace optinter {
+
+/// Exact AUC (area under the ROC curve) via the Mann–Whitney rank
+/// statistic with midrank tie handling. Labels must be 0/1; requires at
+/// least one positive and one negative. O(n log n).
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels);
+
+/// Mean binary cross-entropy of predicted probabilities (paper Eq. 13).
+/// Probabilities are clamped to [eps, 1-eps] for stability.
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels, double eps = 1e-7);
+
+/// Hanley–McNeil (1982) standard error of an AUC estimate with n_pos
+/// positives and n_neg negatives.
+double AucStandardError(double auc, size_t n_pos, size_t n_neg);
+
+/// AUC with a normal-approximation confidence interval.
+struct AucCi {
+  double auc = 0.0;
+  double stderr_ = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+AucCi AucWithConfidence(const std::vector<float>& scores,
+                        const std::vector<float>& labels,
+                        double z = 1.96);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance.
+double Variance(const std::vector<double>& xs);
+
+}  // namespace optinter

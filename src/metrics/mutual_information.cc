@@ -1,0 +1,150 @@
+#include "metrics/mutual_information.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+namespace {
+
+// Counts of (value, y=1) and (value, total) per distinct key.
+struct Counts {
+  double pos = 0.0;
+  double total = 0.0;
+};
+
+double MiFromCounts(const std::unordered_map<int64_t, Counts>& counts,
+                    double n, double pos_total) {
+  CHECK_GT(n, 0.0);
+  const double p1 = pos_total / n;
+  const double p0 = 1.0 - p1;
+  double h_y = 0.0;
+  if (p1 > 0.0) h_y -= p1 * std::log(p1);
+  if (p0 > 0.0) h_y -= p0 * std::log(p0);
+  // Conditional entropy H(y | H) = Σ_h P(h) H(y | h).
+  double h_cond = 0.0;
+  for (const auto& [key, c] : counts) {
+    const double ph = c.total / n;
+    const double q1 = c.pos / c.total;
+    const double q0 = 1.0 - q1;
+    double h = 0.0;
+    if (q1 > 0.0) h -= q1 * std::log(q1);
+    if (q0 > 0.0) h -= q0 * std::log(q0);
+    h_cond += ph * h;
+  }
+  // Guard tiny negative values from floating-point rounding.
+  return std::max(0.0, h_y - h_cond);
+}
+
+}  // namespace
+
+double PairLabelMutualInformation(const EncodedDataset& data, size_t pair,
+                                  const std::vector<size_t>& rows) {
+  CHECK_LT(pair, data.num_pairs());
+  CHECK(!rows.empty());
+  const auto pairs = EnumeratePairs(data.num_categorical());
+  const auto [i, j] = pairs[pair];
+  std::unordered_map<int64_t, Counts> counts;
+  double pos_total = 0.0;
+  for (size_t r : rows) {
+    const int64_t key = (static_cast<int64_t>(data.cat(r, i)) << 32) |
+                        static_cast<int64_t>(
+                            static_cast<uint32_t>(data.cat(r, j)));
+    Counts& c = counts[key];
+    c.total += 1.0;
+    if (data.label(r) > 0.5f) {
+      c.pos += 1.0;
+      pos_total += 1.0;
+    }
+  }
+  return MiFromCounts(counts, static_cast<double>(rows.size()), pos_total);
+}
+
+double FieldLabelMutualInformation(const EncodedDataset& data,
+                                   size_t cat_field,
+                                   const std::vector<size_t>& rows) {
+  CHECK_LT(cat_field, data.num_categorical());
+  CHECK(!rows.empty());
+  std::unordered_map<int64_t, Counts> counts;
+  double pos_total = 0.0;
+  for (size_t r : rows) {
+    Counts& c = counts[data.cat(r, cat_field)];
+    c.total += 1.0;
+    if (data.label(r) > 0.5f) {
+      c.pos += 1.0;
+      pos_total += 1.0;
+    }
+  }
+  return MiFromCounts(counts, static_cast<double>(rows.size()), pos_total);
+}
+
+double CrossLabelMutualInformation(const EncodedDataset& data, size_t pair,
+                                   const std::vector<size_t>& rows) {
+  CHECK(data.has_cross());
+  CHECK_LT(pair, data.num_pairs());
+  CHECK(!rows.empty());
+  std::unordered_map<int64_t, Counts> counts;
+  double pos_total = 0.0;
+  for (size_t r : rows) {
+    Counts& c = counts[data.cross(r, pair)];
+    c.total += 1.0;
+    if (data.label(r) > 0.5f) {
+      c.pos += 1.0;
+      pos_total += 1.0;
+    }
+  }
+  return MiFromCounts(counts, static_cast<double>(rows.size()), pos_total);
+}
+
+std::vector<double> AllCrossMutualInformation(
+    const EncodedDataset& data, const std::vector<size_t>& rows) {
+  std::vector<double> mi(data.num_pairs());
+  for (size_t p = 0; p < data.num_pairs(); ++p) {
+    mi[p] = CrossLabelMutualInformation(data, p, rows);
+  }
+  return mi;
+}
+
+double TripleLabelMutualInformation(const EncodedDataset& data, size_t t,
+                                    const std::vector<size_t>& rows) {
+  CHECK(data.has_triples());
+  CHECK_LT(t, data.num_triples());
+  CHECK(!rows.empty());
+  std::unordered_map<int64_t, Counts> counts;
+  double pos_total = 0.0;
+  for (size_t r : rows) {
+    Counts& c = counts[data.triple(r, t)];
+    c.total += 1.0;
+    if (data.label(r) > 0.5f) {
+      c.pos += 1.0;
+      pos_total += 1.0;
+    }
+  }
+  return MiFromCounts(counts, static_cast<double>(rows.size()), pos_total);
+}
+
+std::vector<double> AllPairMutualInformation(
+    const EncodedDataset& data, const std::vector<size_t>& rows) {
+  std::vector<double> mi(data.num_pairs());
+  for (size_t p = 0; p < data.num_pairs(); ++p) {
+    mi[p] = PairLabelMutualInformation(data, p, rows);
+  }
+  return mi;
+}
+
+double LabelEntropy(const EncodedDataset& data,
+                    const std::vector<size_t>& rows) {
+  CHECK(!rows.empty());
+  double pos = 0.0;
+  for (size_t r : rows) pos += data.label(r) > 0.5f ? 1.0 : 0.0;
+  const double p1 = pos / static_cast<double>(rows.size());
+  const double p0 = 1.0 - p1;
+  double h = 0.0;
+  if (p1 > 0.0) h -= p1 * std::log(p1);
+  if (p0 > 0.0) h -= p0 * std::log(p0);
+  return h;
+}
+
+}  // namespace optinter

@@ -1,0 +1,57 @@
+// Empirical mutual information between a feature interaction and the
+// label (paper Eq. 21), used by the interpretability analysis (§III-G):
+//
+//   MI({H}, y) = H(y) - H(y | H)
+//              = -Σ P(y) log P(y) + Σ P(H, y) log P(y | H).
+//
+// Plug-in estimate over the empirical joint distribution of the encoded
+// id pair (id_i, id_j) and the binary label.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace optinter {
+
+/// MI (nats) between the pair of encoded categorical ids at canonical pair
+/// index `pair` and the label, over `rows`.
+double PairLabelMutualInformation(const EncodedDataset& data,
+                                  size_t pair,
+                                  const std::vector<size_t>& rows);
+
+/// MI (nats) between a single categorical field's encoded id and the
+/// label, over `rows`.
+double FieldLabelMutualInformation(const EncodedDataset& data,
+                                   size_t cat_field,
+                                   const std::vector<size_t>& rows);
+
+/// MI (nats) between the *encoded cross-product feature* at canonical
+/// pair index `pair` and the label, over `rows`. Unlike
+/// PairLabelMutualInformation (raw id pairs), infrequent combinations are
+/// collapsed into OOV — this measures the signal actually available to a
+/// memorized embedding table and is far less inflated by sparse-tail
+/// plug-in bias. Requires cross features to be built.
+double CrossLabelMutualInformation(const EncodedDataset& data, size_t pair,
+                                   const std::vector<size_t>& rows);
+
+/// CrossLabelMutualInformation for every pair, in canonical order.
+std::vector<double> AllCrossMutualInformation(
+    const EncodedDataset& data, const std::vector<size_t>& rows);
+
+/// MI (nats) between the encoded third-order cross id at index `t` of
+/// the dataset's built triples and the label, over `rows`.
+double TripleLabelMutualInformation(const EncodedDataset& data, size_t t,
+                                    const std::vector<size_t>& rows);
+
+/// MI for every pair, in canonical pair order.
+std::vector<double> AllPairMutualInformation(
+    const EncodedDataset& data, const std::vector<size_t>& rows);
+
+/// Marginal label entropy H(y) in nats over `rows`.
+double LabelEntropy(const EncodedDataset& data,
+                    const std::vector<size_t>& rows);
+
+}  // namespace optinter

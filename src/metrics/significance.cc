@@ -1,0 +1,120 @@
+#include "metrics/significance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "metrics/metrics.h"
+
+namespace optinter {
+
+namespace {
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+// Lentz's continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  CHECK_GE(x, 0.0);
+  CHECK_LE(x, 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front =
+      a * std::log(x) + b * std::log(1.0 - x) - LogBeta(a, b);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoTailedP(double t, double df) {
+  CHECK_GT(df, 0.0);
+  const double x = df / (df + t * t);
+  // P(|T| > t) = I_{df/(df+t^2)}(df/2, 1/2).
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  CHECK_GE(a.size(), 2u);
+  CHECK_GE(b.size(), 2u);
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double va = Variance(a) / static_cast<double>(a.size());
+  const double vb = Variance(b) / static_cast<double>(b.size());
+  TTestResult r;
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    r.t_statistic = (ma == mb) ? 0.0 : (ma > mb ? 1e9 : -1e9);
+    r.degrees_of_freedom = static_cast<double>(a.size() + b.size() - 2);
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = (ma - mb) / denom;
+  const double num = (va + vb) * (va + vb);
+  const double den =
+      va * va / static_cast<double>(a.size() - 1) +
+      vb * vb / static_cast<double>(b.size() - 1);
+  r.degrees_of_freedom = num / den;
+  r.p_value = StudentTTwoTailedP(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  CHECK_GE(a.size(), 2u);
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double md = Mean(diff);
+  const double vd = Variance(diff);
+  TTestResult r;
+  r.degrees_of_freedom = static_cast<double>(a.size() - 1);
+  if (vd == 0.0) {
+    r.t_statistic = (md == 0.0) ? 0.0 : (md > 0.0 ? 1e9 : -1e9);
+    r.p_value = (md == 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = md / std::sqrt(vd / static_cast<double>(a.size()));
+  r.p_value = StudentTTwoTailedP(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+}  // namespace optinter

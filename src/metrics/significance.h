@@ -1,0 +1,34 @@
+// Significance testing (paper §III-A5): two-tailed t-tests over repeated
+// runs, with the Student-t CDF evaluated via the regularized incomplete
+// beta function.
+
+#pragma once
+
+#include <vector>
+
+namespace optinter {
+
+/// Result of a t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-tailed p-value.
+  double p_value = 1.0;
+};
+
+/// Welch's unequal-variance t-test for two independent samples.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Paired two-tailed t-test (paper: "pairwise t-test" over seeds).
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction);
+/// exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom.
+double StudentTTwoTailedP(double t, double df);
+
+}  // namespace optinter

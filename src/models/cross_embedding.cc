@@ -1,0 +1,68 @@
+#include "models/cross_embedding.h"
+
+#include <cstring>
+
+namespace optinter {
+
+CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
+                               std::vector<size_t> pairs, size_t dim,
+                               float lr, float l2, Rng* rng)
+    : data_(data), pairs_(std::move(pairs)), dim_(dim) {
+  CHECK(data.has_cross()) << "call BuildCrossFeatures first";
+  CHECK_GT(dim, 0u);
+  tables_.reserve(pairs_.size());
+  for (size_t p : pairs_) {
+    CHECK_LT(p, data.num_pairs());
+    auto table = std::make_unique<EmbeddingTable>(
+        "cross_emb/pair" + std::to_string(p), data.cross_vocab_sizes[p],
+        dim, lr, l2);
+    table->Init(rng);
+    tables_.push_back(std::move(table));
+  }
+}
+
+void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
+  CHECK(batch.data == &data_);
+  out->Resize({batch.size, output_dim()});
+  batch_rows_.assign(batch.rows, batch.rows + batch.size);
+  for (size_t k = 0; k < batch.size; ++k) {
+    const size_t r = batch.rows[k];
+    float* dst = out->row(k);
+    for (size_t t = 0; t < pairs_.size(); ++t) {
+      std::memcpy(dst + t * dim_, tables_[t]->Row(data_.cross(r, pairs_[t])),
+                  dim_ * sizeof(float));
+    }
+  }
+}
+
+void CrossEmbedding::Backward(const Tensor& d_out) {
+  CHECK_EQ(d_out.rows(), batch_rows_.size());
+  CHECK_EQ(d_out.cols(), output_dim());
+  for (size_t k = 0; k < batch_rows_.size(); ++k) {
+    const size_t r = batch_rows_[k];
+    const float* g = d_out.row(k);
+    for (size_t t = 0; t < pairs_.size(); ++t) {
+      tables_[t]->AccumulateGrad(data_.cross(r, pairs_[t]), g + t * dim_);
+    }
+  }
+}
+
+void CrossEmbedding::Step(const AdamConfig& config) {
+  for (auto& t : tables_) t->SparseAdamStep(config);
+}
+
+void CrossEmbedding::ClearGrads() {
+  for (auto& t : tables_) t->ClearGrads();
+}
+
+void CrossEmbedding::CollectState(std::vector<Tensor*>* out) {
+  for (auto& t : tables_) out->push_back(&t->mutable_values());
+}
+
+size_t CrossEmbedding::ParamCount() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->ParamCount();
+  return total;
+}
+
+}  // namespace optinter

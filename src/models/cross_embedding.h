@@ -1,0 +1,61 @@
+// Cross-product-feature embedding layer E^m (paper §II-B2, Eq. 4 path).
+//
+// One embedding table per categorical field pair, keyed by the encoded
+// cross-product transformed feature id. This is the memorized method's
+// parameter store and dominates model size (paper Table V: OptInter-M is
+// 10–20× larger than factorized baselines).
+//
+// Supports embedding a subset of pairs, which is how the re-train stage
+// instantiates tables only for pairs the search selected to memorize.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/embedding.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Batched cross-product embedding lookup over a chosen set of pairs.
+class CrossEmbedding {
+ public:
+  /// Builds tables for each pair index in `pairs` (canonical pair order
+  /// indices). `dim` = s2; lr/l2 = paper lr_c / l2_c. The dataset must
+  /// already have cross features built.
+  CrossEmbedding(const EncodedDataset& data, std::vector<size_t> pairs,
+                 size_t dim, float lr, float l2, Rng* rng);
+
+  /// out: [B × (pairs.size() * dim)], pair blocks in the order given at
+  /// construction. Caches the batch for Backward.
+  void Forward(const Batch& batch, Tensor* out);
+
+  /// Scatters d_out into table gradients.
+  void Backward(const Tensor& d_out);
+
+  void Step(const AdamConfig& config = {});
+  void ClearGrads();
+
+  size_t ParamCount() const;
+
+  /// Appends pointers to each table's value tensor (checkpointing).
+  void CollectState(std::vector<Tensor*>* out);
+
+  size_t dim() const { return dim_; }
+  size_t num_pairs() const { return pairs_.size(); }
+  size_t output_dim() const { return pairs_.size() * dim_; }
+  const std::vector<size_t>& pairs() const { return pairs_; }
+
+  EmbeddingTable& table(size_t k) { return *tables_[k]; }
+
+ private:
+  const EncodedDataset& data_;
+  std::vector<size_t> pairs_;
+  size_t dim_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;
+  std::vector<size_t> batch_rows_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,72 @@
+// Deep baselines (paper Table III / §III-A3), all instances of the
+// OptInter framework with a fixed feature-interaction method:
+//
+//   FNN    (Zhang 2016):  naïve — MLP over original embeddings only.
+//   IPNN   (Qu 2016):     factorized, inner product ⟨e_i, e_j⟩ per pair.
+//   OPNN   (Qu 2016):     factorized, kernel product e_i K_(i,j) e_jᵀ.
+//   DeepFM (Guo 2017):    factorized, FM logit + MLP logit, shared E^o.
+//   PIN    (Qu 2019):     factorized, per-pair sub-network
+//                         net([e_i, e_j, e_i ⊙ e_j]).
+//
+// Pairs range over all embedded fields (categorical + continuous).
+
+#pragma once
+
+#include <memory>
+
+#include "models/feature_embedding.h"
+#include "models/hyperparams.h"
+#include "models/model.h"
+#include "nn/mlp.h"
+
+namespace optinter {
+
+enum class DeepVariant { kFnn, kIpnn, kOpnn, kDeepFm, kPin };
+
+/// Output width of each PIN sub-network (paper: sub-net=[40,5]; scaled).
+inline constexpr size_t kPinSubnetOut = 4;
+/// Hidden width of each PIN sub-network.
+inline constexpr size_t kPinSubnetHidden = 16;
+
+class DeepBaselineModel : public CtrModel {
+ public:
+  DeepBaselineModel(const EncodedDataset& data, const HyperParams& hp,
+                    DeepVariant variant);
+
+  std::string Name() const override;
+  float TrainStep(const Batch& batch) override;
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+  size_t ParamCount() const override;
+  void CollectState(std::vector<Tensor*>* out) override;
+
+ private:
+  void Forward(const Batch& batch);
+
+  DeepVariant variant_;
+  size_t dim_;
+  size_t num_fields_ = 0;
+  size_t num_pairs_ = 0;
+  Rng rng_;
+  FeatureEmbedding emb_;
+  std::unique_ptr<FeatureEmbedding> linear_;  // DeepFM first-order part
+  DenseParam fm_bias_;                        // DeepFM
+  DenseParam kernels_;                        // OPNN: [P × d·d]
+  std::vector<std::unique_ptr<Mlp>> subnets_; // PIN: one per pair
+  std::unique_ptr<Mlp> mlp_;
+  Adam dense_opt_;
+
+  std::vector<std::pair<size_t, size_t>> field_pairs_;
+
+  // Forward caches.
+  Tensor emb_out_;
+  Tensor linear_out_;
+  Tensor z_;        // MLP input
+  Tensor mlp_out_;  // [B × 1]
+  std::vector<Tensor> subnet_in_;
+  std::vector<Tensor> subnet_out_;
+  std::vector<float> logits_;
+  std::vector<float> labels_;
+  std::vector<float> dlogits_;
+};
+
+}  // namespace optinter

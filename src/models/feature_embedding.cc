@@ -1,0 +1,93 @@
+#include "models/feature_embedding.h"
+
+#include <cstring>
+
+namespace optinter {
+
+FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
+                                   float lr, float l2, Rng* rng)
+    : data_(data), dim_(dim) {
+  CHECK_GT(dim, 0u);
+  const size_t num_cat = data.num_categorical();
+  cat_tables_.reserve(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) {
+    auto table = std::make_unique<EmbeddingTable>(
+        "orig_emb/cat" + std::to_string(f), data.cat_vocab_sizes[f], dim,
+        lr, l2);
+    table->Init(rng);
+    cat_tables_.push_back(std::move(table));
+  }
+  for (size_t f = 0; f < data.num_continuous(); ++f) {
+    auto table = std::make_unique<EmbeddingTable>(
+        "orig_emb/cont" + std::to_string(f), /*vocab_size=*/1, dim, lr, l2);
+    table->Init(rng);
+    cont_tables_.push_back(std::move(table));
+  }
+}
+
+void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
+  CHECK(batch.data == &data_);
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  out->Resize({batch.size, output_dim()});
+  batch_rows_.assign(batch.rows, batch.rows + batch.size);
+  for (size_t k = 0; k < batch.size; ++k) {
+    const size_t r = batch.rows[k];
+    float* dst = out->row(k);
+    for (size_t f = 0; f < num_cat; ++f) {
+      std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data_.cat(r, f)),
+                  dim_ * sizeof(float));
+    }
+    for (size_t f = 0; f < num_cont; ++f) {
+      const float v = data_.cont(r, f);
+      const float* src = cont_tables_[f]->Row(0);
+      float* d = dst + (num_cat + f) * dim_;
+      for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
+    }
+  }
+}
+
+void FeatureEmbedding::Backward(const Tensor& d_out) {
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  CHECK_EQ(d_out.rows(), batch_rows_.size());
+  CHECK_EQ(d_out.cols(), output_dim());
+  std::vector<float> scaled(dim_);
+  for (size_t k = 0; k < batch_rows_.size(); ++k) {
+    const size_t r = batch_rows_[k];
+    const float* g = d_out.row(k);
+    for (size_t f = 0; f < num_cat; ++f) {
+      cat_tables_[f]->AccumulateGrad(data_.cat(r, f), g + f * dim_);
+    }
+    for (size_t f = 0; f < num_cont; ++f) {
+      const float v = data_.cont(r, f);
+      const float* gf = g + (num_cat + f) * dim_;
+      for (size_t t = 0; t < dim_; ++t) scaled[t] = gf[t] * v;
+      cont_tables_[f]->AccumulateGrad(0, scaled.data());
+    }
+  }
+}
+
+void FeatureEmbedding::Step(const AdamConfig& config) {
+  for (auto& t : cat_tables_) t->SparseAdamStep(config);
+  for (auto& t : cont_tables_) t->SparseAdamStep(config);
+}
+
+void FeatureEmbedding::ClearGrads() {
+  for (auto& t : cat_tables_) t->ClearGrads();
+  for (auto& t : cont_tables_) t->ClearGrads();
+}
+
+void FeatureEmbedding::CollectState(std::vector<Tensor*>* out) {
+  for (auto& t : cat_tables_) out->push_back(&t->mutable_values());
+  for (auto& t : cont_tables_) out->push_back(&t->mutable_values());
+}
+
+size_t FeatureEmbedding::ParamCount() const {
+  size_t total = 0;
+  for (const auto& t : cat_tables_) total += t->ParamCount();
+  for (const auto& t : cont_tables_) total += t->ParamCount();
+  return total;
+}
+
+}  // namespace optinter

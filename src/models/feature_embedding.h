@@ -1,0 +1,67 @@
+// Original-feature embedding layer E^o (paper §II-B2).
+//
+// One embedding table per categorical field; one single-row table per
+// continuous field whose row is scaled by the normalized value (the
+// paper's Criteo treatment: min-max normalize, then multiply with the
+// corresponding embedding). Forward produces the concatenated
+// e^o = [e^o_1, ..., e^o_M] batch matrix; Backward scatters gradients
+// into the tables' sparse accumulators.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/embedding.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Batched embedding lookup over all original fields.
+class FeatureEmbedding {
+ public:
+  /// `dim` = s1; lr/l2 = paper lr_o / l2_o.
+  FeatureEmbedding(const EncodedDataset& data, size_t dim, float lr,
+                   float l2, Rng* rng);
+
+  /// out: [B × (num_fields * dim)] with categorical fields first (in
+  /// categorical order) followed by continuous fields. Caches the batch
+  /// for Backward.
+  void Forward(const Batch& batch, Tensor* out);
+
+  /// Scatters d_out (same shape as Forward's out) into table gradients.
+  void Backward(const Tensor& d_out);
+
+  /// Applies sparse-Adam to all tables.
+  void Step(const AdamConfig& config = {});
+
+  /// Discards pending gradients.
+  void ClearGrads();
+
+  size_t ParamCount() const;
+
+  /// Appends pointers to each table's value tensor (checkpointing).
+  void CollectState(std::vector<Tensor*>* out);
+
+  size_t dim() const { return dim_; }
+  /// Total fields embedded (categorical + continuous).
+  size_t num_fields() const { return cat_tables_.size() + cont_tables_.size(); }
+  size_t output_dim() const { return num_fields() * dim_; }
+
+  /// Column offset of categorical field `f`'s embedding in the output.
+  size_t CatOffset(size_t f) const { return f * dim_; }
+
+  EmbeddingTable& cat_table(size_t f) { return *cat_tables_[f]; }
+  const EmbeddingTable& cat_table(size_t f) const { return *cat_tables_[f]; }
+
+ private:
+  const EncodedDataset& data_;
+  size_t dim_;
+  std::vector<std::unique_ptr<EmbeddingTable>> cat_tables_;
+  std::vector<std::unique_ptr<EmbeddingTable>> cont_tables_;
+  // Cached batch rows for the backward scatter.
+  std::vector<size_t> batch_rows_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,62 @@
+#include "models/lr.h"
+
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+LrModel::LrModel(const EncodedDataset& data, const HyperParams& hp)
+    : rng_(hp.seed),
+      weights_(data, /*dim=*/1, hp.lr_orig, hp.l2_orig, &rng_) {
+  bias_.name = "lr/bias";
+  bias_.Resize({1});
+  bias_.lr = hp.lr_orig;
+  dense_opt_.AddParam(&bias_);
+}
+
+void LrModel::Logits(const Batch& batch, Tensor* features,
+                     std::vector<float>* logits) {
+  weights_.Forward(batch, features);
+  logits->resize(batch.size);
+  for (size_t k = 0; k < batch.size; ++k) {
+    (*logits)[k] = Sum(features->cols(), features->row(k)) + bias_.value[0];
+  }
+}
+
+float LrModel::TrainStep(const Batch& batch) {
+  Logits(batch, &features_, &logits_);
+  labels_.resize(batch.size);
+  dlogits_.resize(batch.size);
+  for (size_t k = 0; k < batch.size; ++k) labels_[k] = batch.label(k);
+  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(),
+                                       batch.size, dlogits_.data());
+  // d(logit)/d(weight column) = 1 for every embedded column.
+  Tensor dfeat({batch.size, features_.cols()});
+  for (size_t k = 0; k < batch.size; ++k) {
+    float* g = dfeat.row(k);
+    for (size_t c = 0; c < features_.cols(); ++c) g[c] = dlogits_[k];
+    bias_.grad[0] += dlogits_[k];
+  }
+  weights_.Backward(dfeat);
+  weights_.Step();
+  dense_opt_.Step();
+  dense_opt_.ZeroGrad();
+  return loss;
+}
+
+void LrModel::Predict(const Batch& batch, std::vector<float>* probs) {
+  Logits(batch, &features_, &logits_);
+  probs->resize(batch.size);
+  SigmoidForward(logits_.data(), batch.size, probs->data());
+}
+
+void LrModel::CollectState(std::vector<Tensor*>* out) {
+  weights_.CollectState(out);
+  for (DenseParam* p : dense_opt_.params()) out->push_back(&p->value);
+}
+
+size_t LrModel::ParamCount() const {
+  return weights_.ParamCount() + bias_.size();
+}
+
+}  // namespace optinter

@@ -1,0 +1,40 @@
+// Logistic regression (paper baseline "LR", Richardson et al. 2007):
+// the naïve method with a shallow classifier — no feature interactions.
+//
+//   logit = b + Σ_f w_f(v_f) + Σ_c w_c · x_c
+
+#pragma once
+
+#include <memory>
+
+#include "models/feature_embedding.h"
+#include "models/hyperparams.h"
+#include "models/model.h"
+
+namespace optinter {
+
+class LrModel : public CtrModel {
+ public:
+  LrModel(const EncodedDataset& data, const HyperParams& hp);
+
+  std::string Name() const override { return "LR"; }
+  float TrainStep(const Batch& batch) override;
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+  size_t ParamCount() const override;
+  void CollectState(std::vector<Tensor*>* out) override;
+
+ private:
+  void Logits(const Batch& batch, Tensor* features,
+              std::vector<float>* logits);
+
+  Rng rng_;
+  FeatureEmbedding weights_;  // dim-1 "embeddings" are the LR weights
+  DenseParam bias_;
+  Adam dense_opt_;
+  Tensor features_;
+  std::vector<float> logits_;
+  std::vector<float> labels_;
+  std::vector<float> dlogits_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,40 @@
+// Abstract CTR model interface.
+//
+// Every baseline and every OptInter instance implements this. TrainStep
+// performs forward + loss + backward + optimizer update for one batch and
+// returns the batch loss; Predict produces click probabilities.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// A trainable CTR predictor.
+class CtrModel {
+ public:
+  virtual ~CtrModel() = default;
+
+  /// Model name as used in the paper's tables ("IPNN", "OptInter-M", ...).
+  virtual std::string Name() const = 0;
+
+  /// One optimization step on `batch`; returns the mean batch loss.
+  virtual float TrainStep(const Batch& batch) = 0;
+
+  /// Predicted probabilities for the rows of `batch` (no grads).
+  virtual void Predict(const Batch& batch, std::vector<float>* probs) = 0;
+
+  /// Total trainable parameters (the paper's "Param." column).
+  virtual size_t ParamCount() const = 0;
+
+  /// Appends non-owning pointers to every trainable value tensor, enabling
+  /// best-checkpoint snapshot/restore in the trainer. Models that return
+  /// nothing simply don't participate in checkpointing.
+  virtual void CollectState(std::vector<Tensor*>* out) { (void)out; }
+};
+
+}  // namespace optinter

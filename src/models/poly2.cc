@@ -1,0 +1,80 @@
+#include "models/poly2.h"
+
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+namespace {
+std::vector<size_t> AllPairIndices(const EncodedDataset& data) {
+  std::vector<size_t> pairs(data.num_pairs());
+  std::iota(pairs.begin(), pairs.end(), 0);
+  return pairs;
+}
+}  // namespace
+
+Poly2Model::Poly2Model(const EncodedDataset& data, const HyperParams& hp)
+    : rng_(hp.seed),
+      weights_(data, /*dim=*/1, hp.lr_orig, hp.l2_orig, &rng_),
+      cross_weights_(data, AllPairIndices(data), /*dim=*/1, hp.lr_cross,
+                     hp.l2_cross, &rng_) {
+  bias_.name = "poly2/bias";
+  bias_.Resize({1});
+  bias_.lr = hp.lr_orig;
+  dense_opt_.AddParam(&bias_);
+}
+
+void Poly2Model::Logits(const Batch& batch, std::vector<float>* logits) {
+  weights_.Forward(batch, &features_);
+  cross_weights_.Forward(batch, &cross_features_);
+  logits->resize(batch.size);
+  for (size_t k = 0; k < batch.size; ++k) {
+    (*logits)[k] = Sum(features_.cols(), features_.row(k)) +
+                   Sum(cross_features_.cols(), cross_features_.row(k)) +
+                   bias_.value[0];
+  }
+}
+
+float Poly2Model::TrainStep(const Batch& batch) {
+  Logits(batch, &logits_);
+  labels_.resize(batch.size);
+  dlogits_.resize(batch.size);
+  for (size_t k = 0; k < batch.size; ++k) labels_[k] = batch.label(k);
+  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(),
+                                       batch.size, dlogits_.data());
+  Tensor dfeat({batch.size, features_.cols()});
+  Tensor dcross({batch.size, cross_features_.cols()});
+  for (size_t k = 0; k < batch.size; ++k) {
+    const float g = dlogits_[k];
+    float* df = dfeat.row(k);
+    for (size_t c = 0; c < features_.cols(); ++c) df[c] = g;
+    float* dc = dcross.row(k);
+    for (size_t c = 0; c < cross_features_.cols(); ++c) dc[c] = g;
+    bias_.grad[0] += g;
+  }
+  weights_.Backward(dfeat);
+  cross_weights_.Backward(dcross);
+  weights_.Step();
+  cross_weights_.Step();
+  dense_opt_.Step();
+  dense_opt_.ZeroGrad();
+  return loss;
+}
+
+void Poly2Model::Predict(const Batch& batch, std::vector<float>* probs) {
+  Logits(batch, &logits_);
+  probs->resize(batch.size);
+  SigmoidForward(logits_.data(), batch.size, probs->data());
+}
+
+void Poly2Model::CollectState(std::vector<Tensor*>* out) {
+  weights_.CollectState(out);
+  cross_weights_.CollectState(out);
+  for (DenseParam* p : dense_opt_.params()) out->push_back(&p->value);
+}
+
+size_t Poly2Model::ParamCount() const {
+  return weights_.ParamCount() + cross_weights_.ParamCount() + bias_.size();
+}
+
+}  // namespace optinter

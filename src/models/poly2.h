@@ -1,0 +1,43 @@
+// Poly2 (paper baseline, Chang et al. 2010): logistic regression over
+// original features plus *all* second-order cross-product transformed
+// features — the memorized method with a shallow classifier.
+//
+//   logit = b + Σ_f w_f(v_f) + Σ_c w_c · x_c + Σ_(i,j) w_(i,j)(v_i × v_j)
+
+#pragma once
+
+#include <numeric>
+
+#include "models/cross_embedding.h"
+#include "models/feature_embedding.h"
+#include "models/hyperparams.h"
+#include "models/model.h"
+
+namespace optinter {
+
+class Poly2Model : public CtrModel {
+ public:
+  Poly2Model(const EncodedDataset& data, const HyperParams& hp);
+
+  std::string Name() const override { return "Poly2"; }
+  float TrainStep(const Batch& batch) override;
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+  size_t ParamCount() const override;
+  void CollectState(std::vector<Tensor*>* out) override;
+
+ private:
+  void Logits(const Batch& batch, std::vector<float>* logits);
+
+  Rng rng_;
+  FeatureEmbedding weights_;
+  CrossEmbedding cross_weights_;
+  DenseParam bias_;
+  Adam dense_opt_;
+  Tensor features_;
+  Tensor cross_features_;
+  std::vector<float> logits_;
+  std::vector<float> labels_;
+  std::vector<float> dlogits_;
+};
+
+}  // namespace optinter

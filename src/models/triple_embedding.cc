@@ -1,0 +1,69 @@
+#include "models/triple_embedding.h"
+
+#include <cstring>
+
+namespace optinter {
+
+TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
+                                 std::vector<size_t> triples, size_t dim,
+                                 float lr, float l2, Rng* rng)
+    : data_(data), triples_(std::move(triples)), dim_(dim) {
+  CHECK(data.has_triples()) << "call BuildTripleCrossFeatures first";
+  CHECK_GT(dim, 0u);
+  tables_.reserve(triples_.size());
+  for (size_t t : triples_) {
+    CHECK_LT(t, data.num_triples());
+    auto table = std::make_unique<EmbeddingTable>(
+        "triple_emb/" + std::to_string(t), data.triple_vocab_sizes[t], dim,
+        lr, l2);
+    table->Init(rng);
+    tables_.push_back(std::move(table));
+  }
+}
+
+void TripleEmbedding::Forward(const Batch& batch, Tensor* out) {
+  CHECK(batch.data == &data_);
+  out->Resize({batch.size, output_dim()});
+  batch_rows_.assign(batch.rows, batch.rows + batch.size);
+  for (size_t k = 0; k < batch.size; ++k) {
+    const size_t r = batch.rows[k];
+    float* dst = out->row(k);
+    for (size_t t = 0; t < triples_.size(); ++t) {
+      std::memcpy(dst + t * dim_,
+                  tables_[t]->Row(data_.triple(r, triples_[t])),
+                  dim_ * sizeof(float));
+    }
+  }
+}
+
+void TripleEmbedding::Backward(const Tensor& d_out) {
+  CHECK_EQ(d_out.rows(), batch_rows_.size());
+  CHECK_EQ(d_out.cols(), output_dim());
+  for (size_t k = 0; k < batch_rows_.size(); ++k) {
+    const size_t r = batch_rows_[k];
+    const float* g = d_out.row(k);
+    for (size_t t = 0; t < triples_.size(); ++t) {
+      tables_[t]->AccumulateGrad(data_.triple(r, triples_[t]), g + t * dim_);
+    }
+  }
+}
+
+void TripleEmbedding::Step(const AdamConfig& config) {
+  for (auto& t : tables_) t->SparseAdamStep(config);
+}
+
+void TripleEmbedding::ClearGrads() {
+  for (auto& t : tables_) t->ClearGrads();
+}
+
+size_t TripleEmbedding::ParamCount() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->ParamCount();
+  return total;
+}
+
+void TripleEmbedding::CollectState(std::vector<Tensor*>* out) {
+  for (auto& t : tables_) out->push_back(&t->mutable_values());
+}
+
+}  // namespace optinter

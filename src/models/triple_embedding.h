@@ -1,0 +1,46 @@
+// Third-order cross-product embedding layer — the higher-order analogue
+// of CrossEmbedding (paper §II-B1 extension). One embedding table per
+// selected field triple, keyed by the encoded triple cross id.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/embedding.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Batched triple-cross embedding lookup over a chosen set of triples.
+class TripleEmbedding {
+ public:
+  /// `triples` holds indices into the dataset's built triple set. The
+  /// dataset must already have triple cross features built.
+  TripleEmbedding(const EncodedDataset& data, std::vector<size_t> triples,
+                  size_t dim, float lr, float l2, Rng* rng);
+
+  /// out: [B × (triples.size() * dim)].
+  void Forward(const Batch& batch, Tensor* out);
+  void Backward(const Tensor& d_out);
+  void Step(const AdamConfig& config = {});
+  void ClearGrads();
+
+  size_t ParamCount() const;
+  void CollectState(std::vector<Tensor*>* out);
+
+  size_t dim() const { return dim_; }
+  size_t num_triples() const { return triples_.size(); }
+  size_t output_dim() const { return triples_.size() * dim_; }
+  const std::vector<size_t>& triples() const { return triples_; }
+
+ private:
+  const EncodedDataset& data_;
+  std::vector<size_t> triples_;
+  size_t dim_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;
+  std::vector<size_t> batch_rows_;
+};
+
+}  // namespace optinter

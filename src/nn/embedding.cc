@@ -1,0 +1,76 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace optinter {
+
+EmbeddingTable::EmbeddingTable(std::string name, size_t vocab_size,
+                               size_t dim, float lr_in, float l2_in)
+    : lr(lr_in), l2(l2_in), name_(std::move(name)), vocab_size_(vocab_size),
+      dim_(dim) {
+  CHECK_GT(vocab_size_, 0u);
+  CHECK_GT(dim_, 0u);
+  value_.Resize({vocab_size_, dim_});
+  m_.Resize({vocab_size_, dim_});
+  v_.Resize({vocab_size_, dim_});
+}
+
+void EmbeddingTable::Init(Rng* rng, double stddev) {
+  NormalInit(&value_, 0.0, stddev, rng);
+}
+
+void EmbeddingTable::AccumulateGrad(int32_t id, const float* grad) {
+  CHECK_GE(id, 0);
+  CHECK_LT(static_cast<size_t>(id), vocab_size_);
+  auto [it, inserted] = touched_index_.try_emplace(id, touched_ids_.size());
+  if (inserted) {
+    touched_ids_.push_back(id);
+    touched_grads_.resize(touched_grads_.size() + dim_, 0.0f);
+  }
+  float* slot = touched_grads_.data() + it->second * dim_;
+  for (size_t i = 0; i < dim_; ++i) slot[i] += grad[i];
+}
+
+void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
+  ++step_;
+  const float b1 = config.beta1;
+  const float b2 = config.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t t = 0; t < touched_ids_.size(); ++t) {
+    const int32_t id = touched_ids_[t];
+    const float* g_row = touched_grads_.data() + t * dim_;
+    float* w = value_.data() + static_cast<size_t>(id) * dim_;
+    float* m = m_.data() + static_cast<size_t>(id) * dim_;
+    float* v = v_.data() + static_cast<size_t>(id) * dim_;
+    for (size_t i = 0; i < dim_; ++i) {
+      const float gi = g_row[i] + l2 * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
+    }
+  }
+  ClearGrads();
+}
+
+void EmbeddingTable::SparseSgdStep() {
+  for (size_t t = 0; t < touched_ids_.size(); ++t) {
+    const int32_t id = touched_ids_[t];
+    const float* g_row = touched_grads_.data() + t * dim_;
+    float* w = value_.data() + static_cast<size_t>(id) * dim_;
+    for (size_t i = 0; i < dim_; ++i) {
+      w[i] -= lr * (g_row[i] + l2 * w[i]);
+    }
+  }
+  ClearGrads();
+}
+
+void EmbeddingTable::ClearGrads() {
+  touched_index_.clear();
+  touched_ids_.clear();
+  touched_grads_.clear();
+}
+
+}  // namespace optinter

@@ -1,0 +1,90 @@
+// Embedding table with lazy sparse-Adam updates.
+//
+// CTR embedding tables (especially the cross-product tables E^m of the
+// memorized method) hold the overwhelming majority of model parameters;
+// per-step dense moment updates would dominate training cost. Gradients
+// are therefore accumulated only for rows touched by the current batch,
+// and the Adam update runs over exactly those rows (sparse Adam: moments
+// of untouched rows are left stale, bias correction uses the table-global
+// step count).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// One [vocab × dim] embedding table with sparse-Adam state.
+class EmbeddingTable {
+ public:
+  /// Creates a zeroed table; call Init() to randomize.
+  EmbeddingTable(std::string name, size_t vocab_size, size_t dim,
+                 float lr, float l2);
+
+  /// Initializes entries with N(0, stddev); the conventional small-variance
+  /// embedding init used by CTR models.
+  void Init(Rng* rng, double stddev = 0.01);
+
+  /// Read-only pointer to the embedding row of `id`.
+  const float* Row(int32_t id) const {
+    CHECK_GE(id, 0);
+    CHECK_LT(static_cast<size_t>(id), vocab_size_);
+    return value_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  /// Mutable row pointer (tests / manual surgery).
+  float* MutableRow(int32_t id) {
+    CHECK_GE(id, 0);
+    CHECK_LT(static_cast<size_t>(id), vocab_size_);
+    return value_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  /// Adds `grad` (length dim) into the sparse gradient slot for `id`.
+  void AccumulateGrad(int32_t id, const float* grad);
+
+  /// Applies one sparse-Adam step over the rows touched since the last
+  /// step, then clears the touched set.
+  void SparseAdamStep(const AdamConfig& config = {});
+
+  /// Applies plain SGD over touched rows (used in gradient-check tests).
+  void SparseSgdStep();
+
+  /// Discards accumulated gradients without updating.
+  void ClearGrads();
+
+  /// Raw value tensor (checkpoint snapshot/restore).
+  Tensor& mutable_values() { return value_; }
+  const Tensor& values() const { return value_; }
+
+  size_t vocab_size() const { return vocab_size_; }
+  size_t dim() const { return dim_; }
+  const std::string& name() const { return name_; }
+  size_t ParamCount() const { return vocab_size_ * dim_; }
+  size_t touched_count() const { return touched_ids_.size(); }
+
+  float lr = 1e-3f;
+  float l2 = 0.0f;
+
+ private:
+  std::string name_;
+  size_t vocab_size_;
+  size_t dim_;
+  Tensor value_;
+  Tensor m_;
+  Tensor v_;
+  int64_t step_ = 0;
+
+  // Sparse gradient accumulator: touched row ids (deduped) and their
+  // gradient rows, parallel arrays.
+  std::unordered_map<int32_t, size_t> touched_index_;
+  std::vector<int32_t> touched_ids_;
+  std::vector<float> touched_grads_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,28 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace optinter {
+
+void XavierUniform(Tensor* t, size_t fan_in, size_t fan_out, Rng* rng) {
+  CHECK_GT(fan_in + fan_out, 0u);
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  UniformInit(t, -bound, bound, rng);
+}
+
+void NormalInit(Tensor* t, double mean, double stddev, Rng* rng) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+}
+
+void UniformInit(Tensor* t, double lo, double hi, Rng* rng) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+void ConstantInit(Tensor* t, float value) { t->Fill(value); }
+
+}  // namespace optinter

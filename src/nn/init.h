@@ -1,0 +1,25 @@
+// Weight initializers.
+//
+// The paper (§III-A4) uses Xavier initialization throughout: uniform in
+// [-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))].
+
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Xavier/Glorot uniform initialization with explicit fan sizes.
+void XavierUniform(Tensor* t, size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Fills with N(mean, stddev) draws.
+void NormalInit(Tensor* t, double mean, double stddev, Rng* rng);
+
+/// Fills with U(lo, hi) draws.
+void UniformInit(Tensor* t, double lo, double hi, Rng* rng);
+
+/// Fills with a constant.
+void ConstantInit(Tensor* t, float value);
+
+}  // namespace optinter

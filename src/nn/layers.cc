@@ -1,0 +1,173 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
+               float l2, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight.name = name + "/weight";
+  weight.Resize({out_dim, in_dim});
+  weight.lr = lr;
+  weight.l2 = l2;
+  XavierUniform(&weight.value, in_dim, out_dim, rng);
+  bias.name = name + "/bias";
+  bias.Resize({out_dim});
+  bias.lr = lr;
+  bias.l2 = 0.0f;  // biases are conventionally not decayed
+}
+
+void Linear::Forward(const Tensor& x, Tensor* y) {
+  CHECK_EQ(x.cols(), in_dim_);
+  x_cache_ = x;
+  y->Resize({x.rows(), out_dim_});
+  GemmNT(x.data(), weight.value.data(), y->data(), x.rows(), in_dim_,
+         out_dim_);
+  for (size_t r = 0; r < y->rows(); ++r) {
+    float* yr = y->row(r);
+    const float* b = bias.value.data();
+    for (size_t j = 0; j < out_dim_; ++j) yr[j] += b[j];
+  }
+}
+
+void Linear::Backward(const Tensor& dy, Tensor* dx) {
+  CHECK_EQ(dy.cols(), out_dim_);
+  CHECK_EQ(dy.rows(), x_cache_.rows());
+  // dW[out×in] += dy^T x  : GemmTN with A=dy [B×out], B=x [B×in].
+  GemmTN(dy.data(), x_cache_.data(), weight.grad.data(), dy.rows(),
+         out_dim_, in_dim_, 1.0f, 1.0f);
+  // db += column sums of dy.
+  float* db = bias.grad.data();
+  for (size_t r = 0; r < dy.rows(); ++r) {
+    const float* dyr = dy.row(r);
+    for (size_t j = 0; j < out_dim_; ++j) db[j] += dyr[j];
+  }
+  if (dx != nullptr) {
+    // dx[B×in] = dy[B×out] * W[out×in].
+    dx->Resize({dy.rows(), in_dim_});
+    GemmNN(dy.data(), weight.value.data(), dx->data(), dy.rows(), out_dim_,
+           in_dim_);
+  }
+}
+
+void Linear::RegisterParams(Optimizer* opt) {
+  opt->AddParam(&weight);
+  opt->AddParam(&bias);
+}
+
+void Relu::Forward(const Tensor& x, Tensor* y) {
+  y->Resize(x.shape());
+  mask_.Resize(x.shape());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    (*y)[i] = pos ? x[i] : 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+  }
+}
+
+void Relu::Backward(const Tensor& dy, Tensor* dx) {
+  CHECK(dy.SameShape(mask_));
+  dx->Resize(dy.shape());
+  for (size_t i = 0; i < dy.size(); ++i) (*dx)[i] = dy[i] * mask_[i];
+}
+
+LayerNorm::LayerNorm(std::string name, size_t dim, float lr, float l2)
+    : dim_(dim) {
+  gamma.name = name + "/gamma";
+  gamma.Resize({dim});
+  gamma.value.Fill(1.0f);
+  gamma.lr = lr;
+  gamma.l2 = l2;
+  beta.name = name + "/beta";
+  beta.Resize({dim});
+  beta.lr = lr;
+  beta.l2 = 0.0f;
+}
+
+void LayerNorm::Forward(const Tensor& x, Tensor* y) {
+  CHECK_EQ(x.cols(), dim_);
+  const size_t batch = x.rows();
+  y->Resize({batch, dim_});
+  xhat_cache_.Resize({batch, dim_});
+  inv_std_cache_.Resize({batch});
+  const float* g = gamma.value.data();
+  const float* b = beta.value.data();
+  for (size_t r = 0; r < batch; ++r) {
+    const float* xr = x.row(r);
+    float mean = Sum(dim_, xr) / static_cast<float>(dim_);
+    float var = 0.0f;
+    for (size_t j = 0; j < dim_; ++j) {
+      const float d = xr[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    inv_std_cache_[r] = inv_std;
+    float* xh = xhat_cache_.row(r);
+    float* yr = y->row(r);
+    for (size_t j = 0; j < dim_; ++j) {
+      xh[j] = (xr[j] - mean) * inv_std;
+      yr[j] = xh[j] * g[j] + b[j];
+    }
+  }
+}
+
+void LayerNorm::Backward(const Tensor& dy, Tensor* dx) {
+  CHECK_EQ(dy.cols(), dim_);
+  const size_t batch = dy.rows();
+  CHECK_EQ(batch, xhat_cache_.rows());
+  dx->Resize({batch, dim_});
+  const float* g = gamma.value.data();
+  float* dg = gamma.grad.data();
+  float* db = beta.grad.data();
+  const float inv_n = 1.0f / static_cast<float>(dim_);
+  for (size_t r = 0; r < batch; ++r) {
+    const float* dyr = dy.row(r);
+    const float* xh = xhat_cache_.row(r);
+    const float inv_std = inv_std_cache_[r];
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (size_t j = 0; j < dim_; ++j) {
+      const float dxhat = dyr[j] * g[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xh[j];
+      dg[j] += dyr[j] * xh[j];
+      db[j] += dyr[j];
+    }
+    float* dxr = dx->row(r);
+    for (size_t j = 0; j < dim_; ++j) {
+      const float dxhat = dyr[j] * g[j];
+      dxr[j] = inv_std *
+               (dxhat - inv_n * sum_dxhat - xh[j] * inv_n * sum_dxhat_xhat);
+    }
+  }
+}
+
+void LayerNorm::RegisterParams(Optimizer* opt) {
+  opt->AddParam(&gamma);
+  opt->AddParam(&beta);
+}
+
+float BceWithLogitsLoss(const float* logits, const float* labels, size_t n,
+                        float* dlogits) {
+  CHECK_GT(n, 0u);
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float z = logits[i];
+    const float y = labels[i];
+    total += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    dlogits[i] = (SigmoidScalar(z) - y) * inv_n;
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+void SigmoidForward(const float* z, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(z[i]);
+}
+
+}  // namespace optinter

@@ -1,0 +1,90 @@
+// Batch-oriented layers with explicit forward/backward.
+//
+// Every layer caches what its backward pass needs during Forward(); calling
+// Backward() without a preceding Forward() on the same batch is a
+// programmer error. Parameter gradients accumulate (ZeroGrad between
+// steps); input gradients are overwritten.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Fully connected layer: y = x W^T + b with W of shape [out × in].
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
+         float l2, Rng* rng);
+
+  /// y: [B × out]. Caches x for the backward pass.
+  void Forward(const Tensor& x, Tensor* y);
+
+  /// Accumulates dW, db; writes dx (pass nullptr to skip input grads,
+  /// e.g. for the first layer).
+  void Backward(const Tensor& dy, Tensor* dx);
+
+  void RegisterParams(Optimizer* opt);
+  size_t ParamCount() const { return weight.size() + bias.size(); }
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  DenseParam weight;  // [out × in]
+  DenseParam bias;    // [out]
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Tensor x_cache_;
+};
+
+/// Elementwise ReLU.
+class Relu {
+ public:
+  void Forward(const Tensor& x, Tensor* y);
+  void Backward(const Tensor& dy, Tensor* dx);
+
+ private:
+  Tensor mask_;
+};
+
+/// Layer normalization over the feature dimension of a [B × D] batch,
+/// with learnable gain/bias (paper Eq. 11).
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, size_t dim, float lr, float l2);
+
+  void Forward(const Tensor& x, Tensor* y);
+  void Backward(const Tensor& dy, Tensor* dx);
+
+  void RegisterParams(Optimizer* opt);
+  size_t ParamCount() const { return gamma.size() + beta.size(); }
+
+  DenseParam gamma;  // [D], init 1
+  DenseParam beta;   // [D], init 0
+
+ private:
+  size_t dim_;
+  static constexpr float kEps = 1e-5f;
+  Tensor xhat_cache_;    // [B × D]
+  Tensor inv_std_cache_; // [B]
+};
+
+/// Binary cross-entropy from logits (paper Eq. 13), mean over the batch.
+///
+/// Writes d(loss)/d(logit) into `dlogits` (length n) and returns the mean
+/// loss. Numerically stable: loss_i = max(z,0) - z*y + log(1+exp(-|z|)).
+float BceWithLogitsLoss(const float* logits, const float* labels, size_t n,
+                        float* dlogits);
+
+/// Convenience: sigmoid over a buffer.
+void SigmoidForward(const float* z, size_t n, float* out);
+
+}  // namespace optinter

@@ -1,0 +1,85 @@
+#include "nn/mlp.h"
+
+namespace optinter {
+
+Mlp::Mlp(std::string name, size_t in_dim, const MlpConfig& config, Rng* rng)
+    : in_dim_(in_dim), config_(config) {
+  CHECK_GT(in_dim, 0u);
+  CHECK_GT(config.out_dim, 0u);
+  size_t prev = in_dim;
+  for (size_t li = 0; li < config.hidden.size(); ++li) {
+    const size_t width = config.hidden[li];
+    linears_.emplace_back(name + "/linear" + std::to_string(li), prev, width,
+                          config.lr, config.l2, rng);
+    relus_.emplace_back();
+    if (config.layer_norm) {
+      norms_.emplace_back(name + "/ln" + std::to_string(li), width,
+                          config.lr, config.l2);
+    }
+    prev = width;
+  }
+  linears_.emplace_back(name + "/out", prev, config.out_dim, config.lr,
+                        config.l2, rng);
+}
+
+void Mlp::Forward(const Tensor& x, Tensor* y) {
+  const size_t n_hidden = config_.hidden.size();
+  acts_.resize(2 * n_hidden + 1);  // per-hidden: post-linear, post-activation
+  const Tensor* cur = &x;
+  size_t slot = 0;
+  for (size_t li = 0; li < n_hidden; ++li) {
+    Tensor& lin_out = acts_[slot++];
+    linears_[li].Forward(*cur, &lin_out);
+    Tensor& act_out = acts_[slot++];
+    relus_[li].Forward(lin_out, &act_out);
+    if (config_.layer_norm) {
+      Tensor normed;
+      norms_[li].Forward(act_out, &normed);
+      act_out = std::move(normed);
+    }
+    cur = &act_out;
+  }
+  linears_[n_hidden].Forward(*cur, y);
+}
+
+void Mlp::Backward(const Tensor& dy, Tensor* dx) {
+  const size_t n_hidden = config_.hidden.size();
+  grads_.resize(2 * n_hidden + 2);
+  const Tensor* cur_grad = &dy;
+  size_t slot = 0;
+  // Output layer.
+  {
+    Tensor& g = grads_[slot++];
+    Tensor* target = (n_hidden == 0) ? dx : &g;
+    linears_[n_hidden].Backward(*cur_grad, target);
+    if (n_hidden == 0) return;
+    cur_grad = &g;
+  }
+  for (size_t li = n_hidden; li-- > 0;) {
+    if (config_.layer_norm) {
+      Tensor& g = grads_[slot++];
+      norms_[li].Backward(*cur_grad, &g);
+      cur_grad = &g;
+    }
+    Tensor& g_relu = grads_[slot++];
+    relus_[li].Backward(*cur_grad, &g_relu);
+    cur_grad = &g_relu;
+    Tensor* target = (li == 0) ? dx : &grads_[slot++];
+    linears_[li].Backward(*cur_grad, target);
+    if (li != 0) cur_grad = target;
+  }
+}
+
+void Mlp::RegisterParams(Optimizer* opt) {
+  for (auto& l : linears_) l.RegisterParams(opt);
+  for (auto& n : norms_) n.RegisterParams(opt);
+}
+
+size_t Mlp::ParamCount() const {
+  size_t total = 0;
+  for (const auto& l : linears_) total += l.ParamCount();
+  for (const auto& n : norms_) total += n.ParamCount();
+  return total;
+}
+
+}  // namespace optinter

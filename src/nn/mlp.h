@@ -1,0 +1,55 @@
+// MLP classifier used by all deep models in the paper (§II-B4):
+// a stack of Linear → ReLU → LayerNorm blocks followed by a final Linear
+// projection (to the logit, or to a vector for PIN sub-nets).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace optinter {
+
+/// Configuration of an Mlp tower.
+struct MlpConfig {
+  /// Hidden layer widths, e.g. {64, 32}; empty means a single Linear.
+  std::vector<size_t> hidden;
+  /// Output width (1 for a CTR logit).
+  size_t out_dim = 1;
+  /// Apply LayerNorm after each hidden activation (paper: LN=true).
+  bool layer_norm = true;
+  float lr = 1e-3f;
+  float l2 = 0.0f;
+};
+
+/// Feed-forward tower with hand-derived backprop.
+class Mlp {
+ public:
+  Mlp(std::string name, size_t in_dim, const MlpConfig& config, Rng* rng);
+
+  /// y: [B × out_dim].
+  void Forward(const Tensor& x, Tensor* y);
+
+  /// Accumulates parameter grads; writes dx unless nullptr.
+  void Backward(const Tensor& dy, Tensor* dx);
+
+  void RegisterParams(Optimizer* opt);
+  size_t ParamCount() const;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return config_.out_dim; }
+
+ private:
+  size_t in_dim_;
+  MlpConfig config_;
+  std::vector<Linear> linears_;       // hidden layers + output layer
+  std::vector<Relu> relus_;           // one per hidden layer
+  std::vector<LayerNorm> norms_;      // one per hidden layer (if enabled)
+  // Per-layer activation caches for the backward pass.
+  std::vector<Tensor> acts_;
+  std::vector<Tensor> grads_;
+};
+
+}  // namespace optinter

@@ -1,0 +1,96 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+void Optimizer::ZeroGrad() {
+  for (DenseParam* p : params_) p->ZeroGrad();
+}
+
+void Sgd::AddParam(DenseParam* param) {
+  CHECK(param != nullptr);
+  params_.push_back(param);
+}
+
+void Sgd::Step() {
+  for (DenseParam* p : params_) {
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const float lr = p->lr;
+    const float l2 = p->l2;
+    for (size_t i = 0; i < p->size(); ++i) {
+      w[i] -= lr * (g[i] + l2 * w[i]);
+    }
+  }
+}
+
+void Adam::AddParam(DenseParam* param) {
+  CHECK(param != nullptr);
+  params_.push_back(param);
+  State s;
+  s.m.Resize(param->value.shape());
+  s.v.Resize(param->value.shape());
+  state_.push_back(std::move(s));
+}
+
+void Adam::Step() {
+  ++step_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bc1 =
+      1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 =
+      1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    DenseParam* p = params_[pi];
+    State& s = state_[pi];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = s.m.data();
+    float* v = s.v.data();
+    const float lr = p->lr;
+    const float l2 = p->l2;
+    for (size_t i = 0; i < p->size(); ++i) {
+      const float gi = g[i] + l2 * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      w[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+void Grda::AddParam(DenseParam* param) {
+  CHECK(param != nullptr);
+  params_.push_back(param);
+  // The accumulator starts at the initial weights, so a parameter only
+  // survives if its accumulated gradient signal outgrows the threshold.
+  Tensor acc = param->value;
+  accumulators_.push_back(std::move(acc));
+}
+
+void Grda::Step() {
+  ++step_;
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    DenseParam* p = params_[pi];
+    Tensor& acc = accumulators_[pi];
+    const float lr = p->lr;
+    const float l1 =
+        config_.c * std::pow(lr, 0.5f + config_.mu) *
+        std::pow(static_cast<float>(step_), config_.mu);
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* a = acc.data();
+    for (size_t i = 0; i < p->size(); ++i) {
+      a[i] -= lr * g[i];
+      const float mag = std::fabs(a[i]) - l1;
+      w[i] = mag > 0.0f ? (a[i] > 0.0f ? mag : -mag) : 0.0f;
+    }
+  }
+}
+
+}  // namespace optinter

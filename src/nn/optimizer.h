@@ -1,0 +1,106 @@
+// Dense-parameter optimizers: SGD, Adam, and GRDA.
+//
+// Adam is the workhorse (paper Table IV, opt=Adam). GRDA (generalized
+// regularized dual averaging, Chao et al. 2020) is the sparsity-inducing
+// optimizer AutoFIS uses for its interaction gates; it drives gate values
+// exactly to zero via an accumulating soft threshold.
+//
+// Embedding tables implement their own lazy sparse-Adam update (see
+// embedding.h) because dense moment updates over multi-million-row tables
+// would dominate the step cost.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace optinter {
+
+/// Interface for dense-parameter optimizers.
+///
+/// Parameters are registered once (non-owning pointers; the model owns
+/// them) and updated together at each Step(). Per-parameter learning rate
+/// and L2 come from the DenseParam itself.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a parameter. Must outlive the optimizer.
+  virtual void AddParam(DenseParam* param) = 0;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients of every registered parameter.
+  void ZeroGrad();
+
+  const std::vector<DenseParam*>& params() const { return params_; }
+
+ protected:
+  std::vector<DenseParam*> params_;
+};
+
+/// Plain SGD: w -= lr * (g + l2 * w).
+class Sgd : public Optimizer {
+ public:
+  void AddParam(DenseParam* param) override;
+  void Step() override;
+};
+
+/// Adam hyper-parameters shared across parameters; the learning rate is
+/// per-parameter (DenseParam::lr).
+struct AdamConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled L2.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  void AddParam(DenseParam* param) override;
+  void Step() override;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  AdamConfig config_;
+  std::vector<State> state_;
+  int64_t step_ = 0;
+};
+
+/// GRDA configuration (mu and c follow the AutoFIS notation, paper
+/// Table IV: "mu and c are parameters in GRDA optimizer").
+struct GrdaConfig {
+  float c = 5e-4f;
+  float mu = 0.8f;
+};
+
+/// Generalized regularized dual averaging.
+///
+/// Maintains an accumulator initialized to the initial weights; each step
+/// subtracts lr * grad and soft-thresholds with the growing penalty
+/// l1(t) = c * lr^(1/2 + mu) * t^mu, which prunes small weights to exactly
+/// zero — the mechanism AutoFIS relies on for interaction selection.
+class Grda : public Optimizer {
+ public:
+  explicit Grda(GrdaConfig config = {}) : config_(config) {}
+
+  void AddParam(DenseParam* param) override;
+  void Step() override;
+
+ private:
+  GrdaConfig config_;
+  std::vector<Tensor> accumulators_;
+  int64_t step_ = 0;
+};
+
+}  // namespace optinter

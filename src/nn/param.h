@@ -1,0 +1,38 @@
+// Dense trainable parameter: value + gradient + per-parameter hyperparams.
+//
+// The paper trains different parameter families with different learning
+// rates and L2 strengths (Table IV: lr_o / lr_c / lr_a, l2_o / l2_c), so
+// the learning rate and weight decay live on the parameter itself and the
+// optimizer honours them.
+
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// A dense trainable tensor with its gradient buffer.
+struct DenseParam {
+  /// Human-readable name for diagnostics ("mlp/linear0/weight").
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Per-parameter learning rate (absolute, not a scale).
+  float lr = 1e-3f;
+  /// L2 regularization strength applied by the optimizer (decoupled).
+  float l2 = 0.0f;
+
+  /// Allocates value/grad with the given shape (zero-filled).
+  void Resize(std::vector<size_t> shape) {
+    value.Resize(shape);
+    grad.Resize(std::move(shape));
+  }
+
+  void ZeroGrad() { grad.Zero(); }
+
+  size_t size() const { return value.size(); }
+};
+
+}  // namespace optinter

@@ -1,0 +1,232 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace optinter {
+
+std::vector<PlantedKind> SynthConfig::PlantedKinds() const {
+  std::vector<PlantedKind> kinds(num_pairs(), PlantedKind::kNoise);
+  const size_t m = num_categorical();
+  for (const auto& [i, j] : factorize_pairs) {
+    kinds[PairIndex(i, j, m)] = PlantedKind::kFactorize;
+  }
+  for (const auto& [i, j] : memorize_pairs) {
+    kinds[PairIndex(i, j, m)] = PlantedKind::kMemorize;
+  }
+  return kinds;
+}
+
+namespace synth_internal {
+
+double HashGaussian(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
+                    uint64_t d) {
+  // Mix the cell coordinates through SplitMix64 and approximate a standard
+  // normal as the (scaled) sum of four uniforms (Irwin–Hall, variance 4/12).
+  uint64_t key = seed;
+  key = key * 0x9e3779b97f4a7c15ULL + a;
+  key ^= key >> 29;
+  key = key * 0xbf58476d1ce4e5b9ULL + b;
+  key ^= key >> 31;
+  key = key * 0x94d049bb133111ebULL + c;
+  key ^= key >> 27;
+  key = key * 0x2545f4914f6cdd1dULL + d;
+  SplitMix64 sm(key);
+  double s = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    s += static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  }
+  return (s - 2.0) * std::sqrt(3.0);  // mean 0, variance 1
+}
+
+}  // namespace synth_internal
+
+namespace {
+
+using synth_internal::HashGaussian;
+
+// Effect-family tags folded into the hash so the same (field, value) cell
+// yields independent draws for different effect kinds.
+constexpr uint64_t kUnaryTag = 0x11;
+constexpr uint64_t kMemTag = 0x22;
+constexpr uint64_t kFacTag = 0x33;
+constexpr uint64_t kTripleTag = 0x44;
+
+double UnaryEffect(const SynthConfig& cfg, size_t field, int64_t value) {
+  return cfg.unary_scale *
+         HashGaussian(cfg.seed, kUnaryTag, field, static_cast<uint64_t>(value), 0);
+}
+
+double MemorizeEffect(const SynthConfig& cfg, size_t i, size_t j,
+                      int64_t vi, int64_t vj) {
+  return cfg.memorize_scale *
+         HashGaussian(cfg.seed, kMemTag ^ (i << 8) ^ (j << 20),
+                      static_cast<uint64_t>(vi), static_cast<uint64_t>(vj),
+                      1);
+}
+
+double FactorizeEffect(const SynthConfig& cfg, size_t i, size_t j,
+                       int64_t vi, int64_t vj) {
+  // ⟨a_i(v_i), a_j(v_j)⟩ with hash-derived rank-R latent vectors, scaled
+  // so the dot product has roughly unit variance before factorize_scale.
+  double dot = 0.0;
+  for (size_t k = 0; k < cfg.factor_rank; ++k) {
+    const double ai = HashGaussian(cfg.seed, kFacTag, i,
+                                   static_cast<uint64_t>(vi), k);
+    const double aj = HashGaussian(cfg.seed, kFacTag, j,
+                                   static_cast<uint64_t>(vj), k);
+    dot += ai * aj;
+  }
+  return cfg.factorize_scale * dot /
+         std::sqrt(static_cast<double>(cfg.factor_rank));
+}
+
+double TripleEffect(const SynthConfig& cfg, const std::array<size_t, 3>& t,
+                    int64_t vi, int64_t vj, int64_t vk) {
+  const uint64_t tag =
+      kTripleTag ^ (t[0] << 8) ^ (t[1] << 20) ^ (t[2] << 32);
+  return cfg.triple_scale *
+         HashGaussian(cfg.seed ^ tag, static_cast<uint64_t>(vi),
+                      static_cast<uint64_t>(vj),
+                      static_cast<uint64_t>(vk), 2);
+}
+
+}  // namespace
+
+RawDataset GenerateSynthetic(const SynthConfig& config) {
+  CHECK_GE(config.num_categorical(), 2u);
+  CHECK_GT(config.num_rows, 0u);
+  for (const auto& [i, j] : config.memorize_pairs) {
+    CHECK_LT(i, j);
+    CHECK_LT(j, config.num_categorical());
+  }
+  for (const auto& [i, j] : config.factorize_pairs) {
+    CHECK_LT(i, j);
+    CHECK_LT(j, config.num_categorical());
+  }
+  for (const auto& t : config.memorize_triples) {
+    CHECK_LT(t[0], t[1]);
+    CHECK_LT(t[1], t[2]);
+    CHECK_LT(t[2], config.num_categorical());
+  }
+
+  const size_t num_cat = config.num_categorical();
+  const size_t num_cont = config.num_continuous;
+
+  RawDataset raw;
+  std::vector<FieldSpec> fields;
+  fields.reserve(num_cat + num_cont);
+  for (size_t f = 0; f < num_cat; ++f) {
+    fields.push_back({"cat" + std::to_string(f), FieldType::kCategorical});
+  }
+  for (size_t f = 0; f < num_cont; ++f) {
+    fields.push_back({"cont" + std::to_string(f), FieldType::kContinuous});
+  }
+  raw.schema = DatasetSchema(std::move(fields));
+  raw.num_rows = config.num_rows;
+  raw.cat_values.resize(config.num_rows * num_cat);
+  raw.cont_values.resize(config.num_rows * num_cont);
+  raw.labels.resize(config.num_rows);
+
+  Rng rng(config.seed);
+
+  // Precompute zipf CDF tables per field for fast popularity-skewed draws.
+  std::vector<std::vector<double>> cdfs(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) {
+    const size_t v = config.cardinalities[f];
+    CHECK_GT(v, 1u);
+    cdfs[f].resize(v);
+    double total = 0.0;
+    for (size_t k = 0; k < v; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1),
+                              config.zipf_exponent);
+      cdfs[f][k] = total;
+    }
+    for (size_t k = 0; k < v; ++k) cdfs[f][k] /= total;
+  }
+  // Random value permutation offset per field so "popular" raw ids are not
+  // always the small integers (exercises vocab ordering independence).
+  std::vector<uint64_t> perm_salt(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) perm_salt[f] = rng.NextUint64();
+
+  std::vector<double> cont_weights(num_cont);
+  for (size_t f = 0; f < num_cont; ++f) {
+    cont_weights[f] = rng.Gaussian(0.0, config.cont_scale);
+  }
+
+  // First pass: draw features and raw (uncalibrated) logits.
+  std::vector<double> logits(config.num_rows);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    double logit = 0.0;
+    for (size_t f = 0; f < num_cat; ++f) {
+      const auto& cdf = cdfs[f];
+      const double u = rng.Uniform();
+      const size_t rank = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      // Permute rank -> raw value deterministically within the field domain.
+      const int64_t value = static_cast<int64_t>(
+          (rank * 0x9e3779b97f4a7c15ULL + perm_salt[f]) %
+          config.cardinalities[f]);
+      raw.cat_values[r * num_cat + f] = value;
+      logit += UnaryEffect(config, f, value);
+    }
+    for (size_t f = 0; f < num_cont; ++f) {
+      const double u = rng.Uniform();
+      raw.cont_values[r * num_cont + f] =
+          static_cast<float>(std::exp(3.0 * u));  // skewed raw scale
+      logit += cont_weights[f] * u;
+    }
+    double pair_sum = 0.0;
+    double group_a = 0.0;  // alternate planted terms between two groups
+    double group_b = 0.0;
+    size_t planted_idx = 0;
+    for (const auto& [i, j] : config.memorize_pairs) {
+      const double t =
+          MemorizeEffect(config, i, j, raw.cat(r, i), raw.cat(r, j));
+      pair_sum += t;
+      ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
+    }
+    for (const auto& [i, j] : config.factorize_pairs) {
+      const double t =
+          FactorizeEffect(config, i, j, raw.cat(r, i), raw.cat(r, j));
+      pair_sum += t;
+      ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
+    }
+    logit += pair_sum + config.synergy_scale * std::tanh(group_a) *
+                            std::tanh(group_b);
+    for (const auto& t : config.memorize_triples) {
+      logit += TripleEffect(config, t, raw.cat(r, t[0]), raw.cat(r, t[1]),
+                            raw.cat(r, t[2]));
+    }
+    logit += rng.Gaussian(0.0, config.noise_scale);
+    logits[r] = logit;
+  }
+
+  // Calibrate a global bias so the mean click probability matches the
+  // target positive ratio (bisection on a monotone function).
+  double lo = -30.0, hi = 30.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double mean = 0.0;
+    for (double z : logits) {
+      mean += 1.0 / (1.0 + std::exp(-(z + mid)));
+    }
+    mean /= static_cast<double>(config.num_rows);
+    if (mean < config.target_pos_ratio) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double bias = 0.5 * (lo + hi);
+
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    const double p = 1.0 / (1.0 + std::exp(-(logits[r] + bias)));
+    raw.labels[r] = rng.Bernoulli(p) ? 1.0f : 0.0f;
+  }
+  return raw;
+}
+
+}  // namespace optinter

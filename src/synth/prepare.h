@@ -1,0 +1,44 @@
+// One-call dataset preparation used by benches and examples:
+// generate profile → split → fit/encode → (optionally) build cross
+// features.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "data/batch.h"
+#include "data/encoder.h"
+#include "synth/profiles.h"
+
+namespace optinter {
+
+/// A fully-prepared experiment dataset.
+struct PreparedDataset {
+  SynthConfig config;
+  EncodedDataset data;
+  Splits splits;
+};
+
+/// Options for PrepareProfile.
+struct PrepareOptions {
+  /// Multiplier on the profile's row count (benches' quick/full knob).
+  double rows_scale = 1.0;
+  /// Build cross-product transformed features (needed by Poly2,
+  /// OptInter-M and every search run).
+  bool build_cross = true;
+  /// Fractions (paper: 80% train+val / 20% test; val carved from train).
+  double train_frac = 0.7;
+  double val_frac = 0.1;
+  EncoderOptions encoder;
+};
+
+/// Generates + encodes the named profile ("criteo_like", ..., "tiny").
+Result<PreparedDataset> PrepareProfile(const std::string& name,
+                                       const PrepareOptions& options = {});
+
+/// Same, starting from an explicit generator config.
+PreparedDataset PrepareFromConfig(const SynthConfig& config,
+                                  const PrepareOptions& options = {});
+
+}  // namespace optinter

@@ -1,0 +1,47 @@
+// Per-dataset generator presets mirroring the shape of the paper's four
+// datasets (Table II), scaled to CPU-trainable size. EXPERIMENTS.md
+// documents the scaling factors.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synth/generator.h"
+
+namespace optinter {
+
+/// Criteo-like: continuous + categorical mix, pos ratio 0.23.
+SynthConfig CriteoLikeConfig();
+
+/// Avazu-like: categorical only, one huge Device_ID-like field,
+/// pos ratio 0.17.
+SynthConfig AvazuLikeConfig();
+
+/// iPinYou-like: categorical only, rare positives (scaled up from the
+/// paper's 0.0008 to 0.03 so tens-of-thousands of rows still contain
+/// enough positives to learn from).
+SynthConfig IpinyouLikeConfig();
+
+/// Private-like: 9 categorical fields (paper's Huawei App Store data).
+SynthConfig PrivateLikeConfig();
+
+/// Tiny profile for unit tests and the quickstart example.
+SynthConfig TinyConfig();
+
+/// criteo_like plus planted third-order effects, for the higher-order
+/// extension bench (bench_ext_third_order).
+SynthConfig Criteo3LikeConfig();
+
+/// Look up a profile by name ("criteo_like", "avazu_like", "ipinyou_like",
+/// "private_like", "tiny").
+Result<SynthConfig> GetProfile(const std::string& name);
+
+/// All four paper-analogue profile names, in the paper's table order.
+std::vector<std::string> PaperProfileNames();
+
+/// Scales a profile's row count by `factor` (benches' --rows-scale knob).
+void ScaleRows(SynthConfig* config, double factor);
+
+}  // namespace optinter

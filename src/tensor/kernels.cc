@@ -1,0 +1,168 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace optinter {
+
+namespace {
+
+// Row-block threshold above which GEMMs are parallelized. Tuned for the
+// batch sizes used in the benches (hundreds to a few thousand rows).
+constexpr size_t kParallelFlops = 1u << 21;
+
+inline void ScaleRows(float* c, size_t m, size_t n, float beta) {
+  if (beta == 0.0f) {
+    std::memset(c, 0, m * n * sizeof(float));
+  } else if (beta != 1.0f) {
+    Scale(m * n, beta, c);
+  }
+}
+
+void GemmNNRange(const float* a, const float* b, float* c, size_t lo,
+                 size_t hi, size_t k, size_t n, float alpha) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = alpha * ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void GemmNTRange(const float* a, const float* b, float* c, size_t lo,
+                 size_t hi, size_t k, size_t n, float alpha) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      ci[j] += alpha * Dot(k, ai, b + j * k);
+    }
+  }
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha, float beta) {
+  ScaleRows(c, m, n, beta);
+  if (m * k * n >= kParallelFlops && m > 1) {
+    ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
+      GemmNNRange(a, b, c, lo, hi, k, n, alpha);
+    }, /*min_chunk=*/8);
+  } else {
+    GemmNNRange(a, b, c, 0, m, k, n, alpha);
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha, float beta) {
+  ScaleRows(c, m, n, beta);
+  if (m * k * n >= kParallelFlops && m > 1) {
+    ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
+      GemmNTRange(a, b, c, lo, hi, k, n, alpha);
+    }, /*min_chunk=*/8);
+  } else {
+    GemmNTRange(a, b, c, 0, m, k, n, alpha);
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha, float beta) {
+  // C[k×n] = A^T[k×m] * B[m×n]; accumulate row-of-A outer products.
+  ScaleRows(c, k, n, beta);
+  for (size_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    const float* bi = b + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = alpha * ai[p];
+      if (av == 0.0f) continue;
+      float* cp = c + p * n;
+      for (size_t j = 0; j < n; ++j) cp[j] += av * bi[j];
+    }
+  }
+}
+
+void Axpy(size_t n, float alpha, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(size_t n, float alpha, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float Dot(size_t n, const float* x, const float* y) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += x[i] * y[i];
+    acc1 += x[i + 1] * y[i + 1];
+    acc2 += x[i + 2] * y[i + 2];
+    acc3 += x[i + 3] * y[i + 3];
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Hadamard(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void HadamardAccum(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] += x[i] * y[i];
+}
+
+float Sum(size_t n, const float* x) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+void Softmax(size_t n, const float* logits, float* probs) {
+  if (n == 0) return;
+  float max_v = logits[0];
+  for (size_t i = 1; i < n; ++i) max_v = std::max(max_v, logits[i]);
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = std::exp(logits[i] - max_v);
+    total += probs[i];
+  }
+  const float inv = 1.0f / total;
+  for (size_t i = 0; i < n; ++i) probs[i] *= inv;
+}
+
+float LogSumExp(size_t n, const float* x) {
+  CHECK_GT(n, 0u);
+  float max_v = x[0];
+  for (size_t i = 1; i < n; ++i) max_v = std::max(max_v, x[i]);
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) total += std::exp(x[i] - max_v);
+  return max_v + std::log(total);
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
+  CHECK_EQ(a.cols(), b.rows());
+  c->Resize({a.rows(), b.cols()});
+  GemmNN(a.data(), b.data(), c->data(), a.rows(), a.cols(), b.cols());
+}
+
+void MatMulNT(const Tensor& a, const Tensor& b, Tensor* c) {
+  CHECK_EQ(a.cols(), b.cols());
+  c->Resize({a.rows(), b.rows()});
+  GemmNT(a.data(), b.data(), c->data(), a.rows(), a.cols(), b.rows());
+}
+
+void MatMulTN(const Tensor& a, const Tensor& b, Tensor* c) {
+  CHECK_EQ(a.rows(), b.rows());
+  c->Resize({a.cols(), b.cols()});
+  GemmTN(a.data(), b.data(), c->data(), a.rows(), a.cols(), b.cols());
+}
+
+}  // namespace optinter

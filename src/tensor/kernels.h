@@ -1,0 +1,84 @@
+// Numeric kernels over raw float buffers.
+//
+// All GEMM variants are expressed with explicit transpose flags so the
+// layer backward passes never materialize transposed copies. Large GEMMs
+// are row-blocked across the global thread pool.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+// ---------------------------------------------------------------------------
+// GEMM family: C = alpha * op(A) * op(B) + beta * C, all row-major.
+// ---------------------------------------------------------------------------
+
+/// C[m×n] += A[m×k] * B[k×n] (beta pre-applied by caller flag).
+void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha = 1.0f, float beta = 0.0f);
+
+/// C[m×n] = A[m×k] * B^T where B is [n×k]. The usual Linear forward with a
+/// [out×in] weight matrix.
+void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha = 1.0f, float beta = 0.0f);
+
+/// C[k×n] = A^T * B where A is [m×k], B is [m×n]. Weight-gradient shape.
+void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, float alpha = 1.0f, float beta = 0.0f);
+
+// ---------------------------------------------------------------------------
+// Elementwise / reduction helpers.
+// ---------------------------------------------------------------------------
+
+/// y += alpha * x over n elements.
+void Axpy(size_t n, float alpha, const float* x, float* y);
+
+/// Scales x by alpha in place.
+void Scale(size_t n, float alpha, float* x);
+
+/// Dot product over n elements.
+float Dot(size_t n, const float* x, const float* y);
+
+/// out = x ⊙ y (Hadamard), n elements.
+void Hadamard(size_t n, const float* x, const float* y, float* out);
+
+/// out += x ⊙ y, n elements.
+void HadamardAccum(size_t n, const float* x, const float* y, float* out);
+
+/// Sum of n elements.
+float Sum(size_t n, const float* x);
+
+/// Numerically-stable softmax of `logits` (length n) into `probs`.
+void Softmax(size_t n, const float* logits, float* probs);
+
+/// Numerically-stable log-sum-exp of n values.
+float LogSumExp(size_t n, const float* x);
+
+/// Stable sigmoid.
+inline float SigmoidScalar(float z) {
+  if (z >= 0.0f) {
+    const float e = std::exp(-z);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(z);
+  return e / (1.0f + e);
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-level conveniences (shape-checked wrappers over the raw kernels).
+// ---------------------------------------------------------------------------
+
+/// c = a * b (2-D, shapes validated).
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// c = a * b^T.
+void MatMulNT(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// c = a^T * b.
+void MatMulTN(const Tensor& a, const Tensor& b, Tensor* c);
+
+}  // namespace optinter

@@ -1,0 +1,112 @@
+// Dense row-major float tensor.
+//
+// The NN substrate works almost exclusively with 1-D vectors and 2-D
+// (batch × features) matrices, so Tensor keeps a contiguous float32 buffer
+// plus a small shape vector; no strides, no views. Kernels that need raw
+// speed operate on data() directly (see kernels.h).
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace optinter {
+
+/// Contiguous row-major float32 tensor with value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape) { Resize(std::move(shape)); }
+  Tensor(std::initializer_list<size_t> shape)
+      : Tensor(std::vector<size_t>(shape)) {}
+
+  /// Reshapes (and zero-fills) to `shape`.
+  void Resize(std::vector<size_t> shape) {
+    shape_ = std::move(shape);
+    size_t n = 1;
+    for (size_t d : shape_) n *= d;
+    data_.assign(n, 0.0f);
+  }
+
+  /// Reinterprets the buffer with a new shape of identical element count.
+  void Reshape(std::vector<size_t> shape) {
+    size_t n = 1;
+    for (size_t d : shape) n *= d;
+    CHECK_EQ(n, data_.size());
+    shape_ = std::move(shape);
+  }
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t ndim() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Dimension `i` of the shape.
+  size_t dim(size_t i) const {
+    CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+
+  /// Rows / cols accessors for the common 2-D case.
+  size_t rows() const {
+    CHECK_EQ(ndim(), 2u);
+    return shape_[0];
+  }
+  size_t cols() const {
+    CHECK_EQ(ndim(), 2u);
+    return shape_[1];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Row pointer for a 2-D tensor.
+  float* row(size_t r) {
+    CHECK_LT(r, rows());
+    return data_.data() + r * shape_[1];
+  }
+  const float* row(size_t r) const {
+    CHECK_LT(r, rows());
+    return data_.data() + r * shape_[1];
+  }
+
+  /// Flat element access.
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// 2-D element access (bounds-checked).
+  float& at(size_t r, size_t c) {
+    CHECK_LT(r, rows());
+    CHECK_LT(c, cols());
+    return data_[r * shape_[1] + c];
+  }
+  float at(size_t r, size_t c) const {
+    CHECK_LT(r, rows());
+    CHECK_LT(c, cols());
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Fills every element with `value`.
+  void Fill(float value) { data_.assign(data_.size(), value); }
+
+  /// Sets all elements to zero (keeps shape).
+  void Zero() { Fill(0.0f); }
+
+  /// Shape as "[a, b]" for diagnostics.
+  std::string ShapeString() const;
+
+  /// True when shapes match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace optinter

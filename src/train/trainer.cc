@@ -1,0 +1,113 @@
+#include "train/trainer.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "metrics/metrics.h"
+
+namespace optinter {
+
+EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
+                          const std::vector<size_t>& rows,
+                          size_t batch_size) {
+  CHECK(!rows.empty());
+  std::vector<float> all_probs;
+  std::vector<float> all_labels;
+  all_probs.reserve(rows.size());
+  all_labels.reserve(rows.size());
+  std::vector<float> probs;
+  for (size_t start = 0; start < rows.size(); start += batch_size) {
+    Batch b;
+    b.data = &data;
+    b.rows = rows.data() + start;
+    b.size = std::min(batch_size, rows.size() - start);
+    model->Predict(b, &probs);
+    for (size_t k = 0; k < b.size; ++k) {
+      all_probs.push_back(probs[k]);
+      all_labels.push_back(b.label(k));
+    }
+  }
+  EvalMetrics m;
+  m.auc = Auc(all_probs, all_labels);
+  m.logloss = LogLoss(all_probs, all_labels);
+  return m;
+}
+
+TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
+                        const Splits& splits, const TrainOptions& options) {
+  CHECK(!splits.train.empty());
+  Stopwatch timer;
+  TrainSummary summary;
+  Batcher batcher(&data, splits.train, options.batch_size, options.seed);
+  // "Score" is oriented so larger is better regardless of metric.
+  double best_val_score = -1e300;
+  size_t stale_epochs = 0;
+  // Best-checkpoint snapshot: the final evaluation uses the weights from
+  // the best validation epoch, not the (possibly overfit) last one.
+  std::vector<Tensor*> state;
+  model->CollectState(&state);
+  std::vector<Tensor> best_state;
+  bool have_snapshot = false;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    batcher.StartEpoch();
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    for (;;) {
+      Batch b = batcher.Next();
+      if (b.size == 0) break;
+      loss_sum += model->TrainStep(b);
+      ++batches;
+    }
+    const double mean_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    summary.epoch_train_losses.push_back(mean_loss);
+    ++summary.epochs_run;
+
+    if (!splits.val.empty()) {
+      const EvalMetrics val = EvaluateModel(model, data, splits.val);
+      summary.epoch_val_aucs.push_back(val.auc);
+      summary.final_val = val;
+      if (options.verbose) {
+        LOG_INFO() << model->Name() << " epoch " << epoch
+                   << " loss=" << mean_loss << " val_auc=" << val.auc
+                   << " val_logloss=" << val.logloss;
+      }
+      const double score = options.stop_metric == StopMetric::kAuc
+                               ? val.auc
+                               : -val.logloss;
+      if (score > best_val_score + 1e-6) {
+        best_val_score = score;
+        stale_epochs = 0;
+        if (!state.empty()) {
+          best_state.resize(state.size());
+          for (size_t i = 0; i < state.size(); ++i) {
+            best_state[i] = *state[i];
+          }
+          have_snapshot = true;
+        }
+      } else if (options.patience > 0 && ++stale_epochs >= options.patience) {
+        if (options.verbose) {
+          LOG_INFO() << model->Name() << " early stop at epoch " << epoch;
+        }
+        break;
+      }
+    } else if (options.verbose) {
+      LOG_INFO() << model->Name() << " epoch " << epoch
+                 << " loss=" << mean_loss;
+    }
+  }
+  if (have_snapshot) {
+    for (size_t i = 0; i < state.size(); ++i) {
+      *state[i] = std::move(best_state[i]);
+    }
+    if (!splits.val.empty()) {
+      summary.final_val = EvaluateModel(model, data, splits.val);
+    }
+  }
+  if (!splits.test.empty()) {
+    summary.final_test = EvaluateModel(model, data, splits.test);
+  }
+  summary.seconds = timer.Elapsed();
+  return summary;
+}
+
+}  // namespace optinter

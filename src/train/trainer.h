@@ -1,0 +1,61 @@
+// Generic training / evaluation loop for CtrModel instances.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "models/model.h"
+
+namespace optinter {
+
+/// Which validation metric gates early stopping.
+enum class StopMetric {
+  /// Minimize validation log loss (guards calibration drift — memorized
+  /// cross tables overfit in confidence before they overfit in ranking).
+  kLogLoss,
+  /// Maximize validation AUC.
+  kAuc,
+};
+
+/// Options for TrainModel.
+struct TrainOptions {
+  size_t epochs = 3;
+  size_t batch_size = 512;
+  uint64_t seed = 1;
+  /// Stop after this many epochs without validation improvement
+  /// (0 disables early stopping; requires a non-empty val split).
+  size_t patience = 1;
+  StopMetric stop_metric = StopMetric::kLogLoss;
+  bool verbose = false;
+};
+
+/// AUC + log loss of one evaluation pass.
+struct EvalMetrics {
+  double auc = 0.0;
+  double logloss = 0.0;
+};
+
+/// Outcome of a full training run.
+struct TrainSummary {
+  EvalMetrics final_val;
+  EvalMetrics final_test;
+  std::vector<double> epoch_train_losses;
+  std::vector<double> epoch_val_aucs;
+  size_t epochs_run = 0;
+  double seconds = 0.0;
+};
+
+/// Evaluates `model` on the given rows (batched, no gradient work).
+EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
+                          const std::vector<size_t>& rows,
+                          size_t batch_size = 2048);
+
+/// Trains `model` on splits.train with per-epoch validation on
+/// splits.val, early stopping, and a final test evaluation on
+/// splits.test.
+TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
+                        const Splits& splits, const TrainOptions& options);
+
+}  // namespace optinter

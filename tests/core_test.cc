@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/autofis.h"
+#include "core/fixed_arch_model.h"
+#include "core/pipeline.h"
+#include "core/search_model.h"
+#include "test_data.h"
+
+namespace optinter {
+namespace {
+
+using testing::HeadBatch;
+using testing::SharedTinyData;
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 31;
+  return hp;
+}
+
+// ---------------------------------------------------------------------------
+// FixedArchModel
+// ---------------------------------------------------------------------------
+
+TEST(FixedArchTest, ParamCountDependsOnArchitecture) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  auto naive = FixedArchModel::MakeFnn(p.data, hp);
+  auto fact = FixedArchModel::MakeOptInterF(p.data, hp);
+  auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
+  EXPECT_LT(naive->ParamCount(), fact->ParamCount());
+  EXPECT_LT(fact->ParamCount(), mem->ParamCount());
+}
+
+TEST(FixedArchTest, MemorizedParamCountExact) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
+  auto naive = FixedArchModel::MakeFnn(p.data, hp);
+  // The all-memorize model adds one s2-wide table per pair plus the wider
+  // first MLP layer.
+  const size_t cross_params = p.data.TotalCrossVocab() * hp.cross_embed_dim;
+  const size_t extra_cols = p.data.num_pairs() * hp.cross_embed_dim;
+  const size_t first_hidden = hp.mlp_hidden.empty() ? 1 : hp.mlp_hidden[0];
+  EXPECT_EQ(mem->ParamCount(),
+            naive->ParamCount() + cross_params + extra_cols * first_hidden);
+}
+
+TEST(FixedArchTest, MixedArchitectureRuns) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  Architecture arch(p.data.num_pairs(), InterMethod::kNaive);
+  arch[0] = InterMethod::kMemorize;
+  arch[1] = InterMethod::kFactorize;
+  arch[4] = InterMethod::kMemorize;
+  FixedArchModel model(p.data, arch, hp, "mixed");
+  Batch b = HeadBatch(p, 128);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 30; ++i) {
+    const float loss = model.TrainStep(b);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+  std::vector<float> probs;
+  model.Predict(b, &probs);
+  EXPECT_EQ(probs.size(), 128u);
+}
+
+TEST(FixedArchTest, NaiveArchNeedsNoCrossFeatures) {
+  // FNN must be constructible on a dataset without cross features.
+  const auto& p = SharedTinyData();
+  RawDataset raw = GenerateSynthetic(p.cfg);
+  EncoderOptions opts;
+  auto enc = EncodeDataset(raw, p.splits.train, opts);
+  ASSERT_TRUE(enc.ok());
+  // No BuildCrossFeatures on purpose.
+  auto fnn = FixedArchModel::MakeFnn(*enc, TinyHp());
+  Batch b;
+  b.data = &*enc;
+  b.rows = p.splits.train.data();
+  b.size = 32;
+  std::vector<float> probs;
+  fnn->Predict(b, &probs);
+  EXPECT_EQ(probs.size(), 32u);
+}
+
+TEST(FixedArchTest, ArchAccessorRoundTrips) {
+  const auto& p = SharedTinyData();
+  Architecture arch = AllFactorize(p.data.num_pairs());
+  arch[2] = InterMethod::kMemorize;
+  FixedArchModel model(p.data, arch, TinyHp(), "x");
+  EXPECT_EQ(model.arch(), arch);
+  EXPECT_EQ(model.Name(), "x");
+}
+
+// ---------------------------------------------------------------------------
+// SearchModel
+// ---------------------------------------------------------------------------
+
+TEST(SearchModelTest, PairProbabilitiesSumToOne) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  for (size_t q = 0; q < p.data.num_pairs(); ++q) {
+    auto probs = model.PairProbabilities(q);
+    EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0f, 1e-5f);
+  }
+}
+
+TEST(SearchModelTest, NearUniformAtInit) {
+  // α starts at a small symmetric perturbation around zero, so the three
+  // method probabilities begin close to (but not exactly) uniform.
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  auto probs = model.PairProbabilities(0);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(probs[k], 1.0f / 3.0f, 0.05f);
+}
+
+TEST(SearchModelTest, LowTemperatureSharpensSelection) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  model.mutable_alpha().value.at(0, 1) = 1.0f;  // prefer factorize
+  model.SetTemperature(0.05f);
+  auto probs = model.PairProbabilities(0);
+  EXPECT_GT(probs[1], 0.999f);
+}
+
+TEST(SearchModelTest, ExtractArchitectureIsArgmax) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  model.mutable_alpha().value.at(0, 0) = 5.0f;
+  model.mutable_alpha().value.at(1, 2) = 5.0f;
+  Architecture arch = model.ExtractArchitecture();
+  EXPECT_EQ(arch[0], InterMethod::kMemorize);
+  EXPECT_EQ(arch[1], InterMethod::kNaive);
+}
+
+TEST(SearchModelTest, TrainStepUpdatesAlphaInJointMode) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp(), UpdateMode::kJoint);
+  Tensor before = model.alpha().value;
+  Batch b = HeadBatch(p, 128);
+  for (int i = 0; i < 5; ++i) model.TrainStep(b);
+  bool changed = false;
+  for (size_t i = 0; i < before.size(); ++i) {
+    changed |= before[i] != model.alpha().value[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SearchModelTest, BilevelTrainStepFreezesAlpha) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp(), UpdateMode::kBilevel);
+  Tensor before = model.alpha().value;
+  Batch b = HeadBatch(p, 128);
+  for (int i = 0; i < 3; ++i) model.TrainStep(b);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], model.alpha().value[i]);
+  }
+  // ArchStep moves alpha.
+  model.ArchStep(b);
+  bool changed = false;
+  for (size_t i = 0; i < before.size(); ++i) {
+    changed |= before[i] != model.alpha().value[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SearchModelTest, LossDecreases) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  Batch b = HeadBatch(p, 256);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 30; ++i) {
+    const float loss = model.TrainStep(b);
+    ASSERT_TRUE(std::isfinite(loss));
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(SearchModelTest, ParamCountIncludesAlpha) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  EXPECT_GT(model.ParamCount(), p.data.num_pairs() * 3);
+}
+
+// ---------------------------------------------------------------------------
+// AutoFIS
+// ---------------------------------------------------------------------------
+
+TEST(AutoFisTest, GatesStartOnAndPrune) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  hp.grda.c = 0.2f;  // strong sparsity so pruning shows quickly
+  AutoFisSearchModel model(p.data, hp);
+  Architecture arch0 = model.ExtractArchitecture();
+  EXPECT_EQ(CountArchitecture(arch0).factorize, p.data.num_pairs());
+  Batch b = HeadBatch(p, 256);
+  for (int i = 0; i < 120; ++i) model.TrainStep(b);
+  Architecture arch = model.ExtractArchitecture();
+  auto counts = CountArchitecture(arch);
+  EXPECT_EQ(counts.memorize, 0u);  // AutoFIS never memorizes
+  EXPECT_GT(counts.naive, 0u);     // GRDA pruned something
+}
+
+TEST(AutoFisTest, PredictionsValid) {
+  const auto& p = SharedTinyData();
+  AutoFisSearchModel model(p.data, TinyHp());
+  Batch b = HeadBatch(p, 64);
+  std::vector<float> probs;
+  model.Predict(b, &probs);
+  for (float q : probs) {
+    EXPECT_GT(q, 0.0f);
+    EXPECT_LT(q, 1.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, RandomArchitectureUsesAllMethods) {
+  Rng rng(3);
+  Architecture arch = RandomArchitecture(300, &rng);
+  auto counts = CountArchitecture(arch);
+  EXPECT_GT(counts.memorize, 50u);
+  EXPECT_GT(counts.factorize, 50u);
+  EXPECT_GT(counts.naive, 50u);
+}
+
+TEST(PipelineTest, SearchStageProducesFullArchitecture) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  SearchOptions opts;
+  opts.search_epochs = 1;
+  SearchResult r = RunSearchStage(p.data, p.splits, hp, opts);
+  EXPECT_EQ(r.arch.size(), p.data.num_pairs());
+  EXPECT_GT(r.search_val.auc, 0.5);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(PipelineTest, BilevelSearchRuns) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  SearchOptions opts;
+  opts.search_epochs = 1;
+  opts.mode = UpdateMode::kBilevel;
+  SearchResult r = RunSearchStage(p.data, p.splits, hp, opts);
+  EXPECT_EQ(r.arch.size(), p.data.num_pairs());
+}
+
+TEST(PipelineTest, FullOptInterPipeline) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  SearchOptions sopts;
+  sopts.search_epochs = 2;
+  TrainOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = hp.batch_size;
+  topts.seed = hp.seed;
+  OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
+  EXPECT_GT(r.retrain.final_test.auc, 0.55);
+  EXPECT_GT(r.param_count, 0u);
+  // Re-trained model must not exceed the all-memorize size.
+  auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
+  EXPECT_LE(r.param_count, mem->ParamCount());
+}
+
+TEST(PipelineTest, AutoFisPipelineRuns) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  hp.grda.c = 2e-3f;
+  TrainOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = hp.batch_size;
+  topts.seed = hp.seed;
+  AutoFisResult r = RunAutoFis(p.data, p.splits, hp, topts);
+  EXPECT_EQ(CountArchitecture(r.arch).memorize, 0u);
+  EXPECT_GT(r.retrain.final_test.auc, 0.5);
+}
+
+TEST(PipelineTest, TrainFixedArchMatchesModelParams) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  Architecture arch = AllNaive(p.data.num_pairs());
+  TrainOptions topts;
+  topts.epochs = 1;
+  topts.batch_size = 256;
+  FixedArchRun run = TrainFixedArch(p.data, p.splits, arch, hp, topts);
+  auto fnn = FixedArchModel::MakeFnn(p.data, hp);
+  EXPECT_EQ(run.param_count, fnn->ParamCount());
+}
+
+}  // namespace
+}  // namespace optinter

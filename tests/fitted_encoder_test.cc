@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <numeric>
+
+#include "data/encoder.h"
+#include "data/fitted_encoder.h"
+#include "synth/profiles.h"
+
+namespace optinter {
+namespace {
+
+struct Fixture {
+  RawDataset raw;
+  std::vector<size_t> fit_rows;
+  EncoderOptions opts;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  SynthConfig cfg = TinyConfig();
+  cfg.num_rows = 4000;
+  f.raw = GenerateSynthetic(cfg);
+  f.fit_rows.resize(2800);
+  std::iota(f.fit_rows.begin(), f.fit_rows.end(), 0);
+  f.opts.cat_min_count = 2;
+  f.opts.cross_min_count = 2;
+  return f;
+}
+
+TEST(FittedEncoderTest, MatchesOneShotEncoder) {
+  // The stateful path must produce byte-identical encodings to the
+  // one-shot EncodeDataset + BuildCrossFeatures path.
+  Fixture f = MakeFixture();
+  auto enc = FittedEncoder::Fit(f.raw, f.fit_rows, f.opts);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  auto transformed = enc->Transform(f.raw);
+  ASSERT_TRUE(transformed.ok());
+
+  auto oneshot = EncodeDataset(f.raw, f.fit_rows, f.opts);
+  ASSERT_TRUE(oneshot.ok());
+  EncodedDataset expected = std::move(oneshot).value();
+  ASSERT_TRUE(BuildCrossFeatures(&expected, f.fit_rows, f.opts).ok());
+
+  EXPECT_EQ(transformed->cat_ids, expected.cat_ids);
+  EXPECT_EQ(transformed->cat_vocab_sizes, expected.cat_vocab_sizes);
+  EXPECT_EQ(transformed->cont_values, expected.cont_values);
+  EXPECT_EQ(transformed->cross_ids, expected.cross_ids);
+  EXPECT_EQ(transformed->cross_vocab_sizes, expected.cross_vocab_sizes);
+}
+
+TEST(FittedEncoderTest, TransformsUnseenDataWithOov) {
+  Fixture f = MakeFixture();
+  auto enc = FittedEncoder::Fit(f.raw, f.fit_rows, f.opts);
+  ASSERT_TRUE(enc.ok());
+  // New "serving" rows drawn from a different seed: same schema, values
+  // partially unseen.
+  SynthConfig cfg = TinyConfig();
+  cfg.num_rows = 500;
+  cfg.seed += 1234;
+  RawDataset serving = GenerateSynthetic(cfg);
+  auto out = enc->Transform(serving);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->num_rows, 500u);
+  for (size_t r = 0; r < out->num_rows; ++r) {
+    for (size_t fld = 0; fld < out->num_categorical(); ++fld) {
+      ASSERT_LT(static_cast<size_t>(out->cat(r, fld)),
+                out->cat_vocab_sizes[fld]);
+    }
+  }
+}
+
+TEST(FittedEncoderTest, SchemaMismatchRejected) {
+  Fixture f = MakeFixture();
+  auto enc = FittedEncoder::Fit(f.raw, f.fit_rows, f.opts);
+  ASSERT_TRUE(enc.ok());
+  RawDataset wrong;
+  wrong.schema = DatasetSchema({{"other", FieldType::kCategorical},
+                                {"thing", FieldType::kCategorical}});
+  wrong.num_rows = 1;
+  wrong.cat_values = {0, 0};
+  wrong.labels = {1.0f};
+  EXPECT_FALSE(enc->Transform(wrong).ok());
+}
+
+TEST(FittedEncoderTest, WithoutCrossProducesNoCross) {
+  Fixture f = MakeFixture();
+  auto enc = FittedEncoder::Fit(f.raw, f.fit_rows, f.opts,
+                                /*with_cross=*/false);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_FALSE(enc->has_cross());
+  auto out = enc->Transform(f.raw);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->has_cross());
+}
+
+TEST(FittedEncoderTest, SaveLoadRoundTrip) {
+  Fixture f = MakeFixture();
+  auto enc = FittedEncoder::Fit(f.raw, f.fit_rows, f.opts);
+  ASSERT_TRUE(enc.ok());
+  const std::string path = ::testing::TempDir() + "/encoder.bin";
+  ASSERT_TRUE(enc->Save(path).ok());
+  auto loaded = FittedEncoder::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  auto a = enc->Transform(f.raw);
+  auto b = loaded->Transform(f.raw);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cat_ids, b->cat_ids);
+  EXPECT_EQ(a->cross_ids, b->cross_ids);
+  EXPECT_EQ(a->cont_values, b->cont_values);
+}
+
+TEST(FittedEncoderTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage_enc.bin";
+  std::ofstream(path) << "nope";
+  EXPECT_FALSE(FittedEncoder::Load(path).ok());
+}
+
+TEST(FittedEncoderTest, EmptyFitRowsRejected) {
+  Fixture f = MakeFixture();
+  EXPECT_FALSE(FittedEncoder::Fit(f.raw, {}, f.opts).ok());
+}
+
+TEST(VocabItemsTest, RoundTrip) {
+  Vocab v;
+  for (int64_t x : {100, 100, 100, 200, 200, 300}) v.Add(x);
+  v.Finalize(2);
+  Vocab rebuilt = Vocab::FromItems(v.Items());
+  for (int64_t x : {100, 200, 300, 999}) {
+    EXPECT_EQ(v.Encode(x), rebuilt.Encode(x));
+  }
+  EXPECT_EQ(v.size(), rebuilt.size());
+}
+
+}  // namespace
+}  // namespace optinter

@@ -1,0 +1,44 @@
+// Finite-difference gradient checking helpers for tests.
+//
+// CheckGradient compares an analytically-computed gradient for a float
+// buffer against central differences of a scalar loss closure. Loss
+// closures must be deterministic (re-seed any sampling).
+
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace optinter {
+namespace testing {
+
+/// Relative-error comparison tolerant of tiny magnitudes.
+inline double RelError(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / scale;
+}
+
+/// Checks d(loss)/d(buf[i]) for all i in [0, n) against central
+/// differences. `loss` must recompute the full forward pass from current
+/// buffer contents. `analytic[i]` is the gradient under test.
+inline void CheckGradient(float* buf, size_t n, const float* analytic,
+                          const std::function<double()>& loss,
+                          double eps = 1e-3, double tol = 2e-2) {
+  for (size_t i = 0; i < n; ++i) {
+    const float saved = buf[i];
+    buf[i] = saved + static_cast<float>(eps);
+    const double up = loss();
+    buf[i] = saved - static_cast<float>(eps);
+    const double down = loss();
+    buf[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_LT(RelError(numeric, analytic[i]), tol)
+        << "grad mismatch at " << i << ": numeric=" << numeric
+        << " analytic=" << analytic[i];
+  }
+}
+
+}  // namespace testing
+}  // namespace optinter

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+#include "metrics/mutual_information.h"
+#include "metrics/significance.h"
+
+namespace optinter {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AUC
+// ---------------------------------------------------------------------------
+
+TEST(AucTest, PerfectRanking) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<float> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 1.0);
+}
+
+TEST(AucTest, ReversedRanking) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<float> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<float> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.5);
+}
+
+TEST(AucTest, PartialTiesMidrank) {
+  // scores: pos at 0.5(t), neg at 0.5(t), pos at 0.9, neg at 0.1.
+  // Pairs: (0.5p vs 0.5n)=0.5, (0.5p vs 0.1n)=1, (0.9p vs 0.5n)=1,
+  // (0.9p vs 0.1n)=1 → AUC = 3.5/4.
+  const std::vector<float> scores = {0.5f, 0.5f, 0.9f, 0.1f};
+  const std::vector<float> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 3.5 / 4.0);
+}
+
+TEST(AucTest, KnownHandComputedCase) {
+  // pos scores {0.8, 0.4}, neg {0.6, 0.2}: pairs won = (0.8>0.6)+(0.8>0.2)
+  // +(0.4<0.6:0)+(0.4>0.2) = 3 of 4.
+  const std::vector<float> scores = {0.8f, 0.4f, 0.6f, 0.2f};
+  const std::vector<float> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.75);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(3);
+  const size_t n = 20000;
+  std::vector<float> scores(n), labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  EXPECT_NEAR(Auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(4);
+  std::vector<float> scores(500), labels(500);
+  for (size_t i = 0; i < 500; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform(-3, 3));
+    labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  std::vector<float> transformed(500);
+  for (size_t i = 0; i < 500; ++i) {
+    transformed[i] = std::tanh(scores[i]) * 10.0f + 5.0f;
+  }
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// LogLoss
+// ---------------------------------------------------------------------------
+
+TEST(LogLossTest, KnownValue) {
+  const std::vector<float> probs = {0.9f, 0.1f};
+  const std::vector<float> labels = {1, 0};
+  EXPECT_NEAR(LogLoss(probs, labels), -std::log(0.9), 1e-6);
+}
+
+TEST(LogLossTest, ClampsExtremeProbs) {
+  const std::vector<float> probs = {1.0f, 0.0f};
+  const std::vector<float> labels = {0, 1};
+  const double ll = LogLoss(probs, labels);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_GT(ll, 10.0);
+}
+
+TEST(LogLossTest, PerfectPredictionNearZero) {
+  const std::vector<float> probs = {0.999999f, 0.000001f};
+  const std::vector<float> labels = {1, 0};
+  EXPECT_LT(LogLoss(probs, labels), 1e-4);
+}
+
+TEST(StatsTest, MeanVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Mutual information
+// ---------------------------------------------------------------------------
+
+EncodedDataset MiDataset(const std::vector<int32_t>& f0,
+                         const std::vector<int32_t>& f1,
+                         const std::vector<float>& y) {
+  EncodedDataset d;
+  d.schema = DatasetSchema({{"a", FieldType::kCategorical},
+                            {"b", FieldType::kCategorical}});
+  d.num_rows = y.size();
+  d.cat_ids.resize(2 * y.size());
+  int32_t max0 = 0, max1 = 0;
+  for (size_t r = 0; r < y.size(); ++r) {
+    d.cat_ids[r * 2] = f0[r];
+    d.cat_ids[r * 2 + 1] = f1[r];
+    max0 = std::max(max0, f0[r]);
+    max1 = std::max(max1, f1[r]);
+  }
+  d.cat_vocab_sizes = {static_cast<size_t>(max0) + 1,
+                       static_cast<size_t>(max1) + 1};
+  d.labels = y;
+  return d;
+}
+
+std::vector<size_t> Iota(size_t n) {
+  std::vector<size_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(MiTest, IndependentPairHasZeroMi) {
+  // Label independent of features: MI ≈ 0. Build a balanced design where
+  // every (f0, f1) cell contains one positive and one negative.
+  std::vector<int32_t> f0, f1;
+  std::vector<float> y;
+  for (int32_t a = 0; a < 2; ++a) {
+    for (int32_t b = 0; b < 2; ++b) {
+      for (int lab = 0; lab < 2; ++lab) {
+        f0.push_back(a);
+        f1.push_back(b);
+        y.push_back(static_cast<float>(lab));
+      }
+    }
+  }
+  EncodedDataset d = MiDataset(f0, f1, y);
+  EXPECT_NEAR(PairLabelMutualInformation(d, 0, Iota(y.size())), 0.0, 1e-12);
+}
+
+TEST(MiTest, DeterministicPairEqualsLabelEntropy) {
+  // Label = XOR(f0, f1): pair determines label exactly; MI = H(y) = ln 2.
+  std::vector<int32_t> f0, f1;
+  std::vector<float> y;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int32_t a = 0; a < 2; ++a) {
+      for (int32_t b = 0; b < 2; ++b) {
+        f0.push_back(a);
+        f1.push_back(b);
+        y.push_back(static_cast<float>(a ^ b));
+      }
+    }
+  }
+  EncodedDataset d = MiDataset(f0, f1, y);
+  const auto rows = Iota(y.size());
+  EXPECT_NEAR(PairLabelMutualInformation(d, 0, rows), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LabelEntropy(d, rows), std::log(2.0), 1e-12);
+  // XOR hides the signal from each field alone: marginal MI = 0.
+  EXPECT_NEAR(FieldLabelMutualInformation(d, 0, rows), 0.0, 1e-12);
+  EXPECT_NEAR(FieldLabelMutualInformation(d, 1, rows), 0.0, 1e-12);
+}
+
+TEST(MiTest, AllPairsShapeAndOrder) {
+  std::vector<int32_t> f0 = {0, 1, 0, 1};
+  std::vector<int32_t> f1 = {0, 0, 1, 1};
+  std::vector<float> y = {0, 1, 1, 0};
+  EncodedDataset d = MiDataset(f0, f1, y);
+  auto mi = AllPairMutualInformation(d, Iota(4));
+  ASSERT_EQ(mi.size(), 1u);
+  EXPECT_NEAR(mi[0], std::log(2.0), 1e-12);
+}
+
+TEST(MiTest, NonNegative) {
+  Rng rng(5);
+  std::vector<int32_t> f0(300), f1(300);
+  std::vector<float> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    f0[i] = static_cast<int32_t>(rng.UniformInt(5));
+    f1[i] = static_cast<int32_t>(rng.UniformInt(7));
+    y[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  EncodedDataset d = MiDataset(f0, f1, y);
+  EXPECT_GE(PairLabelMutualInformation(d, 0, Iota(300)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Significance
+// ---------------------------------------------------------------------------
+
+TEST(BetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(BetaTest, SymmetricCase) {
+  // I_{0.5}(a, a) = 0.5.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 3.0, 0.5), 0.5, 1e-9);
+}
+
+TEST(BetaTest, KnownValue) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-9);
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  // t=2.776 at df=4 → two-tailed p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoTailedP(2.776, 4.0), 0.05, 2e-3);
+  // t=0 → p = 1.
+  EXPECT_NEAR(StudentTTwoTailedP(0.0, 10.0), 1.0, 1e-9);
+  // Huge t → p ≈ 0.
+  EXPECT_LT(StudentTTwoTailedP(50.0, 10.0), 1e-8);
+}
+
+TEST(WelchTest, DetectsLargeDifference) {
+  const std::vector<double> a = {10.0, 10.1, 9.9, 10.05, 9.95};
+  const std::vector<double> b = {5.0, 5.1, 4.9, 5.05, 4.95};
+  auto r = WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.t_statistic, 10.0);
+}
+
+TEST(WelchTest, SameDistributionHighP) {
+  const std::vector<double> a = {1.0, 1.2, 0.8, 1.1, 0.9};
+  const std::vector<double> b = {1.05, 0.95, 1.15, 0.85, 1.0};
+  auto r = WelchTTest(a, b);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(PairedTest, DetectsConsistentImprovement) {
+  const std::vector<double> base = {0.80, 0.81, 0.79, 0.80, 0.82};
+  std::vector<double> improved = base;
+  for (auto& x : improved) x += 0.002;  // consistent +0.2pp
+  auto r = PairedTTest(improved, base);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(PairedTest, ZeroDifferenceIsPOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  auto r = PairedTTest(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace optinter

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "core/zoo.h"
+#include "models/deep_models.h"
+#include "models/interaction.h"
+#include "models/fm_family.h"
+#include "models/lr.h"
+#include "models/poly2.h"
+#include "test_data.h"
+#include "train/trainer.h"
+
+namespace optinter {
+namespace {
+
+using testing::HeadBatch;
+using testing::SharedTinyData;
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 99;
+  return hp;
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized over every zoo baseline.
+// ---------------------------------------------------------------------------
+
+class ZooModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModelTest, Constructs) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline(GetParam(), p.data, TinyHp());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT((*model)->ParamCount(), 0u);
+}
+
+TEST_P(ZooModelTest, PredictionsAreProbabilities) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline(GetParam(), p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  Batch b = HeadBatch(p, 64);
+  std::vector<float> probs;
+  (*model)->Predict(b, &probs);
+  ASSERT_EQ(probs.size(), 64u);
+  for (float q : probs) {
+    EXPECT_GT(q, 0.0f);
+    EXPECT_LT(q, 1.0f);
+  }
+}
+
+TEST_P(ZooModelTest, LossDecreasesOverRepeatedSteps) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline(GetParam(), p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  Batch b = HeadBatch(p, 256);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    const float loss = (*model)->TrainStep(b);
+    ASSERT_TRUE(std::isfinite(loss));
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first) << GetParam()
+                         << " did not reduce training loss";
+}
+
+TEST_P(ZooModelTest, DeterministicGivenSeed) {
+  const auto& p = SharedTinyData();
+  auto m1 = CreateBaseline(GetParam(), p.data, TinyHp());
+  auto m2 = CreateBaseline(GetParam(), p.data, TinyHp());
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  Batch b = HeadBatch(p, 64);
+  (*m1)->TrainStep(b);
+  (*m2)->TrainStep(b);
+  std::vector<float> p1, p2;
+  (*m1)->Predict(b, &p1);
+  (*m2)->Predict(b, &p2);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_FLOAT_EQ(p1[i], p2[i]) << GetParam();
+  }
+}
+
+TEST_P(ZooModelTest, LearnsAboveChanceAuc) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline(GetParam(), p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 256;
+  opts.seed = 5;
+  opts.patience = 0;
+  TrainSummary s = TrainModel(model->get(), p.data, p.splits, opts);
+  EXPECT_GT(s.final_test.auc, 0.55) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, ZooModelTest,
+    ::testing::Values("LR", "Poly2", "FM", "FFM", "FwFM", "FmFM", "FNN",
+                      "IPNN", "OPNN", "DeepFM", "PIN", "OptInter-F",
+                      "OptInter-M"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Zoo plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ZooTest, UnknownModelRejected) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline("TransformerXL", p.data, TinyHp());
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ZooTest, CrossRequiredModelsFlagged) {
+  EXPECT_TRUE(BaselineNeedsCross("Poly2"));
+  EXPECT_TRUE(BaselineNeedsCross("OptInter-M"));
+  EXPECT_FALSE(BaselineNeedsCross("FM"));
+  EXPECT_FALSE(BaselineNeedsCross("FNN"));
+}
+
+TEST(ZooTest, TableVOrderMatchesPaperGroups) {
+  auto names = TableVBaselineNames();
+  // LR first (naïve/shallow), OptInter-M last of the baselines.
+  EXPECT_EQ(names.front(), "LR");
+  EXPECT_EQ(names.back(), "OptInter-M");
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(ZooTest, ModelsNamedAsInPaper) {
+  const auto& p = SharedTinyData();
+  for (const auto& name :
+       {"LR", "Poly2", "FM", "IPNN", "DeepFM", "PIN", "OptInter-M"}) {
+    auto model = CreateBaseline(name, p.data, TinyHp());
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ((*model)->Name(), name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter accounting
+// ---------------------------------------------------------------------------
+
+TEST(ParamCountTest, LrIsVocabPlusBias) {
+  const auto& p = SharedTinyData();
+  LrModel lr(p.data, TinyHp());
+  size_t expected = p.data.TotalOrigVocab() * 1 +
+                    p.data.num_continuous() * 1 + 1;
+  EXPECT_EQ(lr.ParamCount(), expected);
+}
+
+TEST(ParamCountTest, Poly2AddsCrossVocab) {
+  const auto& p = SharedTinyData();
+  Poly2Model poly(p.data, TinyHp());
+  LrModel lr(p.data, TinyHp());
+  EXPECT_EQ(poly.ParamCount(), lr.ParamCount() + p.data.TotalCrossVocab());
+}
+
+TEST(ParamCountTest, FmHasLinearPlusLatent) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  FmFamilyModel fm(p.data, hp, FmVariant::kFm);
+  const size_t vocab = p.data.TotalOrigVocab() + p.data.num_continuous();
+  EXPECT_EQ(fm.ParamCount(), vocab * 1 + vocab * hp.embed_dim + 1);
+}
+
+TEST(ParamCountTest, FfmLatentIsFieldWide) {
+  // FFM stores one latent vector per opponent field: F× the FM latent.
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  FmFamilyModel fm(p.data, hp, FmVariant::kFm);
+  FmFamilyModel ffm(p.data, hp, FmVariant::kFfm);
+  const size_t fields = p.data.num_categorical() + p.data.num_continuous();
+  const size_t vocab = p.data.TotalOrigVocab() + p.data.num_continuous();
+  EXPECT_EQ(ffm.ParamCount() - fm.ParamCount(),
+            vocab * hp.embed_dim * (fields - 1));
+}
+
+TEST(ParamCountTest, FwFmAddsPairScalars) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  FmFamilyModel fm(p.data, hp, FmVariant::kFm);
+  FmFamilyModel fwfm(p.data, hp, FmVariant::kFwFm);
+  const size_t fields = p.data.num_categorical() + p.data.num_continuous();
+  const size_t pairs = fields * (fields - 1) / 2;
+  EXPECT_EQ(fwfm.ParamCount(), fm.ParamCount() + pairs);
+}
+
+TEST(ParamCountTest, FmFmAddsPairMatrices) {
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  FmFamilyModel fm(p.data, hp, FmVariant::kFm);
+  FmFamilyModel fmfm(p.data, hp, FmVariant::kFmFm);
+  const size_t fields = p.data.num_categorical() + p.data.num_continuous();
+  const size_t pairs = fields * (fields - 1) / 2;
+  EXPECT_EQ(fmfm.ParamCount(),
+            fm.ParamCount() + pairs * hp.embed_dim * hp.embed_dim);
+}
+
+TEST(ParamCountTest, MemorizedDwarfsFactorized) {
+  // The paper's central efficiency observation: the all-memorize model is
+  // far larger than the all-factorize model on the same data.
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  auto mem = CreateBaseline("OptInter-M", p.data, hp);
+  auto fac = CreateBaseline("OptInter-F", p.data, hp);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(fac.ok());
+  EXPECT_GT((*mem)->ParamCount(), (*fac)->ParamCount());
+}
+
+// ---------------------------------------------------------------------------
+// Interaction bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(InteractionTest, CountsAndString) {
+  Architecture arch = {InterMethod::kMemorize, InterMethod::kFactorize,
+                       InterMethod::kFactorize, InterMethod::kNaive};
+  auto counts = CountArchitecture(arch);
+  EXPECT_EQ(counts.memorize, 1u);
+  EXPECT_EQ(counts.factorize, 2u);
+  EXPECT_EQ(counts.naive, 1u);
+  EXPECT_EQ(ArchCountsToString(counts), "[1,2,1]");
+}
+
+TEST(InteractionTest, UniformBuilders) {
+  EXPECT_EQ(CountArchitecture(AllMemorize(5)).memorize, 5u);
+  EXPECT_EQ(CountArchitecture(AllFactorize(5)).factorize, 5u);
+  EXPECT_EQ(CountArchitecture(AllNaive(5)).naive, 5u);
+}
+
+TEST(InteractionTest, MethodNames) {
+  EXPECT_STREQ(InterMethodName(InterMethod::kMemorize), "memorize");
+  EXPECT_STREQ(InterMethodName(InterMethod::kFactorize), "factorize");
+  EXPECT_STREQ(InterMethodName(InterMethod::kNaive), "naive");
+}
+
+}  // namespace
+}  // namespace optinter

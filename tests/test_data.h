@@ -1,0 +1,53 @@
+// Shared test fixtures: a small planted synthetic dataset, encoded with
+// cross features, built once per test binary.
+
+#pragma once
+
+#include <memory>
+#include <numeric>
+
+#include "data/batch.h"
+#include "data/encoder.h"
+#include "synth/profiles.h"
+
+namespace optinter {
+namespace testing {
+
+struct PreparedData {
+  SynthConfig cfg;
+  EncodedDataset data;
+  Splits splits;
+};
+
+/// Builds (once) a ~6k-row tiny dataset with planted structure, encoded
+/// with cross-product features and 70/10/20 splits.
+inline const PreparedData& SharedTinyData() {
+  static const PreparedData* prepared = [] {
+    auto* p = new PreparedData();
+    p->cfg = TinyConfig();
+    RawDataset raw = GenerateSynthetic(p->cfg);
+    Rng rng(p->cfg.seed);
+    p->splits = MakeSplits(raw.num_rows, 0.7, 0.1, &rng);
+    EncoderOptions opts;
+    opts.cat_min_count = 2;
+    opts.cross_min_count = 2;
+    auto encoded = EncodeDataset(raw, p->splits.train, opts);
+    CHECK(encoded.ok()) << encoded.status().ToString();
+    p->data = std::move(encoded).value();
+    CHECK_OK(BuildCrossFeatures(&p->data, p->splits.train, opts));
+    return p;
+  }();
+  return *prepared;
+}
+
+/// A batch over the first `n` training rows.
+inline Batch HeadBatch(const PreparedData& p, size_t n) {
+  Batch b;
+  b.data = &p.data;
+  b.rows = p.splits.train.data();
+  b.size = std::min(n, p.splits.train.size());
+  return b;
+}
+
+}  // namespace testing
+}  // namespace optinter

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/zoo.h"
+#include "test_data.h"
+#include "train/trainer.h"
+
+namespace optinter {
+namespace {
+
+using testing::SharedTinyData;
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 17;
+  return hp;
+}
+
+TEST(TrainerTest, RecordsPerEpochStats) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline("FNN", p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 512;
+  opts.patience = 0;
+  TrainSummary s = TrainModel(model->get(), p.data, p.splits, opts);
+  EXPECT_EQ(s.epochs_run, 2u);
+  EXPECT_EQ(s.epoch_train_losses.size(), 2u);
+  EXPECT_EQ(s.epoch_val_aucs.size(), 2u);
+  EXPECT_GT(s.seconds, 0.0);
+  EXPECT_GT(s.final_test.auc, 0.0);
+  EXPECT_GT(s.final_test.logloss, 0.0);
+}
+
+TEST(TrainerTest, TrainingLossImprovesAcrossEpochs) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline("OptInter-M", p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 256;
+  opts.patience = 0;
+  TrainSummary s = TrainModel(model->get(), p.data, p.splits, opts);
+  EXPECT_LT(s.epoch_train_losses.back(), s.epoch_train_losses.front());
+}
+
+TEST(TrainerTest, EarlyStoppingCapsEpochs) {
+  // With a zero learning rate the validation AUC cannot improve, so
+  // patience=1 must stop training after the second epoch.
+  // (FNN rather than LR: the zoo gives shallow models their own larger
+  // learning rate, which would override the zero here.)
+  const auto& p = SharedTinyData();
+  HyperParams hp = TinyHp();
+  hp.lr_orig = 0.0f;
+  hp.lr_cross = 0.0f;
+  auto model = CreateBaseline("FNN", p.data, hp);
+  ASSERT_TRUE(model.ok());
+  TrainOptions opts;
+  opts.epochs = 30;
+  opts.batch_size = 512;
+  opts.patience = 1;
+  TrainSummary s = TrainModel(model->get(), p.data, p.splits, opts);
+  EXPECT_EQ(s.epochs_run, 2u);
+}
+
+TEST(TrainerTest, NoValSplitStillTrains) {
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline("FM", p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  Splits splits = p.splits;
+  splits.val.clear();
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 512;
+  TrainSummary s = TrainModel(model->get(), p.data, splits, opts);
+  EXPECT_EQ(s.epochs_run, 1u);
+  EXPECT_TRUE(s.epoch_val_aucs.empty());
+  EXPECT_GT(s.final_test.auc, 0.0);
+}
+
+TEST(TrainerTest, EvaluateBatchingInvariant) {
+  // Metrics must not depend on the evaluation batch size.
+  const auto& p = SharedTinyData();
+  auto model = CreateBaseline("FNN", p.data, TinyHp());
+  ASSERT_TRUE(model.ok());
+  EvalMetrics big = EvaluateModel(model->get(), p.data, p.splits.test, 4096);
+  EvalMetrics small = EvaluateModel(model->get(), p.data, p.splits.test, 77);
+  EXPECT_NEAR(big.auc, small.auc, 1e-12);
+  EXPECT_NEAR(big.logloss, small.logloss, 1e-12);
+}
+
+}  // namespace
+}  // namespace optinter
