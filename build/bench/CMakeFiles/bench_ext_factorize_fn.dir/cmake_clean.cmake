@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_factorize_fn.dir/ext_factorize_fn.cc.o"
+  "CMakeFiles/bench_ext_factorize_fn.dir/ext_factorize_fn.cc.o.d"
+  "bench_ext_factorize_fn"
+  "bench_ext_factorize_fn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_factorize_fn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

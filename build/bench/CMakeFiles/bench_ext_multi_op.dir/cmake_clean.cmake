@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_op.dir/ext_multi_op.cc.o"
+  "CMakeFiles/bench_ext_multi_op.dir/ext_multi_op.cc.o.d"
+  "bench_ext_multi_op"
+  "bench_ext_multi_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_third_order.cc" "bench/CMakeFiles/bench_ext_third_order.dir/ext_third_order.cc.o" "gcc" "bench/CMakeFiles/bench_ext_third_order.dir/ext_third_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/optinter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/optinter_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/optinter_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/optinter_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/optinter_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/optinter_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/optinter_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/optinter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optinter_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optinter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_third_order.dir/ext_third_order.cc.o"
+  "CMakeFiles/bench_ext_third_order.dir/ext_third_order.cc.o.d"
+  "bench_ext_third_order"
+  "bench_ext_third_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_third_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

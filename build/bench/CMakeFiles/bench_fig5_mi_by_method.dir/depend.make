@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_mi_by_method.
+# This may be replaced when dependencies are built.

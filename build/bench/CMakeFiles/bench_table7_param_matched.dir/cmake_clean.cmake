@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_param_matched.dir/table7_param_matched.cc.o"
+  "CMakeFiles/bench_table7_param_matched.dir/table7_param_matched.cc.o.d"
+  "bench_table7_param_matched"
+  "bench_table7_param_matched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_param_matched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

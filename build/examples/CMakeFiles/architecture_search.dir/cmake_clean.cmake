@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_search.dir/architecture_search.cpp.o"
+  "CMakeFiles/architecture_search.dir/architecture_search.cpp.o.d"
+  "architecture_search"
+  "architecture_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

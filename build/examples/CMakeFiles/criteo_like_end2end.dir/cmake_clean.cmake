@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteo_like_end2end.dir/criteo_like_end2end.cpp.o"
+  "CMakeFiles/criteo_like_end2end.dir/criteo_like_end2end.cpp.o.d"
+  "criteo_like_end2end"
+  "criteo_like_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteo_like_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

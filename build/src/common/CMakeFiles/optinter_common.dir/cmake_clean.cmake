@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_common.dir/flags.cc.o"
+  "CMakeFiles/optinter_common.dir/flags.cc.o.d"
+  "CMakeFiles/optinter_common.dir/logging.cc.o"
+  "CMakeFiles/optinter_common.dir/logging.cc.o.d"
+  "CMakeFiles/optinter_common.dir/rng.cc.o"
+  "CMakeFiles/optinter_common.dir/rng.cc.o.d"
+  "CMakeFiles/optinter_common.dir/status.cc.o"
+  "CMakeFiles/optinter_common.dir/status.cc.o.d"
+  "CMakeFiles/optinter_common.dir/string_util.cc.o"
+  "CMakeFiles/optinter_common.dir/string_util.cc.o.d"
+  "CMakeFiles/optinter_common.dir/thread_pool.cc.o"
+  "CMakeFiles/optinter_common.dir/thread_pool.cc.o.d"
+  "liboptinter_common.a"
+  "liboptinter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autofis.cc" "src/core/CMakeFiles/optinter_core.dir/autofis.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/autofis.cc.o.d"
+  "/root/repo/src/core/fixed_arch_model.cc" "src/core/CMakeFiles/optinter_core.dir/fixed_arch_model.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/fixed_arch_model.cc.o.d"
+  "/root/repo/src/core/multi_op_search.cc" "src/core/CMakeFiles/optinter_core.dir/multi_op_search.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/multi_op_search.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/optinter_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/search_model.cc" "src/core/CMakeFiles/optinter_core.dir/search_model.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/search_model.cc.o.d"
+  "/root/repo/src/core/zoo.cc" "src/core/CMakeFiles/optinter_core.dir/zoo.cc.o" "gcc" "src/core/CMakeFiles/optinter_core.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/optinter_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/optinter_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/optinter_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/optinter_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/optinter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optinter_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optinter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

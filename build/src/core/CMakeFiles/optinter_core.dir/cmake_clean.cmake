@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_core.dir/autofis.cc.o"
+  "CMakeFiles/optinter_core.dir/autofis.cc.o.d"
+  "CMakeFiles/optinter_core.dir/fixed_arch_model.cc.o"
+  "CMakeFiles/optinter_core.dir/fixed_arch_model.cc.o.d"
+  "CMakeFiles/optinter_core.dir/multi_op_search.cc.o"
+  "CMakeFiles/optinter_core.dir/multi_op_search.cc.o.d"
+  "CMakeFiles/optinter_core.dir/pipeline.cc.o"
+  "CMakeFiles/optinter_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/optinter_core.dir/search_model.cc.o"
+  "CMakeFiles/optinter_core.dir/search_model.cc.o.d"
+  "CMakeFiles/optinter_core.dir/zoo.cc.o"
+  "CMakeFiles/optinter_core.dir/zoo.cc.o.d"
+  "liboptinter_core.a"
+  "liboptinter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

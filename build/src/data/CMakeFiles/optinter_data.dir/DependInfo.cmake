@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch.cc" "src/data/CMakeFiles/optinter_data.dir/batch.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/batch.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/optinter_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/optinter_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/encoder.cc" "src/data/CMakeFiles/optinter_data.dir/encoder.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/encoder.cc.o.d"
+  "/root/repo/src/data/fitted_encoder.cc" "src/data/CMakeFiles/optinter_data.dir/fitted_encoder.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/fitted_encoder.cc.o.d"
+  "/root/repo/src/data/libsvm_loader.cc" "src/data/CMakeFiles/optinter_data.dir/libsvm_loader.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/libsvm_loader.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/optinter_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/vocab.cc" "src/data/CMakeFiles/optinter_data.dir/vocab.cc.o" "gcc" "src/data/CMakeFiles/optinter_data.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/optinter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

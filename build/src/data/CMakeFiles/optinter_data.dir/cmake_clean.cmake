@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_data.dir/batch.cc.o"
+  "CMakeFiles/optinter_data.dir/batch.cc.o.d"
+  "CMakeFiles/optinter_data.dir/csv_loader.cc.o"
+  "CMakeFiles/optinter_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/optinter_data.dir/dataset.cc.o"
+  "CMakeFiles/optinter_data.dir/dataset.cc.o.d"
+  "CMakeFiles/optinter_data.dir/encoder.cc.o"
+  "CMakeFiles/optinter_data.dir/encoder.cc.o.d"
+  "CMakeFiles/optinter_data.dir/fitted_encoder.cc.o"
+  "CMakeFiles/optinter_data.dir/fitted_encoder.cc.o.d"
+  "CMakeFiles/optinter_data.dir/libsvm_loader.cc.o"
+  "CMakeFiles/optinter_data.dir/libsvm_loader.cc.o.d"
+  "CMakeFiles/optinter_data.dir/schema.cc.o"
+  "CMakeFiles/optinter_data.dir/schema.cc.o.d"
+  "CMakeFiles/optinter_data.dir/vocab.cc.o"
+  "CMakeFiles/optinter_data.dir/vocab.cc.o.d"
+  "liboptinter_data.a"
+  "liboptinter_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_io.dir/serialize.cc.o"
+  "CMakeFiles/optinter_io.dir/serialize.cc.o.d"
+  "liboptinter_io.a"
+  "liboptinter_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

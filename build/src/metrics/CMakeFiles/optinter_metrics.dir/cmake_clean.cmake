@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_metrics.dir/metrics.cc.o"
+  "CMakeFiles/optinter_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/optinter_metrics.dir/mutual_information.cc.o"
+  "CMakeFiles/optinter_metrics.dir/mutual_information.cc.o.d"
+  "CMakeFiles/optinter_metrics.dir/significance.cc.o"
+  "CMakeFiles/optinter_metrics.dir/significance.cc.o.d"
+  "liboptinter_metrics.a"
+  "liboptinter_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cross_embedding.cc" "src/models/CMakeFiles/optinter_models.dir/cross_embedding.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/cross_embedding.cc.o.d"
+  "/root/repo/src/models/deep_models.cc" "src/models/CMakeFiles/optinter_models.dir/deep_models.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/deep_models.cc.o.d"
+  "/root/repo/src/models/feature_embedding.cc" "src/models/CMakeFiles/optinter_models.dir/feature_embedding.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/feature_embedding.cc.o.d"
+  "/root/repo/src/models/fm_family.cc" "src/models/CMakeFiles/optinter_models.dir/fm_family.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/fm_family.cc.o.d"
+  "/root/repo/src/models/hyperparams.cc" "src/models/CMakeFiles/optinter_models.dir/hyperparams.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/hyperparams.cc.o.d"
+  "/root/repo/src/models/interaction.cc" "src/models/CMakeFiles/optinter_models.dir/interaction.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/interaction.cc.o.d"
+  "/root/repo/src/models/lr.cc" "src/models/CMakeFiles/optinter_models.dir/lr.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/lr.cc.o.d"
+  "/root/repo/src/models/poly2.cc" "src/models/CMakeFiles/optinter_models.dir/poly2.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/poly2.cc.o.d"
+  "/root/repo/src/models/triple_embedding.cc" "src/models/CMakeFiles/optinter_models.dir/triple_embedding.cc.o" "gcc" "src/models/CMakeFiles/optinter_models.dir/triple_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/optinter_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/optinter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optinter_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optinter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_models.dir/cross_embedding.cc.o"
+  "CMakeFiles/optinter_models.dir/cross_embedding.cc.o.d"
+  "CMakeFiles/optinter_models.dir/deep_models.cc.o"
+  "CMakeFiles/optinter_models.dir/deep_models.cc.o.d"
+  "CMakeFiles/optinter_models.dir/feature_embedding.cc.o"
+  "CMakeFiles/optinter_models.dir/feature_embedding.cc.o.d"
+  "CMakeFiles/optinter_models.dir/fm_family.cc.o"
+  "CMakeFiles/optinter_models.dir/fm_family.cc.o.d"
+  "CMakeFiles/optinter_models.dir/hyperparams.cc.o"
+  "CMakeFiles/optinter_models.dir/hyperparams.cc.o.d"
+  "CMakeFiles/optinter_models.dir/interaction.cc.o"
+  "CMakeFiles/optinter_models.dir/interaction.cc.o.d"
+  "CMakeFiles/optinter_models.dir/lr.cc.o"
+  "CMakeFiles/optinter_models.dir/lr.cc.o.d"
+  "CMakeFiles/optinter_models.dir/poly2.cc.o"
+  "CMakeFiles/optinter_models.dir/poly2.cc.o.d"
+  "CMakeFiles/optinter_models.dir/triple_embedding.cc.o"
+  "CMakeFiles/optinter_models.dir/triple_embedding.cc.o.d"
+  "liboptinter_models.a"
+  "liboptinter_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_nn.dir/embedding.cc.o"
+  "CMakeFiles/optinter_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/optinter_nn.dir/init.cc.o"
+  "CMakeFiles/optinter_nn.dir/init.cc.o.d"
+  "CMakeFiles/optinter_nn.dir/layers.cc.o"
+  "CMakeFiles/optinter_nn.dir/layers.cc.o.d"
+  "CMakeFiles/optinter_nn.dir/mlp.cc.o"
+  "CMakeFiles/optinter_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/optinter_nn.dir/optimizer.cc.o"
+  "CMakeFiles/optinter_nn.dir/optimizer.cc.o.d"
+  "liboptinter_nn.a"
+  "liboptinter_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

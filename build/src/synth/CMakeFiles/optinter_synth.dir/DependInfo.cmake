@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/optinter_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/optinter_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/prepare.cc" "src/synth/CMakeFiles/optinter_synth.dir/prepare.cc.o" "gcc" "src/synth/CMakeFiles/optinter_synth.dir/prepare.cc.o.d"
+  "/root/repo/src/synth/profiles.cc" "src/synth/CMakeFiles/optinter_synth.dir/profiles.cc.o" "gcc" "src/synth/CMakeFiles/optinter_synth.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/optinter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optinter_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optinter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

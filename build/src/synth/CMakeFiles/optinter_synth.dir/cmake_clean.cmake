@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_synth.dir/generator.cc.o"
+  "CMakeFiles/optinter_synth.dir/generator.cc.o.d"
+  "CMakeFiles/optinter_synth.dir/prepare.cc.o"
+  "CMakeFiles/optinter_synth.dir/prepare.cc.o.d"
+  "CMakeFiles/optinter_synth.dir/profiles.cc.o"
+  "CMakeFiles/optinter_synth.dir/profiles.cc.o.d"
+  "liboptinter_synth.a"
+  "liboptinter_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

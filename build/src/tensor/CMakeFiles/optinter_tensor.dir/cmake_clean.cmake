@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_tensor.dir/kernels.cc.o"
+  "CMakeFiles/optinter_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/optinter_tensor.dir/tensor.cc.o"
+  "CMakeFiles/optinter_tensor.dir/tensor.cc.o.d"
+  "liboptinter_tensor.a"
+  "liboptinter_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optinter_train.dir/trainer.cc.o"
+  "CMakeFiles/optinter_train.dir/trainer.cc.o.d"
+  "liboptinter_train.a"
+  "liboptinter_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optinter_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

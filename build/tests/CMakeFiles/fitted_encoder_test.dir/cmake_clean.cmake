@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitted_encoder_test.dir/fitted_encoder_test.cc.o"
+  "CMakeFiles/fitted_encoder_test.dir/fitted_encoder_test.cc.o.d"
+  "fitted_encoder_test"
+  "fitted_encoder_test.pdb"
+  "fitted_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitted_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_op_test.dir/multi_op_test.cc.o"
+  "CMakeFiles/multi_op_test.dir/multi_op_test.cc.o.d"
+  "multi_op_test"
+  "multi_op_test.pdb"
+  "multi_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
