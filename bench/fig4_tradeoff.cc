@@ -61,21 +61,25 @@ int main(int argc, char** argv) {
             p.data, p.splits, AllMemorize(p.data.num_pairs()), hp_s2,
             topts, "OptInter-M");
         std::printf("OptInter-M(%zu)  params %10zu (%6s)  AUC %.4f  "
-                    "logloss %.4f\n",
+                    "logloss %.4f  train %6.1fs  %8.0f rows/s\n",
                     s2, run.param_count,
                     HumanCount(run.param_count).c_str(),
                     run.summary.final_test.auc,
-                    run.summary.final_test.logloss);
+                    run.summary.final_test.logloss,
+                    run.summary.telemetry.train_seconds_total,
+                    run.summary.telemetry.train_rows_per_sec);
       }
       {
         FixedArchRun run = TrainFixedArch(p.data, p.splits, search.arch,
                                           hp_s2, topts, "OptInter");
         std::printf("OptInter(%zu)    params %10zu (%6s)  AUC %.4f  "
-                    "logloss %.4f\n",
+                    "logloss %.4f  train %6.1fs  %8.0f rows/s\n",
                     s2, run.param_count,
                     HumanCount(run.param_count).c_str(),
                     run.summary.final_test.auc,
-                    run.summary.final_test.logloss);
+                    run.summary.final_test.logloss,
+                    run.summary.telemetry.train_seconds_total,
+                    run.summary.telemetry.train_rows_per_sec);
       }
     }
   }

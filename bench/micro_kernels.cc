@@ -38,7 +38,7 @@ void BM_GemmTN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(m * k * n));
 }
-BENCHMARK(BM_GemmTN)->Arg(64)->Arg(512);
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(512)->Arg(2048);
 
 void BM_EmbeddingGather(benchmark::State& state) {
   const size_t vocab = 100000;

@@ -27,6 +27,7 @@ struct Row {
   double logloss = 0.0;
   size_t params = 0;
   std::string arch;
+  TrainTelemetry telemetry;
 };
 
 Row RunBaseline(const std::string& name, const PreparedDataset& p,
@@ -39,6 +40,7 @@ Row RunBaseline(const std::string& name, const PreparedDataset& p,
   row.auc = s.final_test.auc;
   row.logloss = s.final_test.logloss;
   row.params = (*model)->ParamCount();
+  row.telemetry = s.telemetry;
   return row;
 }
 
@@ -90,7 +92,8 @@ int main(int argc, char** argv) {
         if (rep == 0) {
           rows.push_back({"AutoFIS", r.retrain.final_test.auc,
                           r.retrain.final_test.logloss, r.param_count,
-                          ArchCountsToString(CountArchitecture(r.arch))});
+                          ArchCountsToString(CountArchitecture(r.arch)),
+                          r.retrain.telemetry});
         }
       }
       {
@@ -104,13 +107,15 @@ int main(int argc, char** argv) {
           rows.push_back({"OptInter", r.retrain.final_test.auc,
                           r.retrain.final_test.logloss, r.param_count,
                           ArchCountsToString(
-                              CountArchitecture(r.search.arch))});
+                              CountArchitecture(r.search.arch)),
+                          r.retrain.telemetry});
         }
       }
     }
 
     for (const auto& row : rows) {
-      PrintModelRow(row.model, row.auc, row.logloss, row.params, row.arch);
+      PrintModelRowWithThroughput(row.model, row.auc, row.logloss,
+                                  row.params, row.telemetry, row.arch);
     }
 
     // Table VI summary: method selection per approach.

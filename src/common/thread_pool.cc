@@ -7,6 +7,10 @@
 
 namespace optinter {
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   CHECK_GE(num_threads, 1u);
   workers_.reserve(num_threads);
@@ -39,7 +43,10 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -75,6 +82,12 @@ void ParallelForChunks(size_t begin, size_t end,
                        const std::function<void(size_t, size_t)>& body,
                        size_t min_chunk) {
   if (begin >= end) return;
+  if (ThreadPool::InWorkerThread()) {
+    // Nested parallel region: run serially on this worker (see
+    // InWorkerThread for the deadlock rationale).
+    body(begin, end);
+    return;
+  }
   const size_t n = end - begin;
   ThreadPool& pool = ThreadPool::Global();
   const size_t max_chunks = pool.num_threads() * 4;

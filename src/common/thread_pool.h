@@ -36,6 +36,13 @@ class ThreadPool {
   /// Process-wide default pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
+  /// True when the calling thread is one of the global pool's workers.
+  /// ParallelFor/ParallelForChunks use this to degrade to a serial loop:
+  /// a worker that Submit()s and then Wait()s for the pool would deadlock
+  /// (Wait blocks until in_flight_ == 0, which includes the waiter's own
+  /// task).
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

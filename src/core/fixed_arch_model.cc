@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
 #include "nn/layers.h"
 #include "tensor/kernels.h"
 
@@ -77,32 +78,41 @@ void FixedArchModel::Forward(const Batch& batch) {
   const size_t b = batch.size;
   const size_t emb_cols = emb_out_.cols();
   z_.Resize({b, emb_cols + inter_dim_});
-  for (size_t k = 0; k < b; ++k) {
-    float* zr = z_.row(k);
-    std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
-    const float* e = emb_out_.row(k);
-    for (size_t p = 0; p < arch_.size(); ++p) {
-      switch (arch_[p]) {
-        case InterMethod::kMemorize:
-          std::memcpy(zr + emb_cols + block_offset_[p],
-                      cross_out_.row(k) + mem_slot_[p] * s2_,
-                      s2_ * sizeof(float));
-          break;
-        case InterMethod::kFactorize: {
-          const auto [i, j] = cat_pairs_[p];
-          FactorizedForward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
-                            zr + emb_cols + block_offset_[p]);
-          break;
+  auto assemble = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      float* zr = z_.row(k);
+      std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
+      const float* e = emb_out_.row(k);
+      for (size_t p = 0; p < arch_.size(); ++p) {
+        switch (arch_[p]) {
+          case InterMethod::kMemorize:
+            std::memcpy(zr + emb_cols + block_offset_[p],
+                        cross_out_.row(k) + mem_slot_[p] * s2_,
+                        s2_ * sizeof(float));
+            break;
+          case InterMethod::kFactorize: {
+            const auto [i, j] = cat_pairs_[p];
+            FactorizedForward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
+                              zr + emb_cols + block_offset_[p]);
+            break;
+          }
+          case InterMethod::kNaive:
+            break;
         }
-        case InterMethod::kNaive:
-          break;
+      }
+      if (triple_emb_) {
+        std::memcpy(zr + emb_cols + inter_dim_ - triple_emb_->output_dim(),
+                    triple_out_.row(k),
+                    triple_emb_->output_dim() * sizeof(float));
       }
     }
-    if (triple_emb_) {
-      std::memcpy(zr + emb_cols + inter_dim_ - triple_emb_->output_dim(),
-                  triple_out_.row(k),
-                  triple_emb_->output_dim() * sizeof(float));
-    }
+  };
+  // Each row assembles into its own z_ row, so fanning across the pool is
+  // bit-identical to the serial loop.
+  if (b * (emb_cols + inter_dim_) >= (1u << 15)) {
+    ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
+  } else {
+    assemble(0, b);
   }
   mlp_->Forward(z_, &mlp_out_);
   logits_.resize(b);

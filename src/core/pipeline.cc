@@ -23,6 +23,7 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
                        hp.batch_size, hp.seed ^ 0xa5c3ULL);
   arch_batcher.StartEpoch();
 
+  SearchResult result;
   const size_t epochs = std::max<size_t>(1, options.search_epochs);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     if (options.anneal_temperature) {
@@ -34,13 +35,16 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
                            frac * (hp.gumbel_temp_end -
                                    hp.gumbel_temp_start));
     }
+    Stopwatch epoch_timer;
     train_batcher.StartEpoch();
     double loss_sum = 0.0;
     size_t batches = 0;
+    size_t rows_seen = 0;
     for (;;) {
       Batch b = train_batcher.Next();
       if (b.size == 0) break;
       loss_sum += model.TrainStep(b);
+      rows_seen += b.size;
       ++batches;
       if (options.mode == UpdateMode::kBilevel) {
         Batch vb = arch_batcher.Next();
@@ -51,20 +55,44 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
         model.ArchStep(vb);
       }
     }
+    EpochTelemetry et;
+    et.epoch = epoch;
+    et.train_seconds = epoch_timer.Elapsed();
+    et.train_rows_per_sec =
+        et.train_seconds > 0.0
+            ? static_cast<double>(rows_seen) / et.train_seconds
+            : 0.0;
+    et.mean_train_loss =
+        batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    result.telemetry.train_seconds_total += et.train_seconds;
+    result.telemetry.epochs.push_back(et);
     if (options.verbose) {
-      LOG_INFO() << model.Name() << " search epoch " << epoch << " loss="
-                 << (batches ? loss_sum / static_cast<double>(batches) : 0.0)
-                 << " tau=" << model.temperature();
+      LOG_INFO() << model.Name() << " search epoch " << epoch
+                 << " loss=" << et.mean_train_loss
+                 << " tau=" << model.temperature()
+                 << " train_s=" << et.train_seconds
+                 << " rows/s=" << et.train_rows_per_sec;
     }
   }
 
-  SearchResult result;
   result.arch = model.ExtractArchitecture();
-  if (!splits.val.empty()) {
-    result.search_val = EvaluateModel(&model, data, splits.val);
+  {
+    Stopwatch eval_timer;
+    if (!splits.val.empty()) {
+      result.search_val = EvaluateModel(&model, data, splits.val);
+    }
+    if (!splits.test.empty()) {
+      result.search_test = EvaluateModel(&model, data, splits.test);
+    }
+    result.telemetry.eval_seconds_total = eval_timer.Elapsed();
   }
-  if (!splits.test.empty()) {
-    result.search_test = EvaluateModel(&model, data, splits.test);
+  if (result.telemetry.train_seconds_total > 0.0) {
+    double rows_total = 0.0;
+    for (const EpochTelemetry& et : result.telemetry.epochs) {
+      rows_total += et.train_rows_per_sec * et.train_seconds;
+    }
+    result.telemetry.train_rows_per_sec =
+        rows_total / result.telemetry.train_seconds_total;
   }
   result.seconds = timer.Elapsed();
   return result;

@@ -31,6 +31,9 @@ struct SearchResult {
   EvalMetrics search_val;
   EvalMetrics search_test;
   double seconds = 0.0;
+  /// Per-epoch wall-clock / throughput of the search loop (train fields
+  /// cover the joint Θ+α steps; eval fields the final search-model evals).
+  TrainTelemetry telemetry;
 };
 
 /// Runs the search stage only (joint or bi-level).

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "tensor/kernels.h"
@@ -78,27 +79,37 @@ void SearchModel::ForwardWithProbs(const Batch& batch,
   const size_t emb_cols = emb_out_.cols();
   const size_t num_pairs = data_.num_pairs();
   z_.Resize({b, emb_cols + num_pairs * db_});
-  for (size_t k = 0; k < b; ++k) {
-    float* zr = z_.row(k);
-    std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
-    const float* e = emb_out_.row(k);
-    const float* cr = cross_out_.row(k);
-    float* blocks = zr + emb_cols;
-    std::memset(blocks, 0, num_pairs * db_ * sizeof(float));
-    for (size_t p = 0; p < num_pairs; ++p) {
-      const float pm = probs[p * 3 + 0];
-      const float pf = probs[p * 3 + 1];
-      float* block = blocks + p * db_;
-      const float* mem = cr + p * s2_;
-      for (size_t t = 0; t < s2_; ++t) block[t] += pm * mem[t];
-      const auto [i, j] = cat_pairs_[p];
-      FactorizedForward(fn_, s1_, e + i * s1_, e + j * s1_,
-                        fact_scratch_.data());
-      for (size_t t = 0; t < fact_width_; ++t) {
-        block[t] += pf * fact_scratch_[t];
+  auto assemble = [&](size_t lo, size_t hi) {
+    // Chunk-local factorization scratch: the member fact_scratch_ would be
+    // shared across concurrent chunks.
+    std::vector<float> fact(fact_width_);
+    for (size_t k = lo; k < hi; ++k) {
+      float* zr = z_.row(k);
+      std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
+      const float* e = emb_out_.row(k);
+      const float* cr = cross_out_.row(k);
+      float* blocks = zr + emb_cols;
+      std::memset(blocks, 0, num_pairs * db_ * sizeof(float));
+      for (size_t p = 0; p < num_pairs; ++p) {
+        const float pm = probs[p * 3 + 0];
+        const float pf = probs[p * 3 + 1];
+        float* block = blocks + p * db_;
+        const float* mem = cr + p * s2_;
+        for (size_t t = 0; t < s2_; ++t) block[t] += pm * mem[t];
+        const auto [i, j] = cat_pairs_[p];
+        FactorizedForward(fn_, s1_, e + i * s1_, e + j * s1_, fact.data());
+        for (size_t t = 0; t < fact_width_; ++t) {
+          block[t] += pf * fact[t];
+        }
+        // Naïve candidate is the zero vector: contributes nothing.
       }
-      // Naïve candidate is the zero vector: contributes nothing.
     }
+  };
+  // Rows write disjoint z_ rows → bit-identical to the serial loop.
+  if (b * (emb_cols + num_pairs * db_) >= (1u << 15)) {
+    ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
+  } else {
+    assemble(0, b);
   }
   mlp_->Forward(z_, &mlp_out_);
   logits_.resize(b);

@@ -15,6 +15,15 @@ Splits MakeSplits(size_t num_rows, double train_frac, double val_frac,
   rng->Shuffle(&order);
   const size_t n_train = static_cast<size_t>(num_rows * train_frac);
   const size_t n_val = static_cast<size_t>(num_rows * val_frac);
+  // Fail here, at split creation, rather than deep inside TrainModel: with
+  // few rows the independent truncations above can floor the train split
+  // to zero even though train_frac > 0.
+  CHECK_GT(n_train, 0u)
+      << "MakeSplits: empty train split (num_rows=" << num_rows
+      << ", train_frac=" << train_frac
+      << "); increase num_rows or train_frac";
+  CHECK_LE(n_train + n_val, num_rows)
+      << "MakeSplits: train+val splits exceed num_rows=" << num_rows;
   Splits s;
   s.train.assign(order.begin(), order.begin() + n_train);
   s.val.assign(order.begin() + n_train, order.begin() + n_train + n_val);

@@ -18,6 +18,8 @@ struct Splits {
 
 /// Randomly shuffles row ids and splits them by the given fractions
 /// (paper: 80% train+val / 20% test; we carve val out of the 80%).
+/// CHECK-fails if the truncated train split would be empty (possible for
+/// small num_rows even with train_frac > 0).
 Splits MakeSplits(size_t num_rows, double train_frac, double val_frac,
                   Rng* rng);
 

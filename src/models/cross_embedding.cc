@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace optinter {
 
 CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
@@ -25,13 +27,22 @@ void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
   CHECK(batch.data == &data_);
   out->Resize({batch.size, output_dim()});
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
-  for (size_t k = 0; k < batch.size; ++k) {
-    const size_t r = batch.rows[k];
-    float* dst = out->row(k);
-    for (size_t t = 0; t < pairs_.size(); ++t) {
-      std::memcpy(dst + t * dim_, tables_[t]->Row(data_.cross(r, pairs_[t])),
-                  dim_ * sizeof(float));
+  auto gather = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const size_t r = batch.rows[k];
+      float* dst = out->row(k);
+      for (size_t t = 0; t < pairs_.size(); ++t) {
+        std::memcpy(dst + t * dim_,
+                    tables_[t]->Row(data_.cross(r, pairs_[t])),
+                    dim_ * sizeof(float));
+      }
     }
+  };
+  // Disjoint per-row writes: fan-out is bit-identical to the serial loop.
+  if (batch.size * output_dim() >= (1u << 15)) {
+    ParallelForChunks(0, batch.size, gather, /*min_chunk=*/64);
+  } else {
+    gather(0, batch.size);
   }
 }
 

@@ -2,7 +2,15 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace optinter {
+
+namespace {
+// Rows × floats below which the gather loops stay serial; gathers are
+// memory-bound, so only sizeable batches amortize the pool handoff.
+constexpr size_t kParallelGatherFloats = 1u << 15;
+}  // namespace
 
 FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
                                    float lr, float l2, Rng* rng)
@@ -31,19 +39,28 @@ void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
   const size_t num_cont = cont_tables_.size();
   out->Resize({batch.size, output_dim()});
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
-  for (size_t k = 0; k < batch.size; ++k) {
-    const size_t r = batch.rows[k];
-    float* dst = out->row(k);
-    for (size_t f = 0; f < num_cat; ++f) {
-      std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data_.cat(r, f)),
-                  dim_ * sizeof(float));
+  auto gather = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const size_t r = batch.rows[k];
+      float* dst = out->row(k);
+      for (size_t f = 0; f < num_cat; ++f) {
+        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data_.cat(r, f)),
+                    dim_ * sizeof(float));
+      }
+      for (size_t f = 0; f < num_cont; ++f) {
+        const float v = data_.cont(r, f);
+        const float* src = cont_tables_[f]->Row(0);
+        float* d = dst + (num_cat + f) * dim_;
+        for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
+      }
     }
-    for (size_t f = 0; f < num_cont; ++f) {
-      const float v = data_.cont(r, f);
-      const float* src = cont_tables_[f]->Row(0);
-      float* d = dst + (num_cat + f) * dim_;
-      for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
-    }
+  };
+  // Rows write disjoint output ranges, so the fan-out is bit-identical to
+  // the serial loop.
+  if (batch.size * output_dim() >= kParallelGatherFloats) {
+    ParallelForChunks(0, batch.size, gather, /*min_chunk=*/64);
+  } else {
+    gather(0, batch.size);
   }
 }
 

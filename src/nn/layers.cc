@@ -2,10 +2,17 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "nn/init.h"
 #include "tensor/kernels.h"
 
 namespace optinter {
+
+namespace {
+// Element count above which the forward elementwise/per-row loops fan out
+// across the pool (disjoint writes keep them bit-identical to serial).
+constexpr size_t kParallelElems = 1u << 15;
+}  // namespace
 
 Linear::Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
                float l2, Rng* rng)
@@ -62,10 +69,17 @@ void Linear::RegisterParams(Optimizer* opt) {
 void Relu::Forward(const Tensor& x, Tensor* y) {
   y->Resize(x.shape());
   mask_.Resize(x.shape());
-  for (size_t i = 0; i < x.size(); ++i) {
-    const bool pos = x[i] > 0.0f;
-    (*y)[i] = pos ? x[i] : 0.0f;
-    mask_[i] = pos ? 1.0f : 0.0f;
+  auto body = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const bool pos = x[i] > 0.0f;
+      (*y)[i] = pos ? x[i] : 0.0f;
+      mask_[i] = pos ? 1.0f : 0.0f;
+    }
+  };
+  if (x.size() >= kParallelElems) {
+    ParallelForChunks(0, x.size(), body, /*min_chunk=*/4096);
+  } else {
+    body(0, x.size());
   }
 }
 
@@ -96,23 +110,30 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y) {
   inv_std_cache_.Resize({batch});
   const float* g = gamma.value.data();
   const float* b = beta.value.data();
-  for (size_t r = 0; r < batch; ++r) {
-    const float* xr = x.row(r);
-    float mean = Sum(dim_, xr) / static_cast<float>(dim_);
-    float var = 0.0f;
-    for (size_t j = 0; j < dim_; ++j) {
-      const float d = xr[j] - mean;
-      var += d * d;
+  auto body = [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      const float* xr = x.row(r);
+      float mean = Sum(dim_, xr) / static_cast<float>(dim_);
+      float var = 0.0f;
+      for (size_t j = 0; j < dim_; ++j) {
+        const float d = xr[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(dim_);
+      const float inv_std = 1.0f / std::sqrt(var + kEps);
+      inv_std_cache_[r] = inv_std;
+      float* xh = xhat_cache_.row(r);
+      float* yr = y->row(r);
+      for (size_t j = 0; j < dim_; ++j) {
+        xh[j] = (xr[j] - mean) * inv_std;
+        yr[j] = xh[j] * g[j] + b[j];
+      }
     }
-    var /= static_cast<float>(dim_);
-    const float inv_std = 1.0f / std::sqrt(var + kEps);
-    inv_std_cache_[r] = inv_std;
-    float* xh = xhat_cache_.row(r);
-    float* yr = y->row(r);
-    for (size_t j = 0; j < dim_; ++j) {
-      xh[j] = (xr[j] - mean) * inv_std;
-      yr[j] = xh[j] * g[j] + b[j];
-    }
+  };
+  if (batch * dim_ >= kParallelElems) {
+    ParallelForChunks(0, batch, body, /*min_chunk=*/64);
+  } else {
+    body(0, batch);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "common/thread_pool.h"
 
@@ -47,6 +49,32 @@ void GemmNTRange(const float* a, const float* b, float* c, size_t lo,
   }
 }
 
+/// y += a * x over n elements, 4-way unrolled to match Dot.
+inline void AxpyUnrolled(size_t n, float a, const float* x, float* y) {
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    y[j] += a * x[j];
+    y[j + 1] += a * x[j + 1];
+    y[j + 2] += a * x[j + 2];
+    y[j + 3] += a * x[j + 3];
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+void GemmTNRange(const float* a, const float* b, float* c, size_t lo,
+                 size_t hi, size_t k, size_t n, float alpha) {
+  // Accumulates rows [lo, hi) of A/B as outer products into C[k×n].
+  for (size_t i = lo; i < hi; ++i) {
+    const float* ai = a + i * k;
+    const float* bi = b + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = alpha * ai[p];
+      if (av == 0.0f) continue;
+      AxpyUnrolled(n, av, bi, c + p * n);
+    }
+  }
+}
+
 }  // namespace
 
 void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
@@ -76,16 +104,31 @@ void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
   // C[k×n] = A^T[k×m] * B[m×n]; accumulate row-of-A outer products.
+  //
+  // Unlike the NN/NT variants, every row of A touches every row of C, so
+  // row-blocking over m needs per-chunk private accumulators; each chunk
+  // reduces into the shared C under a mutex (the reduction is O(k·n) per
+  // chunk vs O(m·k·n / chunks) of accumulation, so contention is noise).
+  // Chunk merge order varies run-to-run: callers get the same result up
+  // to float summation order, which gradient accumulation tolerates.
   ScaleRows(c, k, n, beta);
-  for (size_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    const float* bi = b + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = alpha * ai[p];
-      if (av == 0.0f) continue;
-      float* cp = c + p * n;
-      for (size_t j = 0; j < n; ++j) cp[j] += av * bi[j];
-    }
+  if (m * k * n >= kParallelFlops && m > 1) {
+    // Keep chunks large (≈2 per worker): every chunk pays O(k·n) to zero
+    // and merge its private accumulator, and merges serialize on the
+    // mutex, so many small chunks would drown the O(rows·k·n) useful work.
+    const size_t workers = ThreadPool::Global().num_threads();
+    const size_t min_chunk =
+        std::max<size_t>(32, (m + 2 * workers - 1) / (2 * workers));
+    std::mutex merge_mutex;
+    ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
+      std::vector<float> local(k * n, 0.0f);
+      GemmTNRange(a, b, local.data(), lo, hi, k, n, alpha);
+      std::lock_guard<std::mutex> guard(merge_mutex);
+      const float* src = local.data();
+      for (size_t idx = 0; idx < k * n; ++idx) c[idx] += src[idx];
+    }, min_chunk);
+  } else {
+    GemmTNRange(a, b, c, 0, m, k, n, alpha);
   }
 }
 
@@ -126,7 +169,10 @@ float Sum(size_t n, const float* x) {
 }
 
 void Softmax(size_t n, const float* logits, float* probs) {
-  if (n == 0) return;
+  // Same contract as LogSumExp: an empty input is a programmer error, not
+  // a silent no-op (a silent return here once masked empty-candidate bugs
+  // upstream while LogSumExp aborted on the identical input).
+  CHECK_GT(n, 0u);
   float max_v = logits[0];
   for (size_t i = 1; i < n; ++i) max_v = std::max(max_v, logits[i]);
   float total = 0.0f;

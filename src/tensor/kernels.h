@@ -27,6 +27,8 @@ void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha = 1.0f, float beta = 0.0f);
 
 /// C[k×n] = A^T * B where A is [m×k], B is [m×n]. Weight-gradient shape.
+/// Large shapes are row-blocked over m with per-chunk private accumulators,
+/// so the result matches the serial path up to float summation order.
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha = 1.0f, float beta = 0.0f);
 
@@ -53,9 +55,10 @@ void HadamardAccum(size_t n, const float* x, const float* y, float* out);
 float Sum(size_t n, const float* x);
 
 /// Numerically-stable softmax of `logits` (length n) into `probs`.
+/// CHECK-fails on n == 0 (same contract as LogSumExp).
 void Softmax(size_t n, const float* logits, float* probs);
 
-/// Numerically-stable log-sum-exp of n values.
+/// Numerically-stable log-sum-exp of n values. CHECK-fails on n == 0.
 float LogSumExp(size_t n, const float* x);
 
 /// Stable sigmoid.

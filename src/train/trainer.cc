@@ -1,30 +1,55 @@
 #include "train/trainer.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "metrics/metrics.h"
 
 namespace optinter {
 
+bool ScoreImproved(double score, double best_score, StopMetric metric) {
+  // Log loss: 1e-6 absolute is below any meaningful calibration change at
+  // this scale. AUC: gains on a large validation set are quantized by
+  // ~1/(P·N) pair swaps and can be genuine well below 1e-6, so the bar is
+  // only there to reject float-summation jitter.
+  const double tol = metric == StopMetric::kAuc ? 1e-9 : 1e-6;
+  return score > best_score + tol;
+}
+
 EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
                           const std::vector<size_t>& rows,
-                          size_t batch_size) {
+                          const EvalOptions& options) {
   CHECK(!rows.empty());
-  std::vector<float> all_probs;
-  std::vector<float> all_labels;
-  all_probs.reserve(rows.size());
-  all_labels.reserve(rows.size());
-  std::vector<float> probs;
-  for (size_t start = 0; start < rows.size(); start += batch_size) {
+  CHECK_GT(options.batch_size, 0u);
+  const size_t n = rows.size();
+  std::vector<float> all_probs(n);
+  std::vector<float> all_labels(n);
+  // Labels are pure dataset reads, independent of the model — gather them
+  // across the pool while prediction owns the calling thread.
+  auto gather_labels = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) all_labels[i] = data.label(rows[i]);
+  };
+  if (options.parallel) {
+    ParallelForChunks(0, n, gather_labels, /*min_chunk=*/1024);
+  } else {
+    gather_labels(0, n);
+  }
+  // Predict is not re-entrant (layers cache activations in members), so
+  // batches run in order on this thread; each batch writes its slice of
+  // all_probs at a deterministic offset, which keeps the stitched result —
+  // and therefore AUC/log-loss — bit-identical to the serial path. The
+  // kernels inside Predict row-block across the pool on their own.
+  std::vector<float> probs;  // per-batch scratch, reused across batches
+  for (size_t start = 0; start < n; start += options.batch_size) {
     Batch b;
     b.data = &data;
     b.rows = rows.data() + start;
-    b.size = std::min(batch_size, rows.size() - start);
+    b.size = std::min(options.batch_size, n - start);
     model->Predict(b, &probs);
-    for (size_t k = 0; k < b.size; ++k) {
-      all_probs.push_back(probs[k]);
-      all_labels.push_back(b.label(k));
-    }
+    std::memcpy(all_probs.data() + start, probs.data(),
+                b.size * sizeof(float));
   }
   EvalMetrics m;
   m.auc = Auc(all_probs, all_labels);
@@ -32,11 +57,20 @@ EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
   return m;
 }
 
+EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
+                          const std::vector<size_t>& rows,
+                          size_t batch_size) {
+  EvalOptions options;
+  options.batch_size = batch_size;
+  return EvaluateModel(model, data, rows, options);
+}
+
 TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
                         const Splits& splits, const TrainOptions& options) {
   CHECK(!splits.train.empty());
   Stopwatch timer;
   TrainSummary summary;
+  TrainTelemetry& telemetry = summary.telemetry;
   Batcher batcher(&data, splits.train, options.batch_size, options.seed);
   // "Score" is oriented so larger is better regardless of metric.
   double best_val_score = -1e300;
@@ -48,13 +82,16 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
   std::vector<Tensor> best_state;
   bool have_snapshot = false;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Stopwatch epoch_timer;
     batcher.StartEpoch();
     double loss_sum = 0.0;
     size_t batches = 0;
+    size_t rows_seen = 0;
     for (;;) {
       Batch b = batcher.Next();
       if (b.size == 0) break;
       loss_sum += model->TrainStep(b);
+      rows_seen += b.size;
       ++batches;
     }
     const double mean_loss =
@@ -62,21 +99,32 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
     summary.epoch_train_losses.push_back(mean_loss);
     ++summary.epochs_run;
 
+    EpochTelemetry et;
+    et.epoch = epoch;
+    et.train_seconds = epoch_timer.Elapsed();
+    et.train_rows_per_sec =
+        et.train_seconds > 0.0
+            ? static_cast<double>(rows_seen) / et.train_seconds
+            : 0.0;
+    et.mean_train_loss = mean_loss;
+    telemetry.train_seconds_total += et.train_seconds;
+
+    bool stop = false;
     if (!splits.val.empty()) {
+      Stopwatch eval_timer;
       const EvalMetrics val = EvaluateModel(model, data, splits.val);
+      et.eval_seconds = eval_timer.Elapsed();
+      telemetry.eval_seconds_total += et.eval_seconds;
       summary.epoch_val_aucs.push_back(val.auc);
       summary.final_val = val;
-      if (options.verbose) {
-        LOG_INFO() << model->Name() << " epoch " << epoch
-                   << " loss=" << mean_loss << " val_auc=" << val.auc
-                   << " val_logloss=" << val.logloss;
-      }
       const double score = options.stop_metric == StopMetric::kAuc
                                ? val.auc
                                : -val.logloss;
-      if (score > best_val_score + 1e-6) {
+      if (ScoreImproved(score, best_val_score, options.stop_metric)) {
         best_val_score = score;
         stale_epochs = 0;
+        et.improved = true;
+        telemetry.best_epoch = epoch;
         if (!state.empty()) {
           best_state.resize(state.size());
           for (size_t i = 0; i < state.size(); ++i) {
@@ -85,26 +133,51 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
           have_snapshot = true;
         }
       } else if (options.patience > 0 && ++stale_epochs >= options.patience) {
-        if (options.verbose) {
+        telemetry.early_stopped = true;
+        stop = true;
+      }
+      if (options.verbose) {
+        LOG_INFO() << model->Name() << " epoch " << epoch
+                   << " loss=" << mean_loss << " val_auc=" << val.auc
+                   << " val_logloss=" << val.logloss << " train_s="
+                   << et.train_seconds << " eval_s=" << et.eval_seconds
+                   << " rows/s=" << et.train_rows_per_sec
+                   << (et.improved ? " [improved]" : " [stale]");
+        if (stop) {
           LOG_INFO() << model->Name() << " early stop at epoch " << epoch;
         }
-        break;
       }
     } else if (options.verbose) {
       LOG_INFO() << model->Name() << " epoch " << epoch
-                 << " loss=" << mean_loss;
+                 << " loss=" << mean_loss << " train_s=" << et.train_seconds
+                 << " rows/s=" << et.train_rows_per_sec;
     }
+    telemetry.epochs.push_back(et);
+    if (stop) break;
   }
   if (have_snapshot) {
     for (size_t i = 0; i < state.size(); ++i) {
       *state[i] = std::move(best_state[i]);
     }
+    telemetry.restored_best_snapshot = true;
     if (!splits.val.empty()) {
+      Stopwatch eval_timer;
       summary.final_val = EvaluateModel(model, data, splits.val);
+      telemetry.eval_seconds_total += eval_timer.Elapsed();
     }
   }
   if (!splits.test.empty()) {
+    Stopwatch eval_timer;
     summary.final_test = EvaluateModel(model, data, splits.test);
+    telemetry.eval_seconds_total += eval_timer.Elapsed();
+  }
+  if (telemetry.train_seconds_total > 0.0) {
+    double rows_total = 0.0;
+    for (const EpochTelemetry& et : telemetry.epochs) {
+      rows_total += et.train_rows_per_sec * et.train_seconds;
+    }
+    telemetry.train_rows_per_sec =
+        rows_total / telemetry.train_seconds_total;
   }
   summary.seconds = timer.Elapsed();
   return summary;

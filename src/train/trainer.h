@@ -19,6 +19,14 @@ enum class StopMetric {
   kAuc,
 };
 
+/// True when `score` beats `best_score` by more than the metric-aware
+/// improvement tolerance used for early stopping. Scores are oriented so
+/// larger is better (AUC, or -logloss). AUC is bounded in [0, 1], so a
+/// genuine gain on a large validation set can be far below the 1e-6 that
+/// is a sensible noise floor for log loss; a single absolute threshold
+/// for both metrics silently converted real AUC gains into stale epochs.
+bool ScoreImproved(double score, double best_score, StopMetric metric);
+
 /// Options for TrainModel.
 struct TrainOptions {
   size_t epochs = 3;
@@ -37,6 +45,47 @@ struct EvalMetrics {
   double logloss = 0.0;
 };
 
+/// Options for EvaluateModel.
+struct EvalOptions {
+  size_t batch_size = 2048;
+  /// Fan the label gather and result stitching across the thread pool and
+  /// let the row-parallel forward kernels use it inside Predict. The
+  /// serial path exists as a bit-identical reference (Predict itself is
+  /// not re-entrant — layers cache activations — so batches are predicted
+  /// in order on the calling thread either way; see DESIGN.md §telemetry).
+  bool parallel = true;
+};
+
+/// Per-epoch wall-clock and throughput record. TrainStep fuses forward,
+/// backward and the optimizer update, so train_seconds covers all three;
+/// eval_seconds is the validation pass.
+struct EpochTelemetry {
+  size_t epoch = 0;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+  /// Training rows consumed this epoch / train_seconds.
+  double train_rows_per_sec = 0.0;
+  double mean_train_loss = 0.0;
+  /// Whether this epoch improved the early-stopping score (and therefore
+  /// refreshed the best-checkpoint snapshot).
+  bool improved = false;
+};
+
+/// Run-level observability for one TrainModel call (fields documented in
+/// DESIGN.md).
+struct TrainTelemetry {
+  std::vector<EpochTelemetry> epochs;
+  double train_seconds_total = 0.0;
+  double eval_seconds_total = 0.0;
+  /// Aggregate training throughput over all epochs.
+  double train_rows_per_sec = 0.0;
+  /// Epoch whose snapshot was restored as the final weights (0 when no
+  /// validation split / no snapshot).
+  size_t best_epoch = 0;
+  bool early_stopped = false;
+  bool restored_best_snapshot = false;
+};
+
 /// Outcome of a full training run.
 struct TrainSummary {
   EvalMetrics final_val;
@@ -45,9 +94,15 @@ struct TrainSummary {
   std::vector<double> epoch_val_aucs;
   size_t epochs_run = 0;
   double seconds = 0.0;
+  TrainTelemetry telemetry;
 };
 
 /// Evaluates `model` on the given rows (batched, no gradient work).
+EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
+                          const std::vector<size_t>& rows,
+                          const EvalOptions& options);
+
+/// Back-compat overload: batch size only, parallel path.
 EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
                           const std::vector<size_t>& rows,
                           size_t batch_size = 2048);

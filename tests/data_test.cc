@@ -260,6 +260,22 @@ TEST(SplitsTest, DeterministicForSeed) {
   EXPECT_EQ(a.train, b.train);
 }
 
+TEST(SplitsTest, EmptyTrainSplitDiesAtCreation) {
+  // With few rows, num_rows * train_frac truncates to zero; the seed let
+  // that slide until TrainModel's CHECK(!splits.train.empty()) much later.
+  // It must fail here, at split creation, with an actionable message.
+  Rng rng(1);
+  EXPECT_DEATH(MakeSplits(5, 0.1, 0.2, &rng), "empty train split");
+}
+
+TEST(SplitsTest, SingleRowTrainSplitSurvives) {
+  Rng rng(1);
+  Splits s = MakeSplits(2, 0.5, 0.0, &rng);
+  EXPECT_EQ(s.train.size(), 1u);
+  EXPECT_TRUE(s.val.empty());
+  EXPECT_EQ(s.test.size(), 1u);
+}
+
 TEST(BatcherTest, CoversAllRowsEachEpoch) {
   RawDataset raw = SmallRaw();
   auto result = EncodeDataset(raw, AllRows(6), EncoderOptions{});

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "tensor/kernels.h"
 
 namespace optinter {
@@ -132,6 +135,81 @@ TEST(KernelsTest, SoftmaxStableForLargeLogits) {
   Softmax(2, logits, probs);
   EXPECT_NEAR(probs[0], 0.5f, 1e-6f);
 }
+
+TEST(KernelsTest, SoftmaxEmptyInputDies) {
+  // Softmax once silently returned on n == 0 while LogSumExp aborted on
+  // the identical input; both now share the CHECK contract.
+  float probs[1];
+  EXPECT_DEATH(Softmax(0, nullptr, probs), "Check failed");
+}
+
+TEST(KernelsTest, LogSumExpEmptyInputDies) {
+  EXPECT_DEATH(LogSumExp(0, nullptr), "Check failed");
+}
+
+TEST(KernelsTest, SoftmaxSingleElementIsOne) {
+  const float logit = 3.5f;
+  float prob = 0.0f;
+  Softmax(1, &logit, &prob);
+  EXPECT_FLOAT_EQ(prob, 1.0f);
+  EXPECT_FLOAT_EQ(LogSumExp(1, &logit), 3.5f);
+}
+
+// Serial reference for GemmTN: C[k×n] = alpha·AᵀB + beta·C, plain triple
+// loop with no blocking or unrolling.
+void ReferenceGemmTN(const std::vector<float>& a, const std::vector<float>& b,
+                     std::vector<float>* c, size_t m, size_t k, size_t n,
+                     float alpha, float beta) {
+  for (auto& v : *c) v *= beta;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      for (size_t j = 0; j < n; ++j) {
+        (*c)[p * n + j] += alpha * a[i * k + p] * b[i * n + j];
+      }
+    }
+  }
+}
+
+struct GemmTNShape {
+  size_t m, k, n;
+};
+
+class GemmTNParallelTest : public ::testing::TestWithParam<GemmTNShape> {};
+
+TEST_P(GemmTNParallelTest, MatchesSerialReference) {
+  const auto [m, k, n] = GetParam();
+  std::vector<float> a(m * k), b(m * n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i * 37 + 11) % 13) / 13.0f - 0.5f;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>((i * 29 + 5) % 17) / 17.0f - 0.5f;
+  }
+  // Non-trivial alpha/beta plus pre-filled C exercise the scale path.
+  std::vector<float> c(k * n, 0.25f), ref(k * n, 0.25f);
+  GemmTN(a.data(), b.data(), c.data(), m, k, n, 0.5f, 2.0f);
+  ReferenceGemmTN(a, b, &ref, m, k, n, 0.5f, 2.0f);
+  // Parallel chunks merge in nondeterministic order, so compare with a
+  // tolerance scaled to the m-long accumulation.
+  const float tol = 1e-5f * static_cast<float>(m);
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], tol) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, GemmTNParallelTest,
+    ::testing::Values(GemmTNShape{1, 7, 5},      // single row
+                      GemmTNShape{513, 1, 3},    // k = 1
+                      GemmTNShape{1000, 3, 1},   // n = 1
+                      GemmTNShape{517, 129, 33},  // nothing divides chunks
+                      GemmTNShape{2048, 256, 64}  // above parallel cutoff
+                      ),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "k" +
+             std::to_string(info.param.k) + "n" +
+             std::to_string(info.param.n);
+    });
 
 TEST(KernelsTest, SigmoidScalarStable) {
   EXPECT_NEAR(SigmoidScalar(0.0f), 0.5f, 1e-7f);
