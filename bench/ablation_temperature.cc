@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   AddCommonFlags(&flags);
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("ablation_temperature", flags);
 
   for (const auto& name : DatasetList(flags, {"criteo_like"})) {
     PrepareOptions popts;
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
         {"fixed 0.2", false, 0.2f, 0.2f},
     };
 
-    PrintHeader("Temperature-schedule ablation: " + name);
+    report.Section("Temperature-schedule ablation: " + name);
     for (const auto& s : kSettings) {
       HyperParams hp = DefaultHyperParams(name);
       ApplyOverrides(flags, &hp);
@@ -52,10 +53,13 @@ int main(int argc, char** argv) {
       sopts.anneal_temperature = s.anneal;
       sopts.verbose = flags.GetBool("verbose");
       OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
-      PrintModelRow(s.label, r.retrain.final_test.auc,
+      report.AddRow(s.label, r.retrain.final_test.auc,
                     r.retrain.final_test.logloss, r.param_count,
+                    r.retrain.telemetry,
                     ArchCountsToString(CountArchitecture(r.search.arch)));
+      report.AnnotateLastRow(
+          "search_dynamics", obs::SearchDynamicsToJson(r.search.dynamics));
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -10,6 +10,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "models/hyperparams.h"
+#include "obs/run_report.h"
 #include "synth/prepare.h"
 #include "train/trainer.h"
 
@@ -28,6 +29,9 @@ inline void AddCommonFlags(FlagParser* flags) {
   flags->AddInt("patience", -1,
                 "override early-stop patience (-1 = profile default)");
   flags->AddBool("verbose", false, "per-epoch training logs");
+  flags->AddString("report", "",
+                   "write a JSON run report (metrics + span profile + "
+                   "result rows) to this path");
 }
 
 /// Parses flags; returns false if the process should exit (help or error).
@@ -105,6 +109,99 @@ inline void PrintModelRowWithThroughput(const std::string& model, double auc,
       telemetry.train_seconds_total, telemetry.eval_seconds_total,
       telemetry.train_rows_per_sec, extra.c_str());
 }
+
+/// Prints table rows like the Print* helpers above while also recording
+/// them as JSON, and writes a run report when --report was given. One
+/// instance per harness:
+///
+///   bench::BenchReport report("table5_overall", flags);
+///   report.Section(profile.name);                  // PrintHeader + JSON
+///   report.AddRow("LR", auc, ll, params, telemetry);
+///   ...
+///   return report.Finish();                        // writes --report file
+class BenchReport {
+ public:
+  /// `run_name` names the report; the output path comes from --report
+  /// (empty = print only).
+  BenchReport(std::string run_name, const FlagParser& flags)
+      : run_name_(std::move(run_name)), path_(flags.GetString("report")) {}
+
+  /// Starts a titled section (a dataset/profile in the table harnesses).
+  void Section(const std::string& title) {
+    PrintHeader(title);
+    sections_.emplace_back(title, obs::JsonValue::MakeArray());
+  }
+
+  /// Table-V-style row without timing columns.
+  void AddRow(const std::string& model, double auc, double logloss,
+              size_t params, const std::string& extra = "") {
+    PrintModelRow(model, auc, logloss, params, extra);
+    Record(model, auc, logloss, params, nullptr, extra);
+  }
+
+  /// Row with train/eval timing from TrainTelemetry.
+  void AddRow(const std::string& model, double auc, double logloss,
+              size_t params, const TrainTelemetry& telemetry,
+              const std::string& extra = "") {
+    PrintModelRowWithThroughput(model, auc, logloss, params, telemetry,
+                                extra);
+    Record(model, auc, logloss, params, &telemetry, extra);
+  }
+
+  /// Attaches an arbitrary JSON value to the current section's last row
+  /// (e.g. search dynamics for the row's search stage). No-op when no row
+  /// exists yet.
+  void AnnotateLastRow(const std::string& key, obs::JsonValue v) {
+    if (sections_.empty() || sections_.back().second.size() == 0) return;
+    obs::JsonValue& rows = sections_.back().second;
+    rows.at(rows.size() - 1).Set(key, std::move(v));
+  }
+
+  /// Writes the report when --report was given. Returns the process exit
+  /// code (non-zero on report IO failure).
+  int Finish() {
+    if (path_.empty()) return 0;
+    obs::RunReport report(run_name_);
+    obs::JsonValue results = obs::JsonValue::MakeObject();
+    for (auto& [title, rows] : sections_) {
+      results.Set(title, std::move(rows));
+    }
+    report.AddSection("results", std::move(results));
+    report.CaptureMetrics();
+    report.CaptureSpans();
+    std::string error;
+    if (!report.WriteFile(path_, &error)) {
+      std::fprintf(stderr, "failed to write report %s: %s\n", path_.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("\nrun report written to %s\n", path_.c_str());
+    return 0;
+  }
+
+ private:
+  void Record(const std::string& model, double auc, double logloss,
+              size_t params, const TrainTelemetry* telemetry,
+              const std::string& extra) {
+    if (sections_.empty()) {
+      sections_.emplace_back("results", obs::JsonValue::MakeArray());
+    }
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("model", obs::JsonValue::Str(model));
+    row.Set("auc", obs::JsonValue::Double(auc));
+    row.Set("logloss", obs::JsonValue::Double(logloss));
+    row.Set("params", obs::JsonValue::Uint(params));
+    if (telemetry != nullptr) {
+      row.Set("telemetry", TelemetryToJson(*telemetry));
+    }
+    if (!extra.empty()) row.Set("extra", obs::JsonValue::Str(extra));
+    sections_.back().second.Push(std::move(row));
+  }
+
+  std::string run_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, obs::JsonValue>> sections_;
+};
 
 }  // namespace bench
 }  // namespace optinter

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
 
+  BenchReport report("fig4_tradeoff", flags);
   std::vector<size_t> s2_values;
   for (const auto& part : Split(flags.GetString("s2_list"), ',')) {
     s2_values.push_back(static_cast<size_t>(std::stoul(part)));
@@ -51,8 +52,8 @@ int main(int argc, char** argv) {
     sopts.verbose = flags.GetBool("verbose");
     SearchResult search = RunSearchStage(p.data, p.splits, hp, sopts);
 
-    PrintHeader("Figure 4 analogue: " + name +
-                " — AUC vs #params (series over s2)");
+    report.Section("Figure 4 analogue: " + name +
+                   " — AUC vs #params (series over s2)");
     for (const size_t s2 : s2_values) {
       HyperParams hp_s2 = hp;
       hp_s2.cross_embed_dim = s2;
@@ -60,28 +61,23 @@ int main(int argc, char** argv) {
         FixedArchRun run = TrainFixedArch(
             p.data, p.splits, AllMemorize(p.data.num_pairs()), hp_s2,
             topts, "OptInter-M");
-        std::printf("OptInter-M(%zu)  params %10zu (%6s)  AUC %.4f  "
-                    "logloss %.4f  train %6.1fs  %8.0f rows/s\n",
-                    s2, run.param_count,
-                    HumanCount(run.param_count).c_str(),
-                    run.summary.final_test.auc,
-                    run.summary.final_test.logloss,
-                    run.summary.telemetry.train_seconds_total,
-                    run.summary.telemetry.train_rows_per_sec);
+        report.AddRow(StrFormat("OptInter-M(%zu)", s2),
+                      run.summary.final_test.auc,
+                      run.summary.final_test.logloss, run.param_count,
+                      run.summary.telemetry);
       }
       {
         FixedArchRun run = TrainFixedArch(p.data, p.splits, search.arch,
                                           hp_s2, topts, "OptInter");
-        std::printf("OptInter(%zu)    params %10zu (%6s)  AUC %.4f  "
-                    "logloss %.4f  train %6.1fs  %8.0f rows/s\n",
-                    s2, run.param_count,
-                    HumanCount(run.param_count).c_str(),
-                    run.summary.final_test.auc,
-                    run.summary.final_test.logloss,
-                    run.summary.telemetry.train_seconds_total,
-                    run.summary.telemetry.train_rows_per_sec);
+        report.AddRow(StrFormat("OptInter(%zu)", s2),
+                      run.summary.final_test.auc,
+                      run.summary.final_test.logloss, run.param_count,
+                      run.summary.telemetry);
       }
     }
+    // Dynamics of the one shared search, attached to the section's last row.
+    report.AnnotateLastRow(
+        "search_dynamics", obs::SearchDynamicsToJson(search.dynamics));
   }
-  return 0;
+  return report.Finish();
 }

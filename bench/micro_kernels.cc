@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "metrics/metrics.h"
 #include "nn/embedding.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 
 namespace optinter {
@@ -135,6 +137,47 @@ void BM_Auc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Auc)->Arg(10000)->Arg(100000);
+
+// -- Observability overhead --------------------------------------------------
+// The per-call cost of the instrumentation primitives themselves, with the
+// runtime switch on and off. "Off" should be a branch on one relaxed
+// atomic load (the ≈0-overhead kill switch); "on" bounds what a span adds
+// to an instrumented kernel (two clock reads + two relaxed adds).
+
+void BM_TraceSpan(benchmark::State& state) {
+  obs::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    OPTINTER_TRACE_SPAN("bench_overhead");
+    benchmark::ClobberMemory();
+  }
+  obs::SetEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("bench.counter_overhead");
+  for (auto _ : state) {
+    c->Add(1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.histogram_overhead", {1.0, 10.0, 100.0, 1000.0});
+  double v = 0.0;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 2000.0 ? v + 1.0 : 0.0;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
 
 }  // namespace
 }  // namespace optinter

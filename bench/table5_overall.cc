@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
   const size_t repeats = static_cast<size_t>(flags.GetInt("repeats"));
+  BenchReport report("table5_overall", flags);
 
   for (const auto& name : DatasetList(flags, PaperProfileNames())) {
     PrepareOptions popts;
@@ -70,8 +71,11 @@ int main(int argc, char** argv) {
     ApplyOverrides(flags, &hp);
     TrainOptions topts = MakeTrainOptions(flags, hp);
 
-    PrintHeader("Table V analogue: " + name);
+    report.Section("Table V analogue: " + name);
     std::vector<Row> rows;
+    // Search dynamics of the rep-0 OptInter run, attached to its report
+    // row below.
+    obs::JsonValue dynamics;
     // AUC per seed, for the significance test.
     std::map<std::string, std::vector<double>> auc_by_model;
 
@@ -109,13 +113,17 @@ int main(int argc, char** argv) {
                           ArchCountsToString(
                               CountArchitecture(r.search.arch)),
                           r.retrain.telemetry});
+          dynamics = obs::SearchDynamicsToJson(r.search.dynamics);
         }
       }
     }
 
     for (const auto& row : rows) {
-      PrintModelRowWithThroughput(row.model, row.auc, row.logloss,
-                                  row.params, row.telemetry, row.arch);
+      report.AddRow(row.model, row.auc, row.logloss, row.params,
+                    row.telemetry, row.arch);
+      if (row.model == "OptInter") {
+        report.AnnotateLastRow("search_dynamics", std::move(dynamics));
+      }
     }
 
     // Table VI summary: method selection per approach.
@@ -151,5 +159,5 @@ int main(int argc, char** argv) {
           t.t_statistic, t.p_value);
     }
   }
-  return 0;
+  return report.Finish();
 }

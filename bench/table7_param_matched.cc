@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                "17.5x)");
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("table7_param_matched", flags);
 
   for (const auto& name :
        DatasetList(flags, {"criteo_like", "avazu_like"})) {
@@ -38,8 +39,8 @@ int main(int argc, char** argv) {
     ApplyOverrides(flags, &hp);
     TrainOptions topts = MakeTrainOptions(flags, hp);
 
-    PrintHeader("Table VII analogue: " + name +
-                " (param-matched baselines)");
+    report.Section("Table VII analogue: " + name +
+                   " (param-matched baselines)");
 
     HyperParams big = hp;
     big.embed_dim =
@@ -52,8 +53,8 @@ int main(int argc, char** argv) {
       auto model = CreateBaseline(model_name, p.data, big);
       CHECK(model.ok()) << model.status().ToString();
       TrainSummary s = TrainModel(model->get(), p.data, p.splits, topts);
-      PrintModelRow(model_name, s.final_test.auc, s.final_test.logloss,
-                    (*model)->ParamCount(),
+      report.AddRow(model_name, s.final_test.auc, s.final_test.logloss,
+                    (*model)->ParamCount(), s.telemetry,
                     StrFormat("Orig.E.=%zu", big.embed_dim));
     }
     {
@@ -61,14 +62,17 @@ int main(int argc, char** argv) {
       sopts.search_epochs = hp.search_epochs;
       sopts.verbose = flags.GetBool("verbose");
       OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
-      PrintModelRow("OptInter", r.retrain.final_test.auc,
+      report.AddRow("OptInter", r.retrain.final_test.auc,
                     r.retrain.final_test.logloss, r.param_count,
+                    r.retrain.telemetry,
                     StrFormat("Orig.E.=%zu Cross.E.=%zu arch=%s",
                               hp.embed_dim, hp.cross_embed_dim,
                               ArchCountsToString(
                                   CountArchitecture(r.search.arch))
                                   .c_str()));
+      report.AnnotateLastRow(
+          "search_dynamics", obs::SearchDynamicsToJson(r.search.dynamics));
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
                "number of random architectures to average (paper: 10)");
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("table8_search_ablation", flags);
 
   for (const auto& name : DatasetList(
            flags, {"criteo_like", "avazu_like", "ipinyou_like"})) {
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
     ApplyOverrides(flags, &hp);
     TrainOptions topts = MakeTrainOptions(flags, hp);
 
-    PrintHeader("Table VIII analogue: " + name);
+    report.Section("Table VIII analogue: " + name);
 
     // Random search: mean over randomly generated architectures.
     {
@@ -56,10 +57,9 @@ int main(int argc, char** argv) {
         loglosses.push_back(run.summary.final_test.logloss);
         params += static_cast<double>(run.param_count);
       }
-      std::printf("%-10s AUC %.4f  logloss %.4f  arch %-14s params %s "
-                  "(mean of %zu)\n",
-                  "Random", Mean(aucs), Mean(loglosses), "-",
-                  HumanCount(static_cast<size_t>(params / n)).c_str(), n);
+      report.AddRow("Random", Mean(aucs), Mean(loglosses),
+                    static_cast<size_t>(params / n),
+                    StrFormat("mean of %zu random archs", n));
     }
 
     // Bi-level and joint (OptInter) searches.
@@ -70,13 +70,16 @@ int main(int argc, char** argv) {
       sopts.mode = mode;
       sopts.verbose = flags.GetBool("verbose");
       OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
-      std::printf("%-10s AUC %.4f  logloss %.4f  arch %-14s params %s\n",
-                  mode == UpdateMode::kBilevel ? "Bi-level" : "OptInter",
-                  r.retrain.final_test.auc, r.retrain.final_test.logloss,
-                  ArchCountsToString(CountArchitecture(r.search.arch))
-                      .c_str(),
-                  HumanCount(r.param_count).c_str());
+      report.AddRow(
+          mode == UpdateMode::kBilevel ? "Bi-level" : "OptInter",
+          r.retrain.final_test.auc, r.retrain.final_test.logloss,
+          r.param_count, r.retrain.telemetry,
+          StrFormat("arch=%s",
+                    ArchCountsToString(CountArchitecture(r.search.arch))
+                        .c_str()));
+      report.AnnotateLastRow(
+          "search_dynamics", obs::SearchDynamicsToJson(r.search.dynamics));
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   AddCommonFlags(&flags);
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("table9_retrain_ablation", flags);
 
   for (const auto& name :
        DatasetList(flags, {"criteo_like", "avazu_like"})) {
@@ -38,11 +39,15 @@ int main(int argc, char** argv) {
     sopts.verbose = flags.GetBool("verbose");
     OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
 
-    PrintHeader("Table IX analogue: " + name);
-    std::printf("%-22s AUC %.4f  logloss %.4f\n", "w.  (re-trained)",
-                r.retrain.final_test.auc, r.retrain.final_test.logloss);
-    std::printf("%-22s AUC %.4f  logloss %.4f\n", "w.o. (search model)",
-                r.search.search_test.auc, r.search.search_test.logloss);
+    report.Section("Table IX analogue: " + name);
+    report.AddRow("w.  (re-trained)", r.retrain.final_test.auc,
+                  r.retrain.final_test.logloss, r.param_count,
+                  r.retrain.telemetry);
+    report.AddRow("w.o. (search model)", r.search.search_test.auc,
+                  r.search.search_test.logloss, r.param_count,
+                  r.search.telemetry);
+    report.AnnotateLastRow(
+        "search_dynamics", obs::SearchDynamicsToJson(r.search.dynamics));
   }
-  return 0;
+  return report.Finish();
 }

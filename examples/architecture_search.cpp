@@ -8,8 +8,10 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "core/pipeline.h"
 #include "core/search_model.h"
 #include "metrics/mutual_information.h"
+#include "obs/run_report.h"
 #include "synth/prepare.h"
 
 using namespace optinter;
@@ -29,6 +31,9 @@ int main(int argc, char** argv) {
   flags.AddString("dataset", "tiny", "profile to search on");
   flags.AddInt("epochs", 3, "search epochs");
   flags.AddDouble("rows_scale", 1.0, "row-count multiplier");
+  flags.AddString("report", "",
+                  "write a JSON run report (search dynamics + metrics + "
+                  "span profile) to this path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) return st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
 
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
 
   SearchModel model(p.data, hp, UpdateMode::kJoint);
   Batcher batcher(&p.data, p.splits.train, hp.batch_size, hp.seed);
+  obs::SearchDynamics dynamics;
+  Architecture prev_arch;
   std::printf("search on %s: %zu pairs, tau %g -> %g over %zu epochs\n",
               p.config.name.c_str(), p.data.num_pairs(),
               hp.gumbel_temp_start, hp.gumbel_temp_end, hp.search_epochs);
@@ -81,6 +88,15 @@ int main(int argc, char** argv) {
     for (int k = 0; k < 3; ++k) {
       if (track[k] != SIZE_MAX) PrintProbRow(model, track[k], tags[k]);
     }
+    const Architecture epoch_arch = model.ExtractArchitecture();
+    obs::SearchEpochDynamics dyn =
+        SnapshotSearchDynamics(model, epoch, prev_arch, epoch_arch);
+    std::printf("  mean H(alpha) %.4f  argmax [%zu,%zu,%zu]  flips %zu\n",
+                dyn.mean_alpha_entropy, dyn.argmax_counts[0],
+                dyn.argmax_counts[1], dyn.argmax_counts[2],
+                dyn.argmax_flips);
+    dynamics.epochs.push_back(std::move(dyn));
+    prev_arch = epoch_arch;
   }
 
   Architecture arch = model.ExtractArchitecture();
@@ -119,6 +135,31 @@ int main(int argc, char** argv) {
   if (n_mem > 0 && n_naive > 0) {
     std::printf("mean MI: memorized %.4f vs naive %.4f nats\n",
                 mi_mem / n_mem, mi_naive / n_naive);
+  }
+
+  const std::string report_path = flags.GetString("report");
+  if (!report_path.empty()) {
+    obs::RunReport report("architecture_search");
+    report.SetMeta("dataset", obs::JsonValue::Str(p.config.name));
+    report.SetMeta("search_epochs", obs::JsonValue::Uint(hp.search_epochs));
+    report.AddSection("search_dynamics",
+                      obs::SearchDynamicsToJson(dynamics));
+    obs::JsonValue recall = obs::JsonValue::MakeObject();
+    recall.Set("planted_memorize_recalled", obs::JsonValue::Uint(mem_hit));
+    recall.Set("planted_memorize_total", obs::JsonValue::Uint(mem_total));
+    recall.Set("planted_noise_not_memorized",
+               obs::JsonValue::Uint(noise_not_mem));
+    recall.Set("planted_noise_total", obs::JsonValue::Uint(noise_total));
+    report.AddSection("planted_recall", std::move(recall));
+    report.CaptureMetrics();
+    report.CaptureSpans();
+    std::string error;
+    if (!report.WriteFile(report_path, &error)) {
+      std::fprintf(stderr, "failed to write report %s: %s\n",
+                   report_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
   }
   return 0;
 }

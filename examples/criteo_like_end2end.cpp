@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "core/zoo.h"
+#include "obs/run_report.h"
 #include "synth/prepare.h"
 
 using namespace optinter;
@@ -20,6 +21,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("rows_scale", 0.5, "row-count multiplier");
   flags.AddInt("epochs", 0, "override epochs (0 = profile default)");
   flags.AddBool("verbose", false, "per-epoch logs");
+  flags.AddString("report", "",
+                  "write a JSON run report (telemetry + metrics + span "
+                  "profile + search dynamics) to this path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) return st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
 
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   topts.patience = hp.early_stop_patience;
   topts.verbose = flags.GetBool("verbose");
 
+  obs::JsonValue baseline_rows = obs::JsonValue::MakeArray();
   std::printf("\n%-12s %8s %9s %10s %8s\n", "model", "AUC", "logloss",
               "params", "sec");
   for (const auto& name : {"FNN", "IPNN", "OptInter-F", "Poly2",
@@ -57,6 +62,11 @@ int main(int argc, char** argv) {
     std::printf("%-12s %8.4f %9.4f %10s %8.1f\n", name, s.final_test.auc,
                 s.final_test.logloss,
                 HumanCount((*model)->ParamCount()).c_str(), s.seconds);
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("model", obs::JsonValue::Str(name));
+    row.Set("params", obs::JsonValue::Uint((*model)->ParamCount()));
+    row.Set("summary", TrainSummaryToJson(s));
+    baseline_rows.Push(std::move(row));
   }
 
   Stopwatch timer;
@@ -75,5 +85,30 @@ int main(int argc, char** argv) {
               "compare its parameter count with OptInter-M above.\n",
               CountArchitecture(r.search.arch).memorize,
               p.data.num_pairs());
+
+  const std::string report_path = flags.GetString("report");
+  if (!report_path.empty()) {
+    obs::RunReport report("criteo_like_end2end");
+    report.SetMeta("dataset", obs::JsonValue::Str("criteo_like"));
+    report.SetMeta("rows_scale",
+                   obs::JsonValue::Double(flags.GetDouble("rows_scale")));
+    report.AddSection("baselines", std::move(baseline_rows));
+    obs::JsonValue optinter = obs::JsonValue::MakeObject();
+    optinter.Set("params", obs::JsonValue::Uint(r.param_count));
+    optinter.Set("retrain", TrainSummaryToJson(r.retrain));
+    optinter.Set("search_telemetry", TelemetryToJson(r.search.telemetry));
+    optinter.Set("search_dynamics",
+                 obs::SearchDynamicsToJson(r.search.dynamics));
+    report.AddSection("optinter", std::move(optinter));
+    report.CaptureMetrics();
+    report.CaptureSpans();
+    std::string error;
+    if (!report.WriteFile(report_path, &error)) {
+      std::fprintf(stderr, "failed to write report %s: %s\n",
+                   report_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
+  }
   return 0;
 }

@@ -1,12 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace optinter {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// -1 is the "uninitialized" sentinel: the first reader initializes from
+// OPTINTER_LOG_LEVEL, unless SetLogLevel already stored an explicit level.
+std::atomic<int> g_log_level{-1};
 std::mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
@@ -22,40 +29,116 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+int EffectiveLevel() {
+  int v = g_log_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // Racing first readers all compute the same env-derived value; a
+    // concurrent SetLogLevel may overwrite it, which is the caller's
+    // explicit choice winning.
+    v = static_cast<int>(LogLevelFromEnv());
+    int expected = -1;
+    if (!g_log_level.compare_exchange_strong(expected, v,
+                                             std::memory_order_relaxed)) {
+      v = expected;
+    }
+  }
+  return v;
+}
+
+/// Compact per-thread id for log prefixes: assigned in first-log order.
+size_t ThisThreadLogId() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "HH:MM:SS.mmm" local wall-clock.
+void AppendTimestamp(std::ostream& os) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+  os << buf;
+}
+
+/// Emits one complete line (newline included) as a single stream write.
+/// std::cerr is unit-buffered, so the one insertion reaches the fd intact;
+/// the mutex additionally serializes against the fatal path.
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << line;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level));
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load());
+LogLevel GetLogLevel() { return static_cast<LogLevel>(EffectiveLevel()); }
+
+bool LogLevelFromString(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel LogLevelFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("OPTINTER_LOG_LEVEL");
+  if (env != nullptr) LogLevelFromString(env, &level);
+  return level;
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level) << " ";
+  AppendTimestamp(stream_);
+  stream_ << " t" << ThisThreadLogId() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_log_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << stream_.str() << "\n";
+  if (static_cast<int>(level_) < EffectiveLevel()) return;
+  stream_ << "\n";
+  EmitLine(stream_.str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
                                  const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
-          << condition << " ";
+  stream_ << "[FATAL ";
+  AppendTimestamp(stream_);
+  stream_ << " t" << ThisThreadLogId() << " " << file << ":" << line
+          << "] Check failed: " << condition << " ";
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::cerr << stream_.str() << std::endl;
-  }
+  stream_ << "\n";
+  EmitLine(stream_.str());
   std::abort();
 }
 

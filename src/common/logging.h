@@ -15,13 +15,27 @@ namespace optinter {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level actually emitted; defaults to kInfo.
+/// Global minimum level actually emitted. Defaults to the value of the
+/// OPTINTER_LOG_LEVEL environment variable at first use ("debug", "info",
+/// "warning"/"warn", "error", or a digit 0–3; kInfo when unset or
+/// unparsable). SetLogLevel always wins over the env var.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a level name ("debug", "info", "warning"/"warn", "error",
+/// case-insensitive, or a digit 0–3) into `*out`. Returns false (leaving
+/// `*out` untouched) for anything else.
+bool LogLevelFromString(const std::string& text, LogLevel* out);
+
+/// Level from OPTINTER_LOG_LEVEL, or kInfo when unset/unparsable.
+LogLevel LogLevelFromEnv();
+
 namespace internal {
 
-/// Accumulates one log line and flushes it (with level tag) on destruction.
+/// Accumulates one log line and flushes it on destruction. The line is
+/// prefixed with the level tag, a wall-clock timestamp, a compact
+/// per-thread id (t0, t1, ...) and file:line, and is emitted as a single
+/// write so lines from concurrent pool workers cannot interleave.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

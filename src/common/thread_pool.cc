@@ -4,11 +4,32 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace optinter {
 
 namespace {
 thread_local bool t_in_pool_worker = false;
+
+// Registry handles are resolved once; the registry never invalidates them.
+obs::Counter* TasksSubmittedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  return c;
+}
+
+obs::Counter* TasksExecutedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pool.tasks_executed");
+  return c;
+}
+
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "pool.queue_wait_us",
+      {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0});
+  return h;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -29,13 +50,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const bool observed = obs::Enabled();
+  Task queued{std::move(task), observed
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{}};
   {
     std::unique_lock<std::mutex> lock(mutex_);
     CHECK(!shutting_down_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(queued));
     ++in_flight_;
   }
   task_available_.notify_one();
+  if (observed) TasksSubmittedCounter()->Add(1);
 }
 
 void ThreadPool::Wait() {
@@ -48,7 +74,7 @@ bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(
@@ -60,7 +86,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A zero enqueue time means obs was disabled at Submit; skip reporting
+    // rather than record a bogus multi-decade wait.
+    if (task.enqueued != std::chrono::steady_clock::time_point{} &&
+        obs::Enabled()) {
+      const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - task.enqueued)
+                               .count();
+      QueueWaitHistogram()->Observe(static_cast<double>(wait_us));
+      TasksExecutedCounter()->Add(1);
+    }
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -73,7 +109,11 @@ ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = [] {
     size_t n = std::thread::hardware_concurrency();
     if (n == 0) n = 4;
-    return new ThreadPool(n);
+    auto* p = new ThreadPool(n);
+    obs::MetricsRegistry::Global()
+        .GetGauge("pool.num_threads")
+        ->Set(static_cast<double>(n));
+    return p;
   }();
   return *pool;
 }

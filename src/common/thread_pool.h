@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -44,10 +45,18 @@ class ThreadPool {
   static bool InWorkerThread();
 
  private:
+  /// Queued task plus its enqueue time (zero when obs is disabled), so the
+  /// dequeueing worker can report queue-wait latency to the metrics
+  /// registry ("pool.queue_wait_us" histogram).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/stopwatch.h"
@@ -9,6 +10,40 @@
 #include "core/fixed_arch_model.h"
 
 namespace optinter {
+
+obs::SearchEpochDynamics SnapshotSearchDynamics(
+    const SearchModel& model, size_t epoch, const Architecture& prev_arch,
+    const Architecture& arch) {
+  const size_t num_pairs = arch.size();
+  obs::SearchEpochDynamics d;
+  d.epoch = epoch;
+  d.temperature = model.temperature();
+  d.alpha_entropy_per_pair.resize(num_pairs);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const std::array<float, 3> probs = model.PairProbabilities(p);
+    double h = 0.0;
+    for (const float q : probs) {
+      if (q > 0.0f) h -= static_cast<double>(q) * std::log(q);
+    }
+    d.alpha_entropy_per_pair[p] = h;
+  }
+  if (num_pairs > 0) {
+    double sum = 0.0;
+    d.min_alpha_entropy = d.alpha_entropy_per_pair[0];
+    d.max_alpha_entropy = d.alpha_entropy_per_pair[0];
+    for (const double h : d.alpha_entropy_per_pair) {
+      sum += h;
+      d.min_alpha_entropy = std::min(d.min_alpha_entropy, h);
+      d.max_alpha_entropy = std::max(d.max_alpha_entropy, h);
+    }
+    d.mean_alpha_entropy = sum / static_cast<double>(num_pairs);
+  }
+  for (size_t p = 0; p < num_pairs; ++p) {
+    d.argmax_counts[static_cast<size_t>(arch[p])]++;
+    if (!prev_arch.empty() && arch[p] != prev_arch[p]) ++d.argmax_flips;
+  }
+  return d;
+}
 
 SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
                             const HyperParams& hp,
@@ -24,6 +59,7 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
   arch_batcher.StartEpoch();
 
   SearchResult result;
+  Architecture prev_arch;  // empty until the first epoch snapshot
   const size_t epochs = std::max<size_t>(1, options.search_epochs);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     if (options.anneal_temperature) {
@@ -66,13 +102,23 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
         batches ? loss_sum / static_cast<double>(batches) : 0.0;
     result.telemetry.train_seconds_total += et.train_seconds;
     result.telemetry.epochs.push_back(et);
+
+    const Architecture epoch_arch = model.ExtractArchitecture();
+    obs::SearchEpochDynamics dyn =
+        SnapshotSearchDynamics(model, epoch, prev_arch, epoch_arch);
     if (options.verbose) {
       LOG_INFO() << model.Name() << " search epoch " << epoch
                  << " loss=" << et.mean_train_loss
                  << " tau=" << model.temperature()
                  << " train_s=" << et.train_seconds
-                 << " rows/s=" << et.train_rows_per_sec;
+                 << " rows/s=" << et.train_rows_per_sec
+                 << " mean_H(alpha)=" << dyn.mean_alpha_entropy
+                 << " argmax[mem/fact/naive]=" << dyn.argmax_counts[0] << "/"
+                 << dyn.argmax_counts[1] << "/" << dyn.argmax_counts[2]
+                 << " flips=" << dyn.argmax_flips;
     }
+    result.dynamics.epochs.push_back(std::move(dyn));
+    prev_arch = epoch_arch;
   }
 
   result.arch = model.ExtractArchitecture();

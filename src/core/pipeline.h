@@ -9,6 +9,7 @@
 #include "core/search_model.h"
 #include "models/hyperparams.h"
 #include "models/interaction.h"
+#include "obs/search_dynamics.h"
 #include "train/trainer.h"
 
 namespace optinter {
@@ -34,12 +35,25 @@ struct SearchResult {
   /// Per-epoch wall-clock / throughput of the search loop (train fields
   /// cover the joint Θ+α steps; eval fields the final search-model evals).
   TrainTelemetry telemetry;
+  /// Per-epoch α dynamics: entropy of softmax(α/τ) per pair, argmax-method
+  /// histogram, argmax flips vs the previous epoch, temperature.
+  obs::SearchDynamics dynamics;
 };
 
 /// Runs the search stage only (joint or bi-level).
 SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
                             const HyperParams& hp,
                             const SearchOptions& options);
+
+/// α-dynamics snapshot for one epoch: per-pair entropy of softmax(α/τ),
+/// the argmax-method histogram over `arch`, and flips vs `prev_arch`
+/// (pass an empty prev_arch for the first epoch). `arch` must be the
+/// model's current ExtractArchitecture(). Used by RunSearchStage per
+/// epoch; exposed for drivers that run their own search loop.
+obs::SearchEpochDynamics SnapshotSearchDynamics(const SearchModel& model,
+                                                size_t epoch,
+                                                const Architecture& prev_arch,
+                                                const Architecture& arch);
 
 /// Full OptInter run: search + re-train from scratch.
 struct OptInterResult {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "tensor/kernels.h"
@@ -59,6 +60,7 @@ SearchModel::SearchModel(const EncodedDataset& data, const HyperParams& hp,
 }
 
 void SearchModel::SampleProbs(std::vector<float>* probs) {
+  OPTINTER_TRACE_SPAN("gumbel_sample");
   const size_t num_pairs = data_.num_pairs();
   probs->resize(num_pairs * 3);
   float noisy[3];
@@ -105,11 +107,14 @@ void SearchModel::ForwardWithProbs(const Batch& batch,
       }
     }
   };
-  // Rows write disjoint z_ rows → bit-identical to the serial loop.
-  if (b * (emb_cols + num_pairs * db_) >= (1u << 15)) {
-    ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
-  } else {
-    assemble(0, b);
+  {
+    OPTINTER_TRACE_SPAN("z_assemble");
+    // Rows write disjoint z_ rows → bit-identical to the serial loop.
+    if (b * (emb_cols + num_pairs * db_) >= (1u << 15)) {
+      ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
+    } else {
+      assemble(0, b);
+    }
   }
   mlp_->Forward(z_, &mlp_out_);
   logits_.resize(b);
@@ -118,6 +123,7 @@ void SearchModel::ForwardWithProbs(const Batch& batch,
 
 float SearchModel::Step(const Batch& batch, bool update_theta,
                         bool update_alpha) {
+  OPTINTER_TRACE_SPAN("search_step");
   SampleProbs(&probs_cache_);
   ForwardWithProbs(batch, probs_cache_);
   const size_t b = batch.size;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace optinter {
 
@@ -24,6 +25,7 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
 }
 
 void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
+  OPTINTER_TRACE_SPAN("cross_gather");
   CHECK(batch.data == &data_);
   out->Resize({batch.size, output_dim()});
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
@@ -47,6 +49,7 @@ void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
 }
 
 void CrossEmbedding::Backward(const Tensor& d_out) {
+  OPTINTER_TRACE_SPAN("cross_scatter");
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
   for (size_t k = 0; k < batch_rows_.size(); ++k) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace optinter {
 
@@ -34,6 +35,7 @@ FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
 }
 
 void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
+  OPTINTER_TRACE_SPAN("embedding_gather");
   CHECK(batch.data == &data_);
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
@@ -65,6 +67,7 @@ void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
 }
 
 void FeatureEmbedding::Backward(const Tensor& d_out) {
+  OPTINTER_TRACE_SPAN("embedding_scatter");
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
   CHECK_EQ(d_out.rows(), batch_rows_.size());

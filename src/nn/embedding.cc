@@ -3,8 +3,20 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace optinter {
+
+namespace {
+// Rows touched per sparse step; handle cached once (registry never
+// invalidates it).
+obs::Counter* RowsUpdatedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("emb.rows_updated");
+  return c;
+}
+}  // namespace
 
 EmbeddingTable::EmbeddingTable(std::string name, size_t vocab_size,
                                size_t dim, float lr_in, float l2_in)
@@ -34,6 +46,8 @@ void EmbeddingTable::AccumulateGrad(int32_t id, const float* grad) {
 }
 
 void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
+  OPTINTER_TRACE_SPAN("sparse_adam_step");
+  RowsUpdatedCounter()->Add(touched_ids_.size());
   ++step_;
   const float b1 = config.beta1;
   const float b2 = config.beta2;
@@ -56,6 +70,8 @@ void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
 }
 
 void EmbeddingTable::SparseSgdStep() {
+  OPTINTER_TRACE_SPAN("sparse_sgd_step");
+  RowsUpdatedCounter()->Add(touched_ids_.size());
   for (size_t t = 0; t < touched_ids_.size(); ++t) {
     const int32_t id = touched_ids_[t];
     const float* g_row = touched_grads_.data() + t * dim_;

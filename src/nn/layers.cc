@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "nn/init.h"
 #include "tensor/kernels.h"
 
@@ -29,6 +30,7 @@ Linear::Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
 }
 
 void Linear::Forward(const Tensor& x, Tensor* y) {
+  OPTINTER_TRACE_SPAN("linear_fwd");
   CHECK_EQ(x.cols(), in_dim_);
   x_cache_ = x;
   y->Resize({x.rows(), out_dim_});
@@ -42,6 +44,7 @@ void Linear::Forward(const Tensor& x, Tensor* y) {
 }
 
 void Linear::Backward(const Tensor& dy, Tensor* dx) {
+  OPTINTER_TRACE_SPAN("linear_bwd");
   CHECK_EQ(dy.cols(), out_dim_);
   CHECK_EQ(dy.rows(), x_cache_.rows());
   // dW[out×in] += dy^T x  : GemmTN with A=dy [B×out], B=x [B×in].
@@ -103,6 +106,7 @@ LayerNorm::LayerNorm(std::string name, size_t dim, float lr, float l2)
 }
 
 void LayerNorm::Forward(const Tensor& x, Tensor* y) {
+  OPTINTER_TRACE_SPAN("layernorm_fwd");
   CHECK_EQ(x.cols(), dim_);
   const size_t batch = x.rows();
   y->Resize({batch, dim_});
@@ -138,6 +142,7 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y) {
 }
 
 void LayerNorm::Backward(const Tensor& dy, Tensor* dx) {
+  OPTINTER_TRACE_SPAN("layernorm_bwd");
   CHECK_EQ(dy.cols(), dim_);
   const size_t batch = dy.rows();
   CHECK_EQ(batch, xhat_cache_.rows());

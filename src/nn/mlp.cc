@@ -1,4 +1,5 @@
 #include "nn/mlp.h"
+#include "obs/trace.h"
 
 namespace optinter {
 
@@ -23,6 +24,7 @@ Mlp::Mlp(std::string name, size_t in_dim, const MlpConfig& config, Rng* rng)
 }
 
 void Mlp::Forward(const Tensor& x, Tensor* y) {
+  OPTINTER_TRACE_SPAN("mlp_forward");
   const size_t n_hidden = config_.hidden.size();
   acts_.resize(2 * n_hidden + 1);  // per-hidden: post-linear, post-activation
   const Tensor* cur = &x;
@@ -43,6 +45,7 @@ void Mlp::Forward(const Tensor& x, Tensor* y) {
 }
 
 void Mlp::Backward(const Tensor& dy, Tensor* dx) {
+  OPTINTER_TRACE_SPAN("mlp_backward");
   const size_t n_hidden = config_.hidden.size();
   grads_.resize(2 * n_hidden + 2);
   const Tensor* cur_grad = &dy;

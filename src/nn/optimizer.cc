@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace optinter {
 
@@ -16,6 +17,7 @@ void Sgd::AddParam(DenseParam* param) {
 }
 
 void Sgd::Step() {
+  OPTINTER_TRACE_SPAN("sgd_step");
   for (DenseParam* p : params_) {
     float* w = p->value.data();
     const float* g = p->grad.data();
@@ -37,6 +39,7 @@ void Adam::AddParam(DenseParam* param) {
 }
 
 void Adam::Step() {
+  OPTINTER_TRACE_SPAN("adam_step");
   ++step_;
   const float b1 = config_.beta1;
   const float b2 = config_.beta2;
@@ -74,6 +77,7 @@ void Grda::AddParam(DenseParam* param) {
 }
 
 void Grda::Step() {
+  OPTINTER_TRACE_SPAN("grda_step");
   ++step_;
   for (size_t pi = 0; pi < params_.size(); ++pi) {
     DenseParam* p = params_[pi];

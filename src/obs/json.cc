@@ -1,0 +1,507 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace optinter {
+namespace obs {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Uint(uint64_t i) {
+  // Counters are uint64 but JSON integers round-trip through int64 here;
+  // values beyond int64 range (never hit by real runs) degrade to double.
+  if (i <= static_cast<uint64_t>(INT64_MAX)) {
+    return Int(static_cast<int64_t>(i));
+  }
+  return Double(static_cast<double>(i));
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+double JsonValue::number() const {
+  return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+}
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) {
+    // Ints and doubles compare by numeric value so parse → serialize
+    // round-trips (which may reclassify 1.0) still compare equal.
+    if (is_number() && other.is_number()) return number() == other.number();
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kInt:
+      return int_ == other.int_;
+    case Type::kDouble:
+      return double_ == other.double_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Inf literal; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out->append(buf, res.ptr);
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+      out->append(buf, res.ptr);
+      return;
+    }
+    case Type::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Type::kString:
+      out->push_back('"');
+      *out += JsonEscape(string_);
+      out->push_back('"');
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        items_[i].SerializeTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(members_[i].first);
+        *out += indent >= 0 ? "\": " : "\":";
+        members_[i].second.SerializeTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!Literal("null")) return Fail("bad literal");
+        *out = JsonValue::Null();
+        return true;
+      case 't':
+        if (!Literal("true")) return Fail("bad literal");
+        *out = JsonValue::Bool(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("bad literal");
+        *out = JsonValue::Bool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue::Str(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode (reports only emit \u00xx control escapes, but
+            // accept the full BMP for round-trip robustness).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xc0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              *out += static_cast<char>(0xe0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t v = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+        *out = JsonValue::Int(v);
+        return true;
+      }
+      // Fall through for integers overflowing int64.
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      pos_ = start;
+      return Fail("bad number");
+    }
+    *out = JsonValue::Double(d);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue elem;
+      SkipWhitespace();
+      if (!ParseValue(&elem, depth + 1)) return false;
+      out->Push(std::move(elem));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  Parser p(text, error);
+  return p.ParseDocument(out);
+}
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,101 @@
+// Minimal JSON document model used by the run-report exporter.
+//
+// No third-party dependencies: the observability layer serializes metrics,
+// span trees and search dynamics into files consumed by benches, examples
+// and external tooling, so the format must be plain JSON. Objects preserve
+// insertion order so serialized reports are deterministic and diffable.
+//
+// The obs library sits below src/common (the thread pool is instrumented),
+// so nothing here may include common/ headers.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace optinter {
+namespace obs {
+
+/// A JSON value: null, bool, number (integer or double), string, array or
+/// object. Value-semantic; copying deep-copies the subtree.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t v);
+  static JsonValue Uint(uint64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  bool bool_value() const { return bool_; }
+  /// Numeric value as double (valid for kInt and kDouble).
+  double number() const;
+  int64_t int_value() const { return int_; }
+  const std::string& string_value() const { return string_; }
+
+  // -- Array operations (valid only for kArray) -----------------------------
+
+  /// Appends an element; returns *this for chaining.
+  JsonValue& Push(JsonValue v);
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  JsonValue& at(size_t i) { return items_[i]; }
+
+  // -- Object operations (valid only for kObject) ---------------------------
+
+  /// Inserts or replaces a key; insertion order is preserved. Returns *this.
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  /// Pointer to the value for `key`, or nullptr when absent / not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // -- Serialization ---------------------------------------------------------
+
+  /// Serializes to a JSON string. indent < 0 produces compact output;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string Serialize(int indent = -1) const;
+
+  /// Parses `text` into `*out`. Returns false (with a message in `*error`
+  /// when non-null) on malformed input or trailing garbage.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr);
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` as the body of a JSON string literal (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace optinter

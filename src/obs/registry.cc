@@ -1,0 +1,167 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace optinter {
+namespace obs {
+
+namespace {
+
+// -1 = uninitialized (read env on first use), 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+bool EnvDisables() {
+  const char* v = std::getenv("OPTINTER_OBS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+}  // namespace
+
+bool Enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // Racing first calls all compute the same answer; last store wins.
+    v = EnvDisables() ? 0 : 1;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(num_buckets());
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) noexcept {
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, JsonValue::Uint(c->Value()));
+  }
+  out.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, JsonValue::Double(g->Value()));
+  }
+  out.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue hist = JsonValue::MakeObject();
+    JsonValue bounds = JsonValue::MakeArray();
+    for (const double b : h->bounds()) bounds.Push(JsonValue::Double(b));
+    hist.Set("upper_bounds", std::move(bounds));
+    JsonValue buckets = JsonValue::MakeArray();
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      buckets.Push(JsonValue::Uint(h->bucket_count(i)));
+    }
+    hist.Set("bucket_counts", std::move(buckets));
+    hist.Set("count", JsonValue::Uint(h->count()));
+    hist.Set("sum", JsonValue::Double(h->sum()));
+    histograms.Set(name, std::move(hist));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,139 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms keyed by name.
+//
+// Counters are sharded across cache-line-padded atomic slots indexed by a
+// per-thread id, so hot kernels running on pool workers can increment
+// without cross-core contention; reads sum the shards. Gauges and
+// histograms use plain atomics (their call sites are batch-level, not
+// per-element).
+//
+// Lifetime: metric objects returned by the registry are never destroyed or
+// invalidated (ResetAll zeroes values but keeps registrations), so call
+// sites may cache the pointer in a function-local static.
+//
+// This library sits below src/common (the thread pool is instrumented), so
+// nothing here may include common/ headers.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace optinter {
+namespace obs {
+
+/// Process-wide observability kill-switch. Initialized lazily from the
+/// OPTINTER_OBS environment variable ("0"/"off"/"false" disables; default
+/// on); SetEnabled overrides. Instrumentation that pays per-call cost
+/// beyond a relaxed atomic increment (clock reads, span bookkeeping)
+/// checks this and becomes a near-free branch when disabled.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+namespace internal {
+/// Stable small index for the calling thread, used to pick a counter shard.
+size_t ThisThreadShard();
+}  // namespace internal
+
+/// Monotonic counter with per-thread sharded slots.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) noexcept {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+
+  /// Sum over all shards. Linearizable only when writers are quiescent.
+  uint64_t Value() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-writer-wins double gauge.
+class Gauge {
+ public:
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) noexcept;
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i]; one implicit overflow bucket catches
+/// v > bounds.back(). Bounds are fixed at registration.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 (the last bucket is the overflow bucket).
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → metric registry. Get* calls create on first use and always
+/// return the same pointer for the same name afterwards.
+class MetricsRegistry {
+ public:
+  /// Process-wide instance used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Creates the histogram with `upper_bounds` on first use; later calls
+  /// return the existing histogram regardless of the bounds argument.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// Snapshot of every metric, keys sorted, as a JSON object with
+  /// "counters", "gauges" and "histograms" sections.
+  JsonValue ToJson() const;
+
+  /// Zeroes every metric value. Registrations (and therefore pointers
+  /// handed out earlier) stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,61 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+namespace optinter {
+namespace obs {
+
+RunReport::RunReport(std::string run_name) {
+  run_ = JsonValue::MakeObject();
+  run_.Set("name", JsonValue::Str(std::move(run_name)));
+}
+
+void RunReport::SetMeta(const std::string& key, JsonValue v) {
+  run_.Set(key, std::move(v));
+}
+
+void RunReport::AddSection(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : sections_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  sections_.emplace_back(key, std::move(v));
+}
+
+void RunReport::CaptureMetrics() {
+  AddSection("metrics", MetricsRegistry::Global().ToJson());
+}
+
+void RunReport::CaptureSpans() {
+  AddSection("spans", Tracer::ToJson(Tracer::Collect()));
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("schema_version", JsonValue::Int(1));
+  out.Set("run", run_);
+  for (const auto& [key, value] : sections_) {
+    out.Set(key, value);
+  }
+  return out;
+}
+
+bool RunReport::WriteFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToJson().Serialize(/*indent=*/2) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace optinter

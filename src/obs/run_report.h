@@ -1,0 +1,56 @@
+// JSON run-report exporter: one file per run aggregating the metrics
+// registry snapshot, the merged trace-span profile and caller-provided
+// sections (trainer telemetry, search dynamics, bench rows).
+//
+// Schema (stable; bump schema_version on breaking change):
+//   {
+//     "schema_version": 1,
+//     "run": {"name": "...", <caller metadata>},
+//     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+//     "spans": {"name": "run", "ns": ..., "count": ..., "children": [...]},
+//     <caller sections, e.g. "telemetry", "search_dynamics", "rows">
+//   }
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace optinter {
+namespace obs {
+
+/// Builder for one run report. Not thread-safe; build from the driver
+/// thread after instrumented work has quiesced.
+class RunReport {
+ public:
+  explicit RunReport(std::string run_name);
+
+  /// Adds a key under the "run" metadata object.
+  void SetMeta(const std::string& key, JsonValue v);
+
+  /// Adds (or replaces) a top-level section.
+  void AddSection(const std::string& key, JsonValue v);
+
+  /// Snapshots MetricsRegistry::Global() into the "metrics" section.
+  void CaptureMetrics();
+
+  /// Snapshots Tracer::Collect() into the "spans" section.
+  void CaptureSpans();
+
+  JsonValue ToJson() const;
+
+  /// Writes the pretty-printed report to `path`. Returns false (with a
+  /// message in `*error` when non-null) on IO failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  JsonValue run_;  // object
+  std::vector<std::pair<std::string, JsonValue>> sections_;
+};
+
+}  // namespace obs
+}  // namespace optinter

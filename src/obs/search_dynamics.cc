@@ -1,0 +1,38 @@
+#include "obs/search_dynamics.h"
+
+namespace optinter {
+namespace obs {
+
+JsonValue SearchEpochDynamicsToJson(const SearchEpochDynamics& d) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("epoch", JsonValue::Uint(d.epoch));
+  out.Set("temperature", JsonValue::Double(d.temperature));
+  out.Set("mean_alpha_entropy", JsonValue::Double(d.mean_alpha_entropy));
+  out.Set("min_alpha_entropy", JsonValue::Double(d.min_alpha_entropy));
+  out.Set("max_alpha_entropy", JsonValue::Double(d.max_alpha_entropy));
+  JsonValue per_pair = JsonValue::MakeArray();
+  for (const double h : d.alpha_entropy_per_pair) {
+    per_pair.Push(JsonValue::Double(h));
+  }
+  out.Set("alpha_entropy_per_pair", std::move(per_pair));
+  JsonValue counts = JsonValue::MakeObject();
+  counts.Set("memorize", JsonValue::Uint(d.argmax_counts[0]));
+  counts.Set("factorize", JsonValue::Uint(d.argmax_counts[1]));
+  counts.Set("naive", JsonValue::Uint(d.argmax_counts[2]));
+  out.Set("argmax_counts", std::move(counts));
+  out.Set("argmax_flips", JsonValue::Uint(d.argmax_flips));
+  return out;
+}
+
+JsonValue SearchDynamicsToJson(const SearchDynamics& d) {
+  JsonValue epochs = JsonValue::MakeArray();
+  for (const SearchEpochDynamics& e : d.epochs) {
+    epochs.Push(SearchEpochDynamicsToJson(e));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("epochs", std::move(epochs));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,48 @@
+// Search-dynamics telemetry for the DARTS-style α search (paper
+// Algorithm 1): per-epoch records of how the per-pair architecture
+// distribution evolves, so selection stability is observable instead of
+// inferred from final architectures.
+//
+// Plain data + JSON serialization only; the values are computed by the
+// search driver (core/pipeline.cc), which owns the SearchModel.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace optinter {
+namespace obs {
+
+/// One epoch of α-search dynamics.
+struct SearchEpochDynamics {
+  size_t epoch = 0;
+  /// Gumbel-softmax temperature in effect this epoch.
+  double temperature = 0.0;
+  /// Entropy (nats) of softmax(α/τ) per pair; uniform over 3 methods is
+  /// ln 3 ≈ 1.0986, a converged pair approaches 0.
+  std::vector<double> alpha_entropy_per_pair;
+  double mean_alpha_entropy = 0.0;
+  double min_alpha_entropy = 0.0;
+  double max_alpha_entropy = 0.0;
+  /// Per-pair argmax histogram, order {memorize, factorize, naive}
+  /// (paper Eq. 19 applied at this epoch).
+  std::array<size_t, 3> argmax_counts{{0, 0, 0}};
+  /// Pairs whose argmax method changed vs the previous epoch (0 for the
+  /// first epoch). A stable search drives this to 0 before freeze.
+  size_t argmax_flips = 0;
+};
+
+/// Full search run: one record per epoch.
+struct SearchDynamics {
+  std::vector<SearchEpochDynamics> epochs;
+};
+
+JsonValue SearchEpochDynamicsToJson(const SearchEpochDynamics& d);
+JsonValue SearchDynamicsToJson(const SearchDynamics& d);
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace optinter {
+namespace obs {
+namespace internal {
+
+// Per-thread span tree. Nodes are owned by their parent and live for the
+// process lifetime (Reset zeroes stats but keeps the structure), so
+// pointers held by open TraceSpans never dangle.
+//
+// Concurrency: a node's stats are relaxed atomics (owner thread writes,
+// Collect reads). A thread only mutates its *own* tree's child lists, but
+// Collect traverses them from another thread, so child creation and
+// collection serialize on one global mutex — child creation happens only
+// the first time a thread reaches a given span path, so the lock is off
+// the steady-state hot path.
+struct SpanNode {
+  explicit SpanNode(const char* n, SpanNode* p) : name(n), parent(p) {}
+
+  const char* name;
+  SpanNode* parent;
+  std::atomic<uint64_t> ns{0};
+  std::atomic<uint64_t> count{0};
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+namespace {
+
+struct ThreadBuffer {
+  ThreadBuffer() : root("thread", nullptr), current(&root) {}
+  SpanNode root;
+  SpanNode* current;
+};
+
+std::mutex& GlobalMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<ThreadBuffer*>& Buffers() {
+  static std::vector<ThreadBuffer*>* v = new std::vector<ThreadBuffer*>();
+  return *v;
+}
+
+ThreadBuffer* GetThreadBuffer() {
+  // Heap-allocated and never freed: spans may be recorded on pool workers
+  // whose data must outlive the thread for later Collect() calls.
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(GlobalMutex());
+    Buffers().push_back(b);
+    return b;
+  }();
+  return buffer;
+}
+
+SpanNode* FindOrCreateChild(SpanNode* parent, const char* name) {
+  // Fast path: same string literal yields pointer equality; distinct
+  // literals with equal text still merge via the strcmp fallback.
+  for (const auto& child : parent->children) {
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      return child.get();
+    }
+  }
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  parent->children.push_back(std::make_unique<SpanNode>(name, parent));
+  return parent->children.back().get();
+}
+
+void MergeInto(const SpanNode& node, SpanProfile* out) {
+  out->total_ns += node.ns.load(std::memory_order_relaxed);
+  out->count += node.count.load(std::memory_order_relaxed);
+  for (const auto& child : node.children) {
+    SpanProfile* slot = nullptr;
+    for (SpanProfile& existing : out->children) {
+      if (existing.name == child->name) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out->children.emplace_back();
+      slot = &out->children.back();
+      slot->name = child->name;
+    }
+    MergeInto(*child, slot);
+  }
+}
+
+void SortProfile(SpanProfile* p) {
+  std::sort(p->children.begin(), p->children.end(),
+            [](const SpanProfile& a, const SpanProfile& b) {
+              return a.name < b.name;
+            });
+  for (SpanProfile& child : p->children) SortProfile(&child);
+}
+
+void ResetNode(SpanNode* node) {
+  node->ns.store(0, std::memory_order_relaxed);
+  node->count.store(0, std::memory_order_relaxed);
+  for (auto& child : node->children) ResetNode(child.get());
+}
+
+}  // namespace
+
+SpanNode* EnterSpan(const char* name) {
+  ThreadBuffer* tb = GetThreadBuffer();
+  SpanNode* node = FindOrCreateChild(tb->current, name);
+  tb->current = node;
+  return node;
+}
+
+void ExitSpan(SpanNode* node, uint64_t elapsed_ns) {
+  node->ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  GetThreadBuffer()->current = node->parent;
+}
+
+}  // namespace internal
+
+SpanProfile Tracer::Collect() {
+  SpanProfile root;
+  root.name = "run";
+  {
+    std::lock_guard<std::mutex> lock(internal::GlobalMutex());
+    for (const internal::ThreadBuffer* tb : internal::Buffers()) {
+      internal::MergeInto(tb->root, &root);
+    }
+  }
+  // The per-thread roots carry no timing of their own; the run total is
+  // the sum of top-level spans.
+  root.total_ns = 0;
+  root.count = 0;
+  for (const SpanProfile& child : root.children) {
+    root.total_ns += child.total_ns;
+    root.count += child.count;
+  }
+  internal::SortProfile(&root);
+  return root;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(internal::GlobalMutex());
+  for (internal::ThreadBuffer* tb : internal::Buffers()) {
+    internal::ResetNode(&tb->root);
+  }
+}
+
+JsonValue Tracer::ToJson(const SpanProfile& profile) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue::Str(profile.name));
+  out.Set("ns", JsonValue::Uint(profile.total_ns));
+  out.Set("count", JsonValue::Uint(profile.count));
+  if (!profile.children.empty()) {
+    JsonValue children = JsonValue::MakeArray();
+    for (const SpanProfile& child : profile.children) {
+      children.Push(ToJson(child));
+    }
+    out.Set("children", std::move(children));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,121 @@
+// Scoped wall-clock trace spans with per-thread buffers.
+//
+//   void GemmTN(...) {
+//     OPTINTER_TRACE_SPAN("gemm_tn");
+//     ...
+//   }
+//
+// Each thread owns a private span tree keyed by the nesting path of span
+// names: entering a span walks to (or creates) the child node of the
+// current node and records elapsed nanoseconds + call count on exit. No
+// per-event allocation or logging — a span is two steady_clock reads plus
+// two relaxed atomic adds on an already-resolved node, so kernels can be
+// instrumented without measurable overhead, and pool workers never contend
+// with each other.
+//
+// Tracer::Collect() merges all threads' trees by span name into one
+// deterministic profile (children sorted by name). Parallel kernels open
+// their span on the *calling* thread around the fan-out + wait, so kernel
+// timings nest under the caller's epoch/step spans and sum to wall-clock.
+//
+// Kill switches: the runtime switch is obs::Enabled() (see registry.h);
+// compiling with -DOPTINTER_DISABLE_OBS removes the macro entirely.
+//
+// This library sits below src/common, so nothing here may include common/
+// headers.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace optinter {
+namespace obs {
+
+namespace internal {
+struct SpanNode;
+SpanNode* EnterSpan(const char* name);
+void ExitSpan(SpanNode* node, uint64_t elapsed_ns);
+}  // namespace internal
+
+/// One node of the merged span profile returned by Tracer::Collect().
+struct SpanProfile {
+  std::string name;
+  /// Total wall-clock nanoseconds spent inside this span (including
+  /// children, since children run within the parent's scope).
+  uint64_t total_ns = 0;
+  uint64_t count = 0;
+  std::vector<SpanProfile> children;  // sorted by name
+
+  double total_seconds() const {
+    return static_cast<double>(total_ns) * 1e-9;
+  }
+};
+
+/// Global access to the merged trace profile.
+class Tracer {
+ public:
+  /// Merges every thread's span tree into one profile rooted at "run".
+  /// The root's total_ns is the sum of its children. Deterministic
+  /// (children sorted by name) given the same recorded spans. Call when
+  /// instrumented threads are quiescent (e.g. after ThreadPool::Wait) for
+  /// an exact snapshot.
+  static SpanProfile Collect();
+
+  /// Zeroes all recorded stats (node structure and thread registrations
+  /// are kept). Must not race with open spans.
+  static void Reset();
+
+  /// JSON form: {"name", "ns", "count", "children": [...]}.
+  static JsonValue ToJson(const SpanProfile& profile);
+};
+
+/// RAII span. Does nothing when obs::Enabled() is false at entry.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Enabled()) {
+      node_ = nullptr;
+      return;
+    }
+    node_ = internal::EnterSpan(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TraceSpan() {
+    if (node_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    internal::ExitSpan(
+        node_,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  internal::SpanNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace optinter
+
+#ifdef OPTINTER_DISABLE_OBS
+#define OPTINTER_TRACE_SPAN(name)
+#else
+#define OPTINTER_TRACE_SPAN_CONCAT2(a, b) a##b
+#define OPTINTER_TRACE_SPAN_CONCAT(a, b) OPTINTER_TRACE_SPAN_CONCAT2(a, b)
+/// Opens a scoped trace span named `name` (a string literal that must
+/// outlive the program, which literals do).
+#define OPTINTER_TRACE_SPAN(name)                                    \
+  ::optinter::obs::TraceSpan OPTINTER_TRACE_SPAN_CONCAT(_optinter_span_, \
+                                                        __LINE__)(name)
+#endif

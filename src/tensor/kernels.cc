@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace optinter {
 
@@ -79,6 +80,7 @@ void GemmTNRange(const float* a, const float* b, float* c, size_t lo,
 
 void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
+  OPTINTER_TRACE_SPAN("gemm_nn");
   ScaleRows(c, m, n, beta);
   if (m * k * n >= kParallelFlops && m > 1) {
     ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
@@ -91,6 +93,7 @@ void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
 
 void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
+  OPTINTER_TRACE_SPAN("gemm_nt");
   ScaleRows(c, m, n, beta);
   if (m * k * n >= kParallelFlops && m > 1) {
     ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
@@ -103,6 +106,7 @@ void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
 
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
+  OPTINTER_TRACE_SPAN("gemm_tn");
   // C[k×n] = A^T[k×m] * B[m×n]; accumulate row-of-A outer products.
   //
   // Unlike the NN/NT variants, every row of A touches every row of C, so

@@ -6,8 +6,24 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "metrics/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace optinter {
+
+namespace {
+obs::Counter* TrainRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("train.rows");
+  return c;
+}
+
+obs::Counter* EvalRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("eval.rows");
+  return c;
+}
+}  // namespace
 
 bool ScoreImproved(double score, double best_score, StopMetric metric) {
   // Log loss: 1e-6 absolute is below any meaningful calibration change at
@@ -21,9 +37,11 @@ bool ScoreImproved(double score, double best_score, StopMetric metric) {
 EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
                           const std::vector<size_t>& rows,
                           const EvalOptions& options) {
+  OPTINTER_TRACE_SPAN("evaluate");
   CHECK(!rows.empty());
   CHECK_GT(options.batch_size, 0u);
   const size_t n = rows.size();
+  EvalRowsCounter()->Add(n);
   std::vector<float> all_probs(n);
   std::vector<float> all_labels(n);
   // Labels are pure dataset reads, independent of the model — gather them
@@ -87,13 +105,18 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
     double loss_sum = 0.0;
     size_t batches = 0;
     size_t rows_seen = 0;
-    for (;;) {
-      Batch b = batcher.Next();
-      if (b.size == 0) break;
-      loss_sum += model->TrainStep(b);
-      rows_seen += b.size;
-      ++batches;
+    {
+      OPTINTER_TRACE_SPAN("train_epoch");
+      for (;;) {
+        Batch b = batcher.Next();
+        if (b.size == 0) break;
+        OPTINTER_TRACE_SPAN("train_step");
+        loss_sum += model->TrainStep(b);
+        rows_seen += b.size;
+        ++batches;
+      }
     }
+    TrainRowsCounter()->Add(rows_seen);
     const double mean_loss =
         batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
     summary.epoch_train_losses.push_back(mean_loss);
@@ -181,6 +204,61 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
   }
   summary.seconds = timer.Elapsed();
   return summary;
+}
+
+obs::JsonValue EvalMetricsToJson(const EvalMetrics& metrics) {
+  obs::JsonValue out = obs::JsonValue::MakeObject();
+  out.Set("auc", obs::JsonValue::Double(metrics.auc));
+  out.Set("logloss", obs::JsonValue::Double(metrics.logloss));
+  return out;
+}
+
+obs::JsonValue TelemetryToJson(const TrainTelemetry& telemetry) {
+  obs::JsonValue epochs = obs::JsonValue::MakeArray();
+  for (const EpochTelemetry& et : telemetry.epochs) {
+    obs::JsonValue e = obs::JsonValue::MakeObject();
+    e.Set("epoch", obs::JsonValue::Uint(et.epoch));
+    e.Set("train_seconds", obs::JsonValue::Double(et.train_seconds));
+    e.Set("eval_seconds", obs::JsonValue::Double(et.eval_seconds));
+    e.Set("train_rows_per_sec",
+          obs::JsonValue::Double(et.train_rows_per_sec));
+    e.Set("mean_train_loss", obs::JsonValue::Double(et.mean_train_loss));
+    e.Set("improved", obs::JsonValue::Bool(et.improved));
+    epochs.Push(std::move(e));
+  }
+  obs::JsonValue out = obs::JsonValue::MakeObject();
+  out.Set("epochs", std::move(epochs));
+  out.Set("train_seconds_total",
+          obs::JsonValue::Double(telemetry.train_seconds_total));
+  out.Set("eval_seconds_total",
+          obs::JsonValue::Double(telemetry.eval_seconds_total));
+  out.Set("train_rows_per_sec",
+          obs::JsonValue::Double(telemetry.train_rows_per_sec));
+  out.Set("best_epoch", obs::JsonValue::Uint(telemetry.best_epoch));
+  out.Set("early_stopped", obs::JsonValue::Bool(telemetry.early_stopped));
+  out.Set("restored_best_snapshot",
+          obs::JsonValue::Bool(telemetry.restored_best_snapshot));
+  return out;
+}
+
+obs::JsonValue TrainSummaryToJson(const TrainSummary& summary) {
+  obs::JsonValue out = obs::JsonValue::MakeObject();
+  out.Set("final_val", EvalMetricsToJson(summary.final_val));
+  out.Set("final_test", EvalMetricsToJson(summary.final_test));
+  obs::JsonValue losses = obs::JsonValue::MakeArray();
+  for (double v : summary.epoch_train_losses) {
+    losses.Push(obs::JsonValue::Double(v));
+  }
+  out.Set("epoch_train_losses", std::move(losses));
+  obs::JsonValue aucs = obs::JsonValue::MakeArray();
+  for (double v : summary.epoch_val_aucs) {
+    aucs.Push(obs::JsonValue::Double(v));
+  }
+  out.Set("epoch_val_aucs", std::move(aucs));
+  out.Set("epochs_run", obs::JsonValue::Uint(summary.epochs_run));
+  out.Set("seconds", obs::JsonValue::Double(summary.seconds));
+  out.Set("telemetry", TelemetryToJson(summary.telemetry));
+  return out;
 }
 
 }  // namespace optinter

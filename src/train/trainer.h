@@ -7,6 +7,7 @@
 
 #include "data/batch.h"
 #include "models/model.h"
+#include "obs/json.h"
 
 namespace optinter {
 
@@ -112,5 +113,11 @@ EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
 /// splits.test.
 TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
                         const Splits& splits, const TrainOptions& options);
+
+/// JSON forms for run reports (obs/run_report.h). Field names mirror the
+/// struct members.
+obs::JsonValue EvalMetricsToJson(const EvalMetrics& metrics);
+obs::JsonValue TelemetryToJson(const TrainTelemetry& telemetry);
+obs::JsonValue TrainSummaryToJson(const TrainSummary& summary);
 
 }  // namespace optinter

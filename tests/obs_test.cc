@@ -1,0 +1,517 @@
+// Tests for the observability layer: JSON value round-trips, the metrics
+// registry under concurrent pool increments, trace-span nesting and merge
+// determinism, run-report serialization, search-dynamics capture, and the
+// logging satellites (env-level parsing, line prefix format).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/search_dynamics.h"
+#include "obs/trace.h"
+#include "synth/prepare.h"
+#include "train/trainer.h"
+
+namespace optinter {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, SerializeScalars) {
+  EXPECT_EQ(obs::JsonValue::Null().Serialize(), "null");
+  EXPECT_EQ(obs::JsonValue::Bool(true).Serialize(), "true");
+  EXPECT_EQ(obs::JsonValue::Bool(false).Serialize(), "false");
+  EXPECT_EQ(obs::JsonValue::Int(-42).Serialize(), "-42");
+  EXPECT_EQ(obs::JsonValue::Uint(7).Serialize(), "7");
+  EXPECT_EQ(obs::JsonValue::Str("hi").Serialize(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  const std::string s = obs::JsonValue::Str("a\"b\\c\n\t\x01").Serialize();
+  EXPECT_EQ(s, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  obs::JsonValue obj = obs::JsonValue::MakeObject();
+  obj.Set("zebra", obs::JsonValue::Int(1));
+  obj.Set("alpha", obs::JsonValue::Int(2));
+  EXPECT_EQ(obj.Serialize(), "{\"zebra\":1,\"alpha\":2}");
+  // Re-setting a key keeps its position.
+  obj.Set("zebra", obs::JsonValue::Int(3));
+  EXPECT_EQ(obj.Serialize(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  obs::JsonValue obj = obs::JsonValue::MakeObject();
+  obj.Set("name", obs::JsonValue::Str("run \"x\"\n"));
+  obj.Set("n", obs::JsonValue::Int(-5));
+  obj.Set("pi", obs::JsonValue::Double(3.25));
+  obj.Set("ok", obs::JsonValue::Bool(true));
+  obj.Set("nothing", obs::JsonValue::Null());
+  obs::JsonValue arr = obs::JsonValue::MakeArray();
+  arr.Push(obs::JsonValue::Int(1));
+  arr.Push(obs::JsonValue::Str("two"));
+  obj.Set("items", std::move(arr));
+
+  for (const int indent : {-1, 0, 2}) {
+    const std::string text = obj.Serialize(indent);
+    obs::JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(obs::JsonValue::Parse(text, &parsed, &error)) << error;
+    EXPECT_EQ(parsed, obj) << text;
+  }
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  obs::JsonValue out;
+  std::string error;
+  EXPECT_FALSE(obs::JsonValue::Parse("{", &out, &error));
+  EXPECT_FALSE(obs::JsonValue::Parse("[1,]", &out, &error));
+  EXPECT_FALSE(obs::JsonValue::Parse("\"unterminated", &out, &error));
+  EXPECT_FALSE(obs::JsonValue::Parse("1 trailing", &out, &error));
+  EXPECT_FALSE(obs::JsonValue::Parse("", &out, &error));
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  obs::JsonValue out;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse("\"\\u0041\\u00e9\"", &out, &error))
+      << error;
+  EXPECT_EQ(out.string_value(), "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, CounterAccumulatesAcrossConcurrentPoolTasks) {
+  obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  c->Reset();
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 64;
+  constexpr size_t kPerTask = 1000;
+  for (size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([c] {
+      for (size_t i = 0; i < kPerTask; ++i) c->Add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(c->Value(), kTasks * kPerTask);
+}
+
+TEST(RegistryTest, GetReturnsSamePointerForSameName) {
+  auto& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("test.same"), reg.GetCounter("test.same"));
+  EXPECT_EQ(reg.GetGauge("test.same_gauge"),
+            reg.GetGauge("test.same_gauge"));
+  EXPECT_EQ(reg.GetHistogram("test.same_hist", {1.0}),
+            reg.GetHistogram("test.same_hist", {2.0, 3.0}));
+}
+
+TEST(RegistryTest, HistogramBucketEdges) {
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "test.bucket_edges", {1.0, 2.0, 4.0});
+  h->Reset();
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; the upper bound is
+  // inclusive.
+  h->Observe(0.5);  // bucket 0
+  h->Observe(1.0);  // bucket 0 (inclusive upper edge)
+  h->Observe(1.5);  // bucket 1
+  h->Observe(2.0);  // bucket 1
+  h->Observe(4.0);  // bucket 2
+  h->Observe(5.0);  // overflow
+  ASSERT_EQ(h->num_buckets(), 4u);
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 2u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->bucket_count(3), 1u);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0);
+}
+
+TEST(RegistryTest, GaugeSetAndAdd) {
+  obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(1.25);
+  EXPECT_DOUBLE_EQ(g->Value(), 3.75);
+  g->Reset();
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST(RegistryTest, ToJsonContainsRegisteredMetrics) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("test.json_counter")->Reset();
+  reg.GetCounter("test.json_counter")->Add(3);
+  obs::Histogram* h = reg.GetHistogram("test.json_hist", {10.0});
+  h->Reset();
+  h->Observe(4.0);
+  const obs::JsonValue snapshot = reg.ToJson();
+  const obs::JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* c = counters->Find("test.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->int_value(), 3);
+  const obs::JsonValue* hists = snapshot.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* hj = hists->Find("test.json_hist");
+  ASSERT_NE(hj, nullptr);
+  ASSERT_NE(hj->Find("bucket_counts"), nullptr);
+  EXPECT_EQ(hj->Find("bucket_counts")->at(0).int_value(), 1);
+  EXPECT_EQ(hj->Find("count")->int_value(), 1);
+}
+
+TEST(RegistryTest, EnabledToggle) {
+  EXPECT_TRUE(obs::Enabled());  // default on (no OPTINTER_OBS in tests)
+  obs::SetEnabled(false);
+  EXPECT_FALSE(obs::Enabled());
+  obs::SetEnabled(true);
+  EXPECT_TRUE(obs::Enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// Child of `p` named `name`, or nullptr.
+const obs::SpanProfile* FindChild(const obs::SpanProfile& p,
+                                  const std::string& name) {
+  for (const obs::SpanProfile& c : p.children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, NestedSpansBuildHierarchicalProfile) {
+  obs::Tracer::Reset();
+  {
+    OPTINTER_TRACE_SPAN("outer_a");
+    {
+      OPTINTER_TRACE_SPAN("inner_b");
+    }
+    {
+      OPTINTER_TRACE_SPAN("inner_b");
+    }
+    {
+      OPTINTER_TRACE_SPAN("inner_c");
+    }
+  }
+  const obs::SpanProfile profile = obs::Tracer::Collect();
+  EXPECT_EQ(profile.name, "run");
+  const obs::SpanProfile* a = FindChild(profile, "outer_a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 1u);
+  const obs::SpanProfile* b = FindChild(*a, "inner_b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 2u);
+  const obs::SpanProfile* c = FindChild(*a, "inner_c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, 1u);
+  // Children must contain the parent's time (parent covers them).
+  EXPECT_GE(a->total_ns, b->total_ns + c->total_ns);
+}
+
+TEST(TraceTest, CollectIsDeterministicAndSorted) {
+  obs::Tracer::Reset();
+  {
+    OPTINTER_TRACE_SPAN("z_span");
+  }
+  {
+    OPTINTER_TRACE_SPAN("a_span");
+  }
+  const obs::SpanProfile first = obs::Tracer::Collect();
+  const obs::SpanProfile second = obs::Tracer::Collect();
+  // Collect is read-only: two collections agree exactly.
+  EXPECT_EQ(obs::Tracer::ToJson(first).Serialize(),
+            obs::Tracer::ToJson(second).Serialize());
+  // Children sorted by name.
+  for (size_t i = 1; i < first.children.size(); ++i) {
+    EXPECT_LT(first.children[i - 1].name, first.children[i].name);
+  }
+}
+
+TEST(TraceTest, SpansFromPoolThreadsMergeByName) {
+  obs::Tracer::Reset();
+  ThreadPool pool(3);
+  for (int t = 0; t < 9; ++t) {
+    pool.Submit([] { OPTINTER_TRACE_SPAN("pool_span"); });
+  }
+  pool.Wait();
+  const obs::SpanProfile profile = obs::Tracer::Collect();
+  const obs::SpanProfile* merged = FindChild(profile, "pool_span");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count, 9u);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  obs::Tracer::Reset();
+  obs::SetEnabled(false);
+  {
+    OPTINTER_TRACE_SPAN("disabled_span");
+  }
+  obs::SetEnabled(true);
+  const obs::SpanProfile profile = obs::Tracer::Collect();
+  const obs::SpanProfile* s = FindChild(profile, "disabled_span");
+  // The node may exist from an earlier enabled run in this process, but
+  // this span must not have counted.
+  if (s != nullptr) {
+    EXPECT_EQ(s->count, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+// ---------------------------------------------------------------------------
+
+TEST(RunReportTest, FileRoundTripContainsAllSections) {
+  obs::Tracer::Reset();
+  obs::MetricsRegistry::Global().GetCounter("test.report_counter")->Reset();
+  obs::MetricsRegistry::Global().GetCounter("test.report_counter")->Add(11);
+  {
+    OPTINTER_TRACE_SPAN("report_span");
+  }
+
+  obs::RunReport report("unit_test_run");
+  report.SetMeta("dataset", obs::JsonValue::Str("tiny"));
+  obs::JsonValue extra = obs::JsonValue::MakeObject();
+  extra.Set("answer", obs::JsonValue::Int(42));
+  report.AddSection("extra", std::move(extra));
+  report.CaptureMetrics();
+  report.CaptureSpans();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "optinter_obs_test.json")
+          .string();
+  std::string error;
+  ASSERT_TRUE(report.WriteFile(path, &error)) << error;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue parsed;
+  ASSERT_TRUE(obs::JsonValue::Parse(buffer.str(), &parsed, &error)) << error;
+  std::filesystem::remove(path);
+
+  ASSERT_NE(parsed.Find("schema_version"), nullptr);
+  EXPECT_EQ(parsed.Find("schema_version")->int_value(), 1);
+  ASSERT_NE(parsed.Find("run"), nullptr);
+  EXPECT_EQ(parsed.Find("run")->Find("name")->string_value(),
+            "unit_test_run");
+  EXPECT_EQ(parsed.Find("run")->Find("dataset")->string_value(), "tiny");
+  EXPECT_EQ(parsed.Find("extra")->Find("answer")->int_value(), 42);
+  const obs::JsonValue* metrics = parsed.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("counters")
+                ->Find("test.report_counter")
+                ->int_value(),
+            11);
+  const obs::JsonValue* spans = parsed.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_EQ(spans->Find("name")->string_value(), "run");
+  bool found_span = false;
+  const obs::JsonValue* children = spans->Find("children");
+  ASSERT_NE(children, nullptr);
+  for (size_t i = 0; i < children->size(); ++i) {
+    if (children->at(i).Find("name")->string_value() == "report_span") {
+      found_span = true;
+      EXPECT_EQ(children->at(i).Find("count")->int_value(), 1);
+    }
+  }
+  EXPECT_TRUE(found_span);
+}
+
+TEST(RunReportTest, WriteFileFailsOnBadPath) {
+  obs::RunReport report("x");
+  std::string error;
+  EXPECT_FALSE(
+      report.WriteFile("/nonexistent_dir_zz/report.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Search dynamics
+// ---------------------------------------------------------------------------
+
+TEST(SearchDynamicsTest, ToJsonSerializesAllFields) {
+  obs::SearchEpochDynamics d;
+  d.epoch = 2;
+  d.temperature = 0.5;
+  d.alpha_entropy_per_pair = {1.0, 0.25};
+  d.mean_alpha_entropy = 0.625;
+  d.min_alpha_entropy = 0.25;
+  d.max_alpha_entropy = 1.0;
+  d.argmax_counts = {{1, 1, 0}};
+  d.argmax_flips = 1;
+  obs::SearchDynamics dyn;
+  dyn.epochs.push_back(d);
+  const obs::JsonValue j = obs::SearchDynamicsToJson(dyn);
+  const obs::JsonValue* epochs = j.Find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  ASSERT_EQ(epochs->size(), 1u);
+  const obs::JsonValue& e = epochs->at(0);
+  EXPECT_EQ(e.Find("epoch")->int_value(), 2);
+  EXPECT_DOUBLE_EQ(e.Find("temperature")->number(), 0.5);
+  EXPECT_EQ(e.Find("alpha_entropy_per_pair")->size(), 2u);
+  EXPECT_DOUBLE_EQ(e.Find("mean_alpha_entropy")->number(), 0.625);
+  EXPECT_EQ(e.Find("argmax_counts")->Find("memorize")->int_value(), 1);
+  EXPECT_EQ(e.Find("argmax_counts")->Find("factorize")->int_value(), 1);
+  EXPECT_EQ(e.Find("argmax_counts")->Find("naive")->int_value(), 0);
+  EXPECT_EQ(e.Find("argmax_flips")->int_value(), 1);
+}
+
+TEST(SearchDynamicsTest, PopulatedByShortSearchRun) {
+  auto prepared = PrepareProfile("tiny", PrepareOptions());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  HyperParams hp = DefaultHyperParams("tiny");
+  SearchOptions sopts;
+  sopts.search_epochs = 2;
+  const SearchResult result =
+      RunSearchStage(prepared->data, prepared->splits, hp, sopts);
+
+  const size_t num_pairs = prepared->data.num_pairs();
+  ASSERT_EQ(result.dynamics.epochs.size(), 2u);
+  for (size_t i = 0; i < result.dynamics.epochs.size(); ++i) {
+    const obs::SearchEpochDynamics& d = result.dynamics.epochs[i];
+    EXPECT_EQ(d.epoch, i);
+    EXPECT_GT(d.temperature, 0.0);
+    EXPECT_EQ(d.alpha_entropy_per_pair.size(), num_pairs);
+    // Entropy of a 3-way categorical is within [0, ln 3].
+    EXPECT_GE(d.min_alpha_entropy, 0.0);
+    EXPECT_LE(d.max_alpha_entropy, std::log(3.0) + 1e-9);
+    EXPECT_GE(d.mean_alpha_entropy, d.min_alpha_entropy);
+    EXPECT_LE(d.mean_alpha_entropy, d.max_alpha_entropy);
+    EXPECT_EQ(d.argmax_counts[0] + d.argmax_counts[1] + d.argmax_counts[2],
+              num_pairs);
+  }
+  // Flips are counted only from the second epoch on.
+  EXPECT_EQ(result.dynamics.epochs[0].argmax_flips, 0u);
+  EXPECT_LE(result.dynamics.epochs[1].argmax_flips, num_pairs);
+}
+
+// ---------------------------------------------------------------------------
+// Logging satellites
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LogLevelFromString) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(LogLevelFromString("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(LogLevelFromString("WARNING", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(LogLevelFromString("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(LogLevelFromString("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  level = LogLevel::kDebug;
+  EXPECT_FALSE(LogLevelFromString("nope", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);  // untouched on failure
+}
+
+TEST(LoggingTest, LinePrefixHasLevelTimestampThreadAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  LOG_INFO() << "prefix format probe";
+  std::cerr.rdbuf(old);
+  const std::string line = captured.str();
+  // "[I HH:MM:SS.mmm tN file:line] prefix format probe\n"
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.substr(0, 3), "[I ");
+  EXPECT_NE(line.find(" t"), std::string::npos);
+  EXPECT_NE(line.find("obs_test.cc:"), std::string::npos);
+  EXPECT_NE(line.find("] prefix format probe\n"), std::string::npos);
+  // Timestamp shape: two ':' in HH:MM:SS and one '.' before millis.
+  const size_t ts_start = 3;
+  EXPECT_EQ(line[ts_start + 2], ':');
+  EXPECT_EQ(line[ts_start + 5], ':');
+  EXPECT_EQ(line[ts_start + 8], '.');
+}
+
+TEST(LoggingTest, BelowLevelLinesAreSuppressed) {
+  SetLogLevel(LogLevel::kWarning);
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  LOG_INFO() << "should not appear";
+  LOG_WARNING() << "should appear";
+  std::cerr.rdbuf(old);
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out = captured.str();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("should appear"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentLinesDoNotInterleave) {
+  SetLogLevel(LogLevel::kInfo);
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  ThreadPool pool(4);
+  constexpr int kLines = 200;
+  for (int i = 0; i < kLines; ++i) {
+    pool.Submit([] { LOG_INFO() << "interleave-probe-payload"; });
+  }
+  pool.Wait();
+  std::cerr.rdbuf(old);
+  // Every emitted line contains the intact payload exactly once.
+  std::istringstream lines(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("interleave-probe-payload"), std::string::npos)
+        << "torn line: " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kLines);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer JSON
+// ---------------------------------------------------------------------------
+
+TEST(TrainerJsonTest, TelemetryRoundTripsThroughJson) {
+  TrainTelemetry t;
+  EpochTelemetry e;
+  e.epoch = 0;
+  e.train_seconds = 1.5;
+  e.eval_seconds = 0.25;
+  e.train_rows_per_sec = 1000.0;
+  e.mean_train_loss = 0.693;
+  e.improved = true;
+  t.epochs.push_back(e);
+  t.train_seconds_total = 1.5;
+  t.eval_seconds_total = 0.25;
+  t.train_rows_per_sec = 1000.0;
+  t.best_epoch = 0;
+  t.early_stopped = false;
+  t.restored_best_snapshot = true;
+
+  const obs::JsonValue j = TelemetryToJson(t);
+  EXPECT_EQ(j.Find("epochs")->size(), 1u);
+  const obs::JsonValue& ej = j.Find("epochs")->at(0);
+  EXPECT_DOUBLE_EQ(ej.Find("train_seconds")->number(), 1.5);
+  EXPECT_TRUE(ej.Find("improved")->bool_value());
+  EXPECT_DOUBLE_EQ(j.Find("train_seconds_total")->number(), 1.5);
+  EXPECT_TRUE(j.Find("restored_best_snapshot")->bool_value());
+  // Serialized form parses back to an equal value.
+  obs::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(j.Serialize(2), &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed, j);
+}
+
+}  // namespace
+}  // namespace optinter
