@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "obs/registry.h"
@@ -10,6 +11,27 @@ namespace optinter {
 
 namespace {
 thread_local bool t_in_pool_worker = false;
+
+// The global pool, created lazily. Guarded by GlobalPoolMutex(); never
+// null after first Global() call. SetGlobalThreads swaps it for tests.
+ThreadPool* g_global_pool = nullptr;
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+size_t DefaultGlobalThreads() {
+  if (const char* env = std::getenv("OPTINTER_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<size_t>(v);
+    LOG_WARNING() << "ignoring invalid OPTINTER_THREADS='" << env << "'";
+  }
+  size_t n = std::thread::hardware_concurrency();
+  if (n == 0) n = 4;
+  return n;
+}
 
 // Registry handles are resolved once; the registry never invalidates them.
 obs::Counter* TasksSubmittedCounter() {
@@ -106,16 +128,30 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = [] {
-    size_t n = std::thread::hardware_concurrency();
-    if (n == 0) n = 4;
-    auto* p = new ThreadPool(n);
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  if (g_global_pool == nullptr) {
+    const size_t n = DefaultGlobalThreads();
+    g_global_pool = new ThreadPool(n);
     obs::MetricsRegistry::Global()
         .GetGauge("pool.num_threads")
         ->Set(static_cast<double>(n));
-    return p;
-  }();
-  return *pool;
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(size_t num_threads) {
+  CHECK_GE(num_threads, 1u);
+  CHECK(!InWorkerThread());
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  if (g_global_pool != nullptr &&
+      g_global_pool->num_threads() == num_threads) {
+    return;
+  }
+  delete g_global_pool;  // drains the queue and joins the workers
+  g_global_pool = new ThreadPool(num_threads);
+  obs::MetricsRegistry::Global()
+      .GetGauge("pool.num_threads")
+      ->Set(static_cast<double>(num_threads));
 }
 
 void ParallelForChunks(size_t begin, size_t end,
@@ -159,6 +195,42 @@ void ParallelFor(size_t begin, size_t end,
         for (size_t i = lo; i < hi; ++i) body(i);
       },
       grain);
+}
+
+FixedChunks MakeFixedChunks(size_t n, size_t min_chunk, size_t max_chunks) {
+  CHECK_GE(min_chunk, 1u);
+  CHECK_GE(max_chunks, 1u);
+  FixedChunks grid;
+  grid.n = n;
+  if (n == 0) return grid;
+  grid.count = std::min(max_chunks, (n + min_chunk - 1) / min_chunk);
+  grid.chunk = (n + grid.count - 1) / grid.count;
+  // ceil rounding can leave the last chunk empty (e.g. n=9, count=8 →
+  // chunk=2 covers n in 5 chunks); trim so every chunk is non-empty.
+  grid.count = (n + grid.chunk - 1) / grid.chunk;
+  return grid;
+}
+
+void ParallelForEachChunk(const FixedChunks& grid,
+                          const std::function<void(size_t)>& body) {
+  if (grid.count == 0) return;
+  if (grid.count == 1 || ThreadPool::InWorkerThread()) {
+    for (size_t i = 0; i < grid.count; ++i) body(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  std::atomic<size_t> next{0};
+  const size_t num_tasks = std::min(pool.num_threads(), grid.count);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Submit([&next, &grid, &body] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= grid.count) return;
+        body(i);
+      }
+    });
+  }
+  pool.Wait();
 }
 
 }  // namespace optinter

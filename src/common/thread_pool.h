@@ -34,8 +34,17 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Process-wide default pool sized to the hardware concurrency.
+  /// Process-wide default pool. Sized from the OPTINTER_THREADS
+  /// environment variable when set (>= 1), otherwise the hardware
+  /// concurrency.
   static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `num_threads` workers. The old
+  /// pool is drained and joined first. Must not be called while parallel
+  /// work is in flight (callers of Global() may hold a stale reference).
+  /// Intended for determinism tests that re-run the same computation at
+  /// several thread counts inside one process.
+  static void SetGlobalThreads(size_t num_threads);
 
   /// True when the calling thread is one of the global pool's workers.
   /// ParallelFor/ParallelForChunks use this to degrade to a serial loop:
@@ -72,8 +81,49 @@ void ParallelFor(size_t begin, size_t end,
                  size_t grain = 256);
 
 /// Runs body(chunk_begin, chunk_end) over contiguous chunks in parallel.
+///
+/// Chunk sizing depends on the pool size, so this is only safe for bodies
+/// whose writes are disjoint and whose per-element math does not depend on
+/// the chunk boundaries (gathers, elementwise maps, per-row loops). For
+/// reductions use FixedChunks below.
 void ParallelForChunks(size_t begin, size_t end,
                        const std::function<void(size_t, size_t)>& body,
                        size_t min_chunk = 256);
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel reductions.
+// ---------------------------------------------------------------------------
+
+/// A chunk grid over [0, n) whose layout depends ONLY on n and the caller's
+/// grain parameters — never on the pool size. Per-chunk partial results
+/// reduced in a fixed order (sequential by chunk index, or a fixed-shape
+/// tree) are therefore bit-identical at any thread count, including the
+/// serial nested-parallelism fallback. This is the determinism contract
+/// behind the parallel backward passes (see DESIGN.md).
+struct FixedChunks {
+  size_t n = 0;
+  size_t count = 0;  // number of chunks (>= 1 when n > 0)
+  size_t chunk = 0;  // items per chunk (last chunk may be short)
+
+  size_t lo(size_t i) const { return i * chunk; }
+  size_t hi(size_t i) const {
+    const size_t end = (i + 1) * chunk;
+    return end < n ? end : n;
+  }
+};
+
+/// Builds the fixed grid: count = min(max_chunks, ceil(n / min_chunk)),
+/// chunk = ceil(n / count). `max_chunks` bounds the memory spent on
+/// per-chunk partial buffers; keep it a small constant at the call site so
+/// the grid stays a pure function of n.
+FixedChunks MakeFixedChunks(size_t n, size_t min_chunk,
+                            size_t max_chunks = 8);
+
+/// Runs body(i) for every chunk index i in [0, count) across the pool
+/// (serially when nested inside a pool worker or when count == 1). The
+/// caller owns per-chunk output buffers and reduces them afterwards in a
+/// fixed order.
+void ParallelForEachChunk(const FixedChunks& grid,
+                          const std::function<void(size_t)>& body);
 
 }  // namespace optinter

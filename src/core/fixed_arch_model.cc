@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "nn/layers.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 
 namespace optinter {
@@ -72,22 +73,28 @@ FixedArchModel::FixedArchModel(const EncodedDataset& data,
 }
 
 void FixedArchModel::Forward(const Batch& batch) {
-  emb_.Forward(batch, &emb_out_);
-  if (cross_emb_) cross_emb_->Forward(batch, &cross_out_);
-  if (triple_emb_) triple_emb_->Forward(batch, &triple_out_);
+  emb_.Forward(batch, &ctx_.emb_out);
+  if (cross_emb_) cross_emb_->Forward(batch, &ctx_.cross_out);
+  if (triple_emb_) triple_emb_->Forward(batch, &ctx_.triple_out);
+  AssembleForward(batch, &ctx_);
+}
+
+void FixedArchModel::AssembleForward(const Batch& batch,
+                                     ForwardContext* ctx) const {
   const size_t b = batch.size;
-  const size_t emb_cols = emb_out_.cols();
-  z_.Resize({b, emb_cols + inter_dim_});
+  const size_t emb_cols = ctx->emb_out.cols();
+  Tensor& z = ctx->z;
+  z.Resize({b, emb_cols + inter_dim_});
   auto assemble = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
-      float* zr = z_.row(k);
-      std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
-      const float* e = emb_out_.row(k);
+      float* zr = z.row(k);
+      std::memcpy(zr, ctx->emb_out.row(k), emb_cols * sizeof(float));
+      const float* e = ctx->emb_out.row(k);
       for (size_t p = 0; p < arch_.size(); ++p) {
         switch (arch_[p]) {
           case InterMethod::kMemorize:
             std::memcpy(zr + emb_cols + block_offset_[p],
-                        cross_out_.row(k) + mem_slot_[p] * s2_,
+                        ctx->cross_out.row(k) + mem_slot_[p] * s2_,
                         s2_ * sizeof(float));
             break;
           case InterMethod::kFactorize: {
@@ -102,21 +109,21 @@ void FixedArchModel::Forward(const Batch& batch) {
       }
       if (triple_emb_) {
         std::memcpy(zr + emb_cols + inter_dim_ - triple_emb_->output_dim(),
-                    triple_out_.row(k),
+                    ctx->triple_out.row(k),
                     triple_emb_->output_dim() * sizeof(float));
       }
     }
   };
-  // Each row assembles into its own z_ row, so fanning across the pool is
+  // Each row assembles into its own z row, so fanning across the pool is
   // bit-identical to the serial loop.
   if (b * (emb_cols + inter_dim_) >= (1u << 15)) {
     ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
   } else {
     assemble(0, b);
   }
-  mlp_->Forward(z_, &mlp_out_);
-  logits_.resize(b);
-  for (size_t k = 0; k < b; ++k) logits_[k] = mlp_out_.at(k, 0);
+  mlp_->Forward(z, &ctx->mlp_out, &ctx->mlp);
+  ctx->logits.resize(b);
+  for (size_t k = 0; k < b; ++k) ctx->logits[k] = ctx->mlp_out.at(k, 0);
 }
 
 float FixedArchModel::TrainStep(const Batch& batch) {
@@ -125,40 +132,52 @@ float FixedArchModel::TrainStep(const Batch& batch) {
   labels_.resize(b);
   dlogits_.resize(b);
   for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
-  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(), b,
-                                       dlogits_.data());
+  const float loss = BceWithLogitsLoss(ctx_.logits.data(), labels_.data(),
+                                       b, dlogits_.data());
 
   Tensor dmlp_out({b, 1});
   for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
   Tensor dz;
-  mlp_->Backward(dmlp_out, &dz);
+  mlp_->Backward(dmlp_out, &dz, &ctx_.mlp);
 
-  const size_t emb_cols = emb_out_.cols();
+  const size_t emb_cols = ctx_.emb_out.cols();
   Tensor demb({b, emb_cols});
   Tensor dcross;
-  if (cross_emb_) dcross.Resize({b, cross_out_.cols()});
-  for (size_t k = 0; k < b; ++k) {
-    const float* dzr = dz.row(k);
-    std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
-    const float* e = emb_out_.row(k);
-    float* de = demb.row(k);
-    for (size_t p = 0; p < arch_.size(); ++p) {
-      switch (arch_[p]) {
-        case InterMethod::kMemorize:
-          std::memcpy(dcross.row(k) + mem_slot_[p] * s2_,
-                      dzr + emb_cols + block_offset_[p],
-                      s2_ * sizeof(float));
-          break;
-        case InterMethod::kFactorize: {
-          const auto [i, j] = cat_pairs_[p];
-          const float* dblock = dzr + emb_cols + block_offset_[p];
-          FactorizedBackward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
-                             dblock, 1.0f, de + i * s1_, de + j * s1_);
-          break;
+  if (cross_emb_) dcross.Resize({b, ctx_.cross_out.cols()});
+  auto bwd_rows = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const float* dzr = dz.row(k);
+      std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+      const float* e = ctx_.emb_out.row(k);
+      float* de = demb.row(k);
+      for (size_t p = 0; p < arch_.size(); ++p) {
+        switch (arch_[p]) {
+          case InterMethod::kMemorize:
+            std::memcpy(dcross.row(k) + mem_slot_[p] * s2_,
+                        dzr + emb_cols + block_offset_[p],
+                        s2_ * sizeof(float));
+            break;
+          case InterMethod::kFactorize: {
+            const auto [i, j] = cat_pairs_[p];
+            const float* dblock = dzr + emb_cols + block_offset_[p];
+            FactorizedBackward(pair_fns_[p], s1_, e + i * s1_, e + j * s1_,
+                               dblock, 1.0f, de + i * s1_, de + j * s1_);
+            break;
+          }
+          case InterMethod::kNaive:
+            break;
         }
-        case InterMethod::kNaive:
-          break;
       }
+    }
+  };
+  {
+    OPTINTER_TRACE_SPAN("interaction_bwd");
+    // Each row writes its own demb/dcross rows → bit-identical to the
+    // serial loop under any chunking.
+    if (b * (emb_cols + inter_dim_) >= (1u << 15)) {
+      ParallelForChunks(0, b, bwd_rows, /*min_chunk=*/32);
+    } else {
+      bwd_rows(0, b);
     }
   }
   emb_.Backward(demb);
@@ -182,9 +201,20 @@ float FixedArchModel::TrainStep(const Batch& batch) {
 }
 
 void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs) {
-  Forward(batch);
+  Predict(batch, probs, &ctx_);
+}
+
+void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs,
+                             ForwardContext* ctx) const {
+  // Gather (not Forward): eval never scatters gradients, so the embedding
+  // layers' batch-row caches stay untouched and concurrent calls with
+  // distinct contexts share only immutable parameters.
+  emb_.Gather(batch, &ctx->emb_out);
+  if (cross_emb_) cross_emb_->Gather(batch, &ctx->cross_out);
+  if (triple_emb_) triple_emb_->Gather(batch, &ctx->triple_out);
+  AssembleForward(batch, ctx);
   probs->resize(batch.size);
-  SigmoidForward(logits_.data(), batch.size, probs->data());
+  SigmoidForward(ctx->logits.data(), batch.size, probs->data());
 }
 
 void FixedArchModel::CollectState(std::vector<Tensor*>* out) {

@@ -46,6 +46,13 @@ class FixedArchModel : public CtrModel {
   std::string Name() const override { return name_; }
   float TrainStep(const Batch& batch) override;
   void Predict(const Batch& batch, std::vector<float>* probs) override;
+
+  /// Re-entrant prediction into a caller-owned context; safe to run
+  /// concurrently on different batches.
+  bool SupportsReentrantPredict() const override { return true; }
+  void Predict(const Batch& batch, std::vector<float>* probs,
+               ForwardContext* ctx) const override;
+
   size_t ParamCount() const override;
   void CollectState(std::vector<Tensor*>* out) override;
 
@@ -60,7 +67,13 @@ class FixedArchModel : public CtrModel {
       const EncodedDataset& data, const HyperParams& hp);
 
  private:
+  /// Training forward: caches scatter rows in the embedding layers and
+  /// activations in ctx_.
   void Forward(const Batch& batch);
+
+  /// Shared tail of the forward pass: assembles z from the gathered
+  /// embeddings in `ctx`, runs the MLP, fills ctx->logits.
+  void AssembleForward(const Batch& batch, ForwardContext* ctx) const;
 
   std::string name_;
   Architecture arch_;
@@ -83,13 +96,9 @@ class FixedArchModel : public CtrModel {
   std::vector<size_t> mem_slot_;      // into cross_emb_ blocks
   size_t inter_dim_ = 0;              // total interaction columns
 
-  // Caches.
-  Tensor emb_out_;
-  Tensor cross_out_;
-  Tensor triple_out_;
-  Tensor z_;
-  Tensor mlp_out_;
-  std::vector<float> logits_;
+  // Training-path caches: activations live in ctx_ so forward state has a
+  // single home shared with the re-entrant Predict machinery.
+  ForwardContext ctx_;
   std::vector<float> labels_;
   std::vector<float> dlogits_;
 };

@@ -56,7 +56,6 @@ SearchModel::SearchModel(const EncodedDataset& data, const HyperParams& hp,
   mlp_ = std::make_unique<Mlp>(
       "mlp", emb_.output_dim() + data.num_pairs() * db_, cfg, &rng_);
   mlp_->RegisterParams(&theta_opt_);
-  fact_scratch_.resize(fact_width_);
 }
 
 void SearchModel::SampleProbs(std::vector<float>* probs) {
@@ -75,21 +74,28 @@ void SearchModel::SampleProbs(std::vector<float>* probs) {
 
 void SearchModel::ForwardWithProbs(const Batch& batch,
                                    const std::vector<float>& probs) {
-  emb_.Forward(batch, &emb_out_);
-  cross_emb_->Forward(batch, &cross_out_);
+  emb_.Forward(batch, &ctx_.emb_out);
+  cross_emb_->Forward(batch, &ctx_.cross_out);
+  AssembleForward(batch, probs, &ctx_);
+}
+
+void SearchModel::AssembleForward(const Batch& batch,
+                                  const std::vector<float>& probs,
+                                  ForwardContext* ctx) const {
   const size_t b = batch.size;
-  const size_t emb_cols = emb_out_.cols();
+  const size_t emb_cols = ctx->emb_out.cols();
   const size_t num_pairs = data_.num_pairs();
-  z_.Resize({b, emb_cols + num_pairs * db_});
+  Tensor& z = ctx->z;
+  z.Resize({b, emb_cols + num_pairs * db_});
   auto assemble = [&](size_t lo, size_t hi) {
-    // Chunk-local factorization scratch: the member fact_scratch_ would be
-    // shared across concurrent chunks.
+    // Chunk-local factorization scratch: a shared member buffer would be
+    // raced by concurrent chunks.
     std::vector<float> fact(fact_width_);
     for (size_t k = lo; k < hi; ++k) {
-      float* zr = z_.row(k);
-      std::memcpy(zr, emb_out_.row(k), emb_cols * sizeof(float));
-      const float* e = emb_out_.row(k);
-      const float* cr = cross_out_.row(k);
+      float* zr = z.row(k);
+      std::memcpy(zr, ctx->emb_out.row(k), emb_cols * sizeof(float));
+      const float* e = ctx->emb_out.row(k);
+      const float* cr = ctx->cross_out.row(k);
       float* blocks = zr + emb_cols;
       std::memset(blocks, 0, num_pairs * db_ * sizeof(float));
       for (size_t p = 0; p < num_pairs; ++p) {
@@ -109,16 +115,16 @@ void SearchModel::ForwardWithProbs(const Batch& batch,
   };
   {
     OPTINTER_TRACE_SPAN("z_assemble");
-    // Rows write disjoint z_ rows → bit-identical to the serial loop.
+    // Rows write disjoint z rows → bit-identical to the serial loop.
     if (b * (emb_cols + num_pairs * db_) >= (1u << 15)) {
       ParallelForChunks(0, b, assemble, /*min_chunk=*/32);
     } else {
       assemble(0, b);
     }
   }
-  mlp_->Forward(z_, &mlp_out_);
-  logits_.resize(b);
-  for (size_t k = 0; k < b; ++k) logits_[k] = mlp_out_.at(k, 0);
+  mlp_->Forward(z, &ctx->mlp_out, &ctx->mlp);
+  ctx->logits.resize(b);
+  for (size_t k = 0; k < b; ++k) ctx->logits[k] = ctx->mlp_out.at(k, 0);
 }
 
 float SearchModel::Step(const Batch& batch, bool update_theta,
@@ -130,65 +136,92 @@ float SearchModel::Step(const Batch& batch, bool update_theta,
   labels_.resize(b);
   dlogits_.resize(b);
   for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
-  const float loss = BceWithLogitsLoss(logits_.data(), labels_.data(), b,
-                                       dlogits_.data());
+  const float loss = BceWithLogitsLoss(ctx_.logits.data(), labels_.data(),
+                                       b, dlogits_.data());
 
   Tensor dmlp_out({b, 1});
   for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
   Tensor dz;
-  mlp_->Backward(dmlp_out, &dz);
+  mlp_->Backward(dmlp_out, &dz, &ctx_.mlp);
 
-  const size_t emb_cols = emb_out_.cols();
+  const size_t emb_cols = ctx_.emb_out.cols();
   const size_t num_pairs = data_.num_pairs();
   Tensor demb({b, emb_cols});
-  Tensor dcross({b, cross_out_.cols()});
+  Tensor dcross({b, ctx_.cross_out.cols()});
   // d(loss)/d(candidate probability), accumulated over the batch.
   std::vector<double> dp(num_pairs * 3, 0.0);
-  for (size_t k = 0; k < b; ++k) {
-    const float* dzr = dz.row(k);
-    std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
-    const float* e = emb_out_.row(k);
-    const float* cr = cross_out_.row(k);
-    float* de = demb.row(k);
-    float* dcr = dcross.row(k);
-    const float* dblocks = dzr + emb_cols;
-    for (size_t p = 0; p < num_pairs; ++p) {
-      const float pm = probs_cache_[p * 3 + 0];
-      const float pf = probs_cache_[p * 3 + 1];
-      const float* dblock = dblocks + p * db_;
-      const float* mem = cr + p * s2_;
-      float* dmem = dcr + p * s2_;
-      double dpm = 0.0;
-      for (size_t t = 0; t < s2_; ++t) {
-        dpm += static_cast<double>(dblock[t]) * mem[t];
-        dmem[t] = pm * dblock[t];
+  // Per-row demb/dcross writes are disjoint; dp is a reduction over rows
+  // accumulated into `dp_acc` (the shared vector on the serial path,
+  // per-chunk partials on the parallel one).
+  auto body = [&](size_t lo, size_t hi, double* dp_acc) {
+    std::vector<float> fact(fact_width_);
+    for (size_t k = lo; k < hi; ++k) {
+      const float* dzr = dz.row(k);
+      std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+      const float* e = ctx_.emb_out.row(k);
+      const float* cr = ctx_.cross_out.row(k);
+      float* de = demb.row(k);
+      float* dcr = dcross.row(k);
+      const float* dblocks = dzr + emb_cols;
+      for (size_t p = 0; p < num_pairs; ++p) {
+        const float pm = probs_cache_[p * 3 + 0];
+        const float pf = probs_cache_[p * 3 + 1];
+        const float* dblock = dblocks + p * db_;
+        const float* mem = cr + p * s2_;
+        float* dmem = dcr + p * s2_;
+        double dpm = 0.0;
+        for (size_t t = 0; t < s2_; ++t) {
+          dpm += static_cast<double>(dblock[t]) * mem[t];
+          dmem[t] = pm * dblock[t];
+        }
+        const auto [i, j] = cat_pairs_[p];
+        const float* ei = e + i * s1_;
+        const float* ej = e + j * s1_;
+        FactorizedForward(fn_, s1_, ei, ej, fact.data());
+        double dpf = 0.0;
+        for (size_t t = 0; t < fact_width_; ++t) {
+          dpf += static_cast<double>(dblock[t]) * fact[t];
+        }
+        FactorizedBackward(fn_, s1_, ei, ej, dblock, pf, de + i * s1_,
+                           de + j * s1_);
+        dp_acc[p * 3 + 0] += dpm;
+        dp_acc[p * 3 + 1] += dpf;
+        // dp for naïve stays 0: its candidate embedding is the zero vector.
       }
-      const auto [i, j] = cat_pairs_[p];
-      const float* ei = e + i * s1_;
-      const float* ej = e + j * s1_;
-      FactorizedForward(fn_, s1_, ei, ej, fact_scratch_.data());
-      double dpf = 0.0;
-      for (size_t t = 0; t < fact_width_; ++t) {
-        dpf += static_cast<double>(dblock[t]) * fact_scratch_[t];
+    }
+  };
+  {
+    OPTINTER_TRACE_SPAN("interaction_bwd");
+    const FixedChunks grid = MakeFixedChunks(b, /*min_chunk=*/32);
+    if (b * (emb_cols + num_pairs * db_) >= (1u << 15) && grid.count > 1) {
+      // Per-chunk dp partials merged in chunk order: the fixed grid keeps
+      // the summation tree independent of the thread count.
+      std::vector<double> partials(grid.count * num_pairs * 3, 0.0);
+      ParallelForEachChunk(grid, [&](size_t i) {
+        body(grid.lo(i), grid.hi(i), partials.data() + i * num_pairs * 3);
+      });
+      for (size_t i = 0; i < grid.count; ++i) {
+        const double* part = partials.data() + i * num_pairs * 3;
+        for (size_t idx = 0; idx < num_pairs * 3; ++idx) dp[idx] += part[idx];
       }
-      FactorizedBackward(fn_, s1_, ei, ej, dblock, pf, de + i * s1_,
-                         de + j * s1_);
-      dp[p * 3 + 0] += dpm;
-      dp[p * 3 + 1] += dpf;
-      // dp for naïve stays 0: its candidate embedding is the zero vector.
+    } else {
+      body(0, b, dp.data());
     }
   }
 
   // Softmax backward into the architecture logits:
   //   da_k = (1/τ) · p_k · (dp_k − Σ_l p_l · dp_l).
-  for (size_t p = 0; p < num_pairs; ++p) {
-    const float* pr = probs_cache_.data() + p * 3;
-    const double* dpr = dp.data() + p * 3;
-    double weighted = 0.0;
-    for (int k = 0; k < 3; ++k) weighted += pr[k] * dpr[k];
-    float* da = alpha_.grad.row(p);
-    for (int k = 0; k < 3; ++k) {
-      da[k] += static_cast<float>(pr[k] * (dpr[k] - weighted) / tau_);
+  {
+    OPTINTER_TRACE_SPAN("alpha_bwd");
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const float* pr = probs_cache_.data() + p * 3;
+      const double* dpr = dp.data() + p * 3;
+      double weighted = 0.0;
+      for (int k = 0; k < 3; ++k) weighted += pr[k] * dpr[k];
+      float* da = alpha_.grad.row(p);
+      for (int k = 0; k < 3; ++k) {
+        da[k] += static_cast<float>(pr[k] * (dpr[k] - weighted) / tau_);
+      }
     }
   }
 
@@ -221,6 +254,11 @@ float SearchModel::ArchStep(const Batch& batch) {
 }
 
 void SearchModel::Predict(const Batch& batch, std::vector<float>* probs) {
+  Predict(batch, probs, &ctx_);
+}
+
+void SearchModel::Predict(const Batch& batch, std::vector<float>* probs,
+                          ForwardContext* ctx) const {
   // Noise-free expectation: p = softmax(α/τ).
   const size_t num_pairs = data_.num_pairs();
   std::vector<float> p(num_pairs * 3);
@@ -230,11 +268,14 @@ void SearchModel::Predict(const Batch& batch, std::vector<float>* probs) {
     for (int k = 0; k < 3; ++k) scaled[k] = a[k] / tau_;
     Softmax(3, scaled, p.data() + q * 3);
   }
-  ForwardWithProbs(batch, p);
-  // ForwardWithProbs caches gradients' inputs but eval discards them; the
-  // embedding layers only record rows at Backward, so nothing to clear.
+  // Gather (not Forward): eval never scatters gradients, so the embedding
+  // layers' batch-row caches stay untouched and concurrent calls with
+  // distinct contexts share only immutable parameters.
+  emb_.Gather(batch, &ctx->emb_out);
+  cross_emb_->Gather(batch, &ctx->cross_out);
+  AssembleForward(batch, p, ctx);
   probs->resize(batch.size);
-  SigmoidForward(logits_.data(), batch.size, probs->data());
+  SigmoidForward(ctx->logits.data(), batch.size, probs->data());
 }
 
 void SearchModel::CollectState(std::vector<Tensor*>* out) {

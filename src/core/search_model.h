@@ -60,6 +60,12 @@ class SearchModel : public CtrModel {
   /// Eval-time prediction: expectation under softmax(α/τ), no noise.
   void Predict(const Batch& batch, std::vector<float>* probs) override;
 
+  /// Re-entrant prediction into a caller-owned context (same math as
+  /// Predict above); safe to run concurrently on different batches.
+  bool SupportsReentrantPredict() const override { return true; }
+  void Predict(const Batch& batch, std::vector<float>* probs,
+               ForwardContext* ctx) const override;
+
   size_t ParamCount() const override;
   void CollectState(std::vector<Tensor*>* out) override;
 
@@ -81,9 +87,15 @@ class SearchModel : public CtrModel {
   DenseParam& mutable_alpha() { return alpha_; }
 
  private:
-  /// Forward with the given per-pair method probabilities laid out as
-  /// probs[p*3 + k].
+  /// Training forward with the given per-pair method probabilities laid
+  /// out as probs[p*3 + k]; caches scatter rows for Backward in the
+  /// embedding layers and activations in ctx_.
   void ForwardWithProbs(const Batch& batch, const std::vector<float>& probs);
+
+  /// Shared tail of the forward pass: assembles z from ctx->emb_out /
+  /// ctx->cross_out, runs the MLP, fills ctx->logits. Touches only `ctx`.
+  void AssembleForward(const Batch& batch, const std::vector<float>& probs,
+                       ForwardContext* ctx) const;
 
   /// Computes per-pair probabilities with fresh Gumbel noise.
   void SampleProbs(std::vector<float>* probs);
@@ -109,14 +121,10 @@ class SearchModel : public CtrModel {
 
   std::vector<std::pair<size_t, size_t>> cat_pairs_;
 
-  // Caches.
-  Tensor emb_out_;
-  Tensor cross_out_;
-  Tensor z_;
-  Tensor mlp_out_;
+  // Training-path caches: activations live in ctx_ so forward state has a
+  // single home shared with the re-entrant Predict machinery.
+  ForwardContext ctx_;
   std::vector<float> probs_cache_;
-  std::vector<float> fact_scratch_;
-  std::vector<float> logits_;
   std::vector<float> labels_;
   std::vector<float> dlogits_;
 };

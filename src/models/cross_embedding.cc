@@ -25,10 +25,14 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
 }
 
 void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
+  Gather(batch, out);
+  batch_rows_.assign(batch.rows, batch.rows + batch.size);
+}
+
+void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
   OPTINTER_TRACE_SPAN("cross_gather");
   CHECK(batch.data == &data_);
   out->Resize({batch.size, output_dim()});
-  batch_rows_.assign(batch.rows, batch.rows + batch.size);
   auto gather = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
       const size_t r = batch.rows[k];
@@ -52,12 +56,29 @@ void CrossEmbedding::Backward(const Tensor& d_out) {
   OPTINTER_TRACE_SPAN("cross_scatter");
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
-  for (size_t k = 0; k < batch_rows_.size(); ++k) {
-    const size_t r = batch_rows_[k];
-    const float* g = d_out.row(k);
-    for (size_t t = 0; t < pairs_.size(); ++t) {
-      tables_[t]->AccumulateGrad(data_.cross(r, pairs_[t]), g + t * dim_);
+  const size_t rows = batch_rows_.size();
+  // Id-bucketed scatter: one bucket per (table, id-shard), each scanning
+  // rows in ascending order — shard contents match the serial loop bit for
+  // bit, and distinct buckets never share a gradient slot.
+  auto scatter_bucket = [&](size_t t, size_t shard) {
+    EmbeddingTable& table = *tables_[t];
+    for (size_t k = 0; k < rows; ++k) {
+      const int32_t id = data_.cross(batch_rows_[k], pairs_[t]);
+      if (EmbeddingTable::ShardOf(id) != shard) continue;
+      table.AccumulateGradInShard(shard, id, d_out.row(k) + t * dim_);
     }
+  };
+  const size_t num_buckets = pairs_.size() * EmbeddingTable::kGradShards;
+  auto run_buckets = [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      scatter_bucket(b / EmbeddingTable::kGradShards,
+                     b % EmbeddingTable::kGradShards);
+    }
+  };
+  if (d_out.size() >= (1u << 15) && num_buckets > 1) {
+    ParallelForChunks(0, num_buckets, run_buckets, /*min_chunk=*/1);
+  } else {
+    run_buckets(0, num_buckets);
   }
 }
 

@@ -32,6 +32,10 @@ class CrossEmbedding {
   /// construction. Caches the batch for Backward.
   void Forward(const Batch& batch, Tensor* out);
 
+  /// Inference-only lookup: same output as Forward but touches no mutable
+  /// state, so concurrent calls on different batches are safe.
+  void Gather(const Batch& batch, Tensor* out) const;
+
   /// Scatters d_out into table gradients.
   void Backward(const Tensor& d_out);
 

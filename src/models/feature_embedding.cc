@@ -35,12 +35,16 @@ FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
 }
 
 void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
+  Gather(batch, out);
+  batch_rows_.assign(batch.rows, batch.rows + batch.size);
+}
+
+void FeatureEmbedding::Gather(const Batch& batch, Tensor* out) const {
   OPTINTER_TRACE_SPAN("embedding_gather");
   CHECK(batch.data == &data_);
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
   out->Resize({batch.size, output_dim()});
-  batch_rows_.assign(batch.rows, batch.rows + batch.size);
   auto gather = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
       const size_t r = batch.rows[k];
@@ -72,19 +76,48 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
   const size_t num_cont = cont_tables_.size();
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
-  std::vector<float> scaled(dim_);
-  for (size_t k = 0; k < batch_rows_.size(); ++k) {
-    const size_t r = batch_rows_[k];
-    const float* g = d_out.row(k);
-    for (size_t f = 0; f < num_cat; ++f) {
-      cat_tables_[f]->AccumulateGrad(data_.cat(r, f), g + f * dim_);
+  const size_t rows = batch_rows_.size();
+  // One scatter bucket per (table, id-shard). Buckets own disjoint
+  // gradient shards, so they can run concurrently without locks; each
+  // bucket scans the batch rows in ascending order, so every id's
+  // accumulation order — and therefore the shard contents — match the
+  // serial loop bit for bit.
+  auto scatter_bucket = [&](size_t f, size_t shard,
+                            std::vector<float>* scratch) {
+    if (f < num_cat) {
+      EmbeddingTable& table = *cat_tables_[f];
+      for (size_t k = 0; k < rows; ++k) {
+        const int32_t id = data_.cat(batch_rows_[k], f);
+        if (EmbeddingTable::ShardOf(id) != shard) continue;
+        table.AccumulateGradInShard(shard, id, d_out.row(k) + f * dim_);
+      }
+    } else {
+      // Continuous tables have a single row: id 0, one shard.
+      if (shard != EmbeddingTable::ShardOf(0)) return;
+      const size_t fc = f - num_cat;
+      EmbeddingTable& table = *cont_tables_[fc];
+      scratch->resize(dim_);
+      for (size_t k = 0; k < rows; ++k) {
+        const float v = data_.cont(batch_rows_[k], fc);
+        const float* gf = d_out.row(k) + f * dim_;
+        for (size_t t = 0; t < dim_; ++t) (*scratch)[t] = gf[t] * v;
+        table.AccumulateGradInShard(shard, 0, scratch->data());
+      }
     }
-    for (size_t f = 0; f < num_cont; ++f) {
-      const float v = data_.cont(r, f);
-      const float* gf = g + (num_cat + f) * dim_;
-      for (size_t t = 0; t < dim_; ++t) scaled[t] = gf[t] * v;
-      cont_tables_[f]->AccumulateGrad(0, scaled.data());
+  };
+  const size_t num_buckets =
+      (num_cat + num_cont) * EmbeddingTable::kGradShards;
+  auto run_buckets = [&](size_t lo, size_t hi) {
+    std::vector<float> scratch;
+    for (size_t b = lo; b < hi; ++b) {
+      scatter_bucket(b / EmbeddingTable::kGradShards,
+                     b % EmbeddingTable::kGradShards, &scratch);
     }
+  };
+  if (d_out.size() >= kParallelGatherFloats && num_buckets > 1) {
+    ParallelForChunks(0, num_buckets, run_buckets, /*min_chunk=*/1);
+  } else {
+    run_buckets(0, num_buckets);
   }
 }
 

@@ -30,6 +30,10 @@ class FeatureEmbedding {
   /// for Backward.
   void Forward(const Batch& batch, Tensor* out);
 
+  /// Inference-only lookup: same output as Forward but touches no mutable
+  /// state, so concurrent calls on different batches are safe.
+  void Gather(const Batch& batch, Tensor* out) const;
+
   /// Scatters d_out (same shape as Forward's out) into table gradients.
   void Backward(const Tensor& d_out);
 

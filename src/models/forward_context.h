@@ -1,0 +1,33 @@
+// Per-call forward state for CtrModel inference.
+//
+// Models that support re-entrant prediction keep every batch-sized
+// activation of one Predict call inside a ForwardContext owned by the
+// caller instead of in model members. Two Predict calls with distinct
+// contexts then share only immutable parameters, so they may run
+// concurrently on different batches (the batch-parallel evaluation path
+// in train/trainer.cc). The training path reuses one long-lived context
+// as its activation cache between forward and backward.
+
+#pragma once
+
+#include <vector>
+
+#include "nn/workspace.h"
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Scratch for one forward pass of an OptInter-style model. Buffers are
+/// resized by the model and keep their capacity across calls, so reusing
+/// one context per evaluation task amortizes allocation.
+struct ForwardContext {
+  Tensor emb_out;     // [B × emb_cols] original-feature embeddings
+  Tensor cross_out;   // [B × pairs·s2] memorized pair embeddings
+  Tensor triple_out;  // [B × triples·s2] memorized triple embeddings
+  Tensor z;           // [B × mlp_in] assembled classifier input
+  Tensor mlp_out;     // [B × 1] classifier output
+  MlpWorkspace mlp;   // per-layer activation caches of the MLP tower
+  std::vector<float> logits;  // [B]
+};
+
+}  // namespace optinter

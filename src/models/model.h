@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "data/batch.h"
+#include "models/forward_context.h"
 #include "tensor/tensor.h"
 
 namespace optinter {
@@ -27,6 +29,21 @@ class CtrModel {
 
   /// Predicted probabilities for the rows of `batch` (no grads).
   virtual void Predict(const Batch& batch, std::vector<float>* probs) = 0;
+
+  /// True when the const Predict overload below is implemented, i.e.
+  /// concurrent Predict calls on different batches with distinct contexts
+  /// are safe (parameters must be quiescent — no concurrent TrainStep).
+  virtual bool SupportsReentrantPredict() const { return false; }
+
+  /// Re-entrant prediction: all per-call state lives in `ctx`. Only valid
+  /// when SupportsReentrantPredict() returns true.
+  virtual void Predict(const Batch& batch, std::vector<float>* probs,
+                       ForwardContext* ctx) const {
+    (void)batch;
+    (void)probs;
+    (void)ctx;
+    CHECK(false) << Name() << " does not support re-entrant Predict";
+  }
 
   /// Total trainable parameters (the paper's "Param." column).
   virtual size_t ParamCount() const = 0;

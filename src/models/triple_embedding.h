@@ -23,6 +23,9 @@ class TripleEmbedding {
 
   /// out: [B × (triples.size() * dim)].
   void Forward(const Batch& batch, Tensor* out);
+  /// Inference-only lookup: touches no mutable state, so concurrent calls
+  /// on different batches are safe.
+  void Gather(const Batch& batch, Tensor* out) const;
   void Backward(const Tensor& d_out);
   void Step(const AdamConfig& config = {});
   void ClearGrads();

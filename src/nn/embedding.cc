@@ -16,6 +16,17 @@ obs::Counter* RowsUpdatedCounter() {
       obs::MetricsRegistry::Global().GetCounter("emb.rows_updated");
   return c;
 }
+
+// Per-row AccumulateGrad call volume, sampled 1-in-64: the call itself is
+// too hot for a span (it runs per (row, field) in every backward pass),
+// but the sampled count makes the scatter volume visible in --report
+// output next to the gather/scatter spans.
+constexpr uint64_t kAccumSampleMask = 63;
+obs::Counter* AccumRowsSampledCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("emb.accum_rows_sampled");
+  return c;
+}
 }  // namespace
 
 EmbeddingTable::EmbeddingTable(std::string name, size_t vocab_size,
@@ -33,37 +44,64 @@ void EmbeddingTable::Init(Rng* rng, double stddev) {
   NormalInit(&value_, 0.0, stddev, rng);
 }
 
-void EmbeddingTable::AccumulateGrad(int32_t id, const float* grad) {
+void EmbeddingTable::AccumulateGradInShard(size_t shard, int32_t id,
+                                           const float* grad) {
   CHECK_GE(id, 0);
   CHECK_LT(static_cast<size_t>(id), vocab_size_);
-  auto [it, inserted] = touched_index_.try_emplace(id, touched_ids_.size());
-  if (inserted) {
-    touched_ids_.push_back(id);
-    touched_grads_.resize(touched_grads_.size() + dim_, 0.0f);
+  CHECK_EQ(shard, ShardOf(id));
+  if (obs::Enabled()) {
+    thread_local uint64_t calls = 0;
+    if ((++calls & kAccumSampleMask) == 0) {
+      AccumRowsSampledCounter()->Add(kAccumSampleMask + 1);
+    }
   }
-  float* slot = touched_grads_.data() + it->second * dim_;
+  GradShard& s = shards_[shard];
+  auto [it, inserted] = s.index.try_emplace(id, s.ids.size());
+  if (inserted) {
+    s.ids.push_back(id);
+    s.grads.resize(s.grads.size() + dim_, 0.0f);
+  }
+  float* slot = s.grads.data() + it->second * dim_;
   for (size_t i = 0; i < dim_; ++i) slot[i] += grad[i];
+}
+
+const float* EmbeddingTable::AccumulatedGrad(int32_t id) const {
+  const GradShard& s = shards_[ShardOf(id)];
+  const auto it = s.index.find(id);
+  if (it == s.index.end()) return nullptr;
+  return s.grads.data() + it->second * dim_;
+}
+
+size_t EmbeddingTable::touched_count() const {
+  size_t total = 0;
+  for (const GradShard& s : shards_) total += s.ids.size();
+  return total;
 }
 
 void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
   OPTINTER_TRACE_SPAN("sparse_adam_step");
-  RowsUpdatedCounter()->Add(touched_ids_.size());
+  RowsUpdatedCounter()->Add(touched_count());
   ++step_;
   const float b1 = config.beta1;
   const float b2 = config.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
-  for (size_t t = 0; t < touched_ids_.size(); ++t) {
-    const int32_t id = touched_ids_[t];
-    const float* g_row = touched_grads_.data() + t * dim_;
-    float* w = value_.data() + static_cast<size_t>(id) * dim_;
-    float* m = m_.data() + static_cast<size_t>(id) * dim_;
-    float* v = v_.data() + static_cast<size_t>(id) * dim_;
-    for (size_t i = 0; i < dim_; ++i) {
-      const float gi = g_row[i] + l2 * w[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * gi;
-      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
+  // Each touched id is updated exactly once from its accumulated gradient,
+  // so iteration order (shard-by-shard here vs interleaved serially) never
+  // changes the resulting parameters.
+  for (GradShard& s : shards_) {
+    for (size_t t = 0; t < s.ids.size(); ++t) {
+      const int32_t id = s.ids[t];
+      const float* g_row = s.grads.data() + t * dim_;
+      float* w = value_.data() + static_cast<size_t>(id) * dim_;
+      float* m = m_.data() + static_cast<size_t>(id) * dim_;
+      float* v = v_.data() + static_cast<size_t>(id) * dim_;
+      for (size_t i = 0; i < dim_; ++i) {
+        const float gi = g_row[i] + l2 * w[i];
+        m[i] = b1 * m[i] + (1.0f - b1) * gi;
+        v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+        w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
+      }
     }
   }
   ClearGrads();
@@ -71,22 +109,26 @@ void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
 
 void EmbeddingTable::SparseSgdStep() {
   OPTINTER_TRACE_SPAN("sparse_sgd_step");
-  RowsUpdatedCounter()->Add(touched_ids_.size());
-  for (size_t t = 0; t < touched_ids_.size(); ++t) {
-    const int32_t id = touched_ids_[t];
-    const float* g_row = touched_grads_.data() + t * dim_;
-    float* w = value_.data() + static_cast<size_t>(id) * dim_;
-    for (size_t i = 0; i < dim_; ++i) {
-      w[i] -= lr * (g_row[i] + l2 * w[i]);
+  RowsUpdatedCounter()->Add(touched_count());
+  for (GradShard& s : shards_) {
+    for (size_t t = 0; t < s.ids.size(); ++t) {
+      const int32_t id = s.ids[t];
+      const float* g_row = s.grads.data() + t * dim_;
+      float* w = value_.data() + static_cast<size_t>(id) * dim_;
+      for (size_t i = 0; i < dim_; ++i) {
+        w[i] -= lr * (g_row[i] + l2 * w[i]);
+      }
     }
   }
   ClearGrads();
 }
 
 void EmbeddingTable::ClearGrads() {
-  touched_index_.clear();
-  touched_ids_.clear();
-  touched_grads_.clear();
+  for (GradShard& s : shards_) {
+    s.index.clear();
+    s.ids.clear();
+    s.grads.clear();
+  }
 }
 
 }  // namespace optinter

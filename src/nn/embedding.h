@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,8 +46,27 @@ class EmbeddingTable {
     return value_.data() + static_cast<size_t>(id) * dim_;
   }
 
+  /// Number of id-keyed gradient shards. Fixed (never a function of the
+  /// thread count), so shard contents — and therefore the optimizer step —
+  /// are identical however the scatter was parallelized.
+  static constexpr size_t kGradShards = 4;
+
+  /// Shard owning `id`'s gradient slot.
+  static size_t ShardOf(int32_t id) {
+    return static_cast<size_t>(static_cast<uint32_t>(id)) % kGradShards;
+  }
+
   /// Adds `grad` (length dim) into the sparse gradient slot for `id`.
-  void AccumulateGrad(int32_t id, const float* grad);
+  void AccumulateGrad(int32_t id, const float* grad) {
+    AccumulateGradInShard(ShardOf(id), id, grad);
+  }
+
+  /// Shard-targeted accumulate: `shard` must equal ShardOf(id). Concurrent
+  /// calls are safe iff they target distinct shards — the id-bucketed
+  /// sharding used by the parallel embedding scatter (each task owns one
+  /// (table, shard) bucket and scans the batch rows in order, so every
+  /// id's accumulation order matches the serial loop bit for bit).
+  void AccumulateGradInShard(size_t shard, int32_t id, const float* grad);
 
   /// Applies one sparse-Adam step over the rows touched since the last
   /// step, then clears the touched set.
@@ -58,6 +78,10 @@ class EmbeddingTable {
   /// Discards accumulated gradients without updating.
   void ClearGrads();
 
+  /// Accumulated gradient slot (length dim) for `id`, or nullptr if the
+  /// id is untouched since the last step/clear (tests / diagnostics).
+  const float* AccumulatedGrad(int32_t id) const;
+
   /// Raw value tensor (checkpoint snapshot/restore).
   Tensor& mutable_values() { return value_; }
   const Tensor& values() const { return value_; }
@@ -66,12 +90,22 @@ class EmbeddingTable {
   size_t dim() const { return dim_; }
   const std::string& name() const { return name_; }
   size_t ParamCount() const { return vocab_size_ * dim_; }
-  size_t touched_count() const { return touched_ids_.size(); }
+  size_t touched_count() const;
 
   float lr = 1e-3f;
   float l2 = 0.0f;
 
  private:
+  // Sparse gradient accumulator for one id shard: touched row ids
+  // (deduped) and their gradient rows, parallel arrays. Ids land in shard
+  // ShardOf(id), so shards never share an id and tasks owning distinct
+  // shards can accumulate without synchronization.
+  struct GradShard {
+    std::unordered_map<int32_t, size_t> index;
+    std::vector<int32_t> ids;
+    std::vector<float> grads;
+  };
+
   std::string name_;
   size_t vocab_size_;
   size_t dim_;
@@ -79,12 +113,7 @@ class EmbeddingTable {
   Tensor m_;
   Tensor v_;
   int64_t step_ = 0;
-
-  // Sparse gradient accumulator: touched row ids (deduped) and their
-  // gradient rows, parallel arrays.
-  std::unordered_map<int32_t, size_t> touched_index_;
-  std::vector<int32_t> touched_ids_;
-  std::vector<float> touched_grads_;
+  std::array<GradShard, kGradShards> shards_;
 };
 
 }  // namespace optinter

@@ -10,8 +10,10 @@
 namespace optinter {
 
 namespace {
-// Element count above which the forward elementwise/per-row loops fan out
-// across the pool (disjoint writes keep them bit-identical to serial).
+// Element count above which the elementwise/per-row loops fan out across
+// the pool. Forward loops write disjoint elements (bit-identical to serial
+// under any chunking); backward reductions use fixed chunk grids so the
+// summation tree depends only on the shape.
 constexpr size_t kParallelElems = 1u << 15;
 }  // namespace
 
@@ -29,32 +31,58 @@ Linear::Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
   bias.l2 = 0.0f;  // biases are conventionally not decayed
 }
 
-void Linear::Forward(const Tensor& x, Tensor* y) {
+void Linear::Forward(const Tensor& x, Tensor* y, LinearWorkspace* ws) const {
   OPTINTER_TRACE_SPAN("linear_fwd");
   CHECK_EQ(x.cols(), in_dim_);
-  x_cache_ = x;
+  ws->x_cache = x;
   y->Resize({x.rows(), out_dim_});
   GemmNT(x.data(), weight.value.data(), y->data(), x.rows(), in_dim_,
          out_dim_);
-  for (size_t r = 0; r < y->rows(); ++r) {
-    float* yr = y->row(r);
-    const float* b = bias.value.data();
-    for (size_t j = 0; j < out_dim_; ++j) yr[j] += b[j];
+  const float* b = bias.value.data();
+  auto add_bias = [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      float* yr = y->row(r);
+      for (size_t j = 0; j < out_dim_; ++j) yr[j] += b[j];
+    }
+  };
+  if (y->size() >= kParallelElems) {
+    ParallelForChunks(0, y->rows(), add_bias, /*min_chunk=*/64);
+  } else {
+    add_bias(0, y->rows());
   }
 }
 
-void Linear::Backward(const Tensor& dy, Tensor* dx) {
+void Linear::Backward(const Tensor& dy, Tensor* dx,
+                      const LinearWorkspace& ws) {
   OPTINTER_TRACE_SPAN("linear_bwd");
   CHECK_EQ(dy.cols(), out_dim_);
-  CHECK_EQ(dy.rows(), x_cache_.rows());
+  CHECK_EQ(dy.rows(), ws.x_cache.rows());
   // dW[out×in] += dy^T x  : GemmTN with A=dy [B×out], B=x [B×in].
-  GemmTN(dy.data(), x_cache_.data(), weight.grad.data(), dy.rows(),
+  GemmTN(dy.data(), ws.x_cache.data(), weight.grad.data(), dy.rows(),
          out_dim_, in_dim_, 1.0f, 1.0f);
-  // db += column sums of dy.
+  // db += column sums of dy — a reduction over rows. The fixed chunk grid
+  // and chunk-ordered merge keep the sum bit-identical at any thread
+  // count (the path choice depends only on the shape).
+  const size_t rows = dy.rows();
   float* db = bias.grad.data();
-  for (size_t r = 0; r < dy.rows(); ++r) {
-    const float* dyr = dy.row(r);
-    for (size_t j = 0; j < out_dim_; ++j) db[j] += dyr[j];
+  auto col_sums = [&](size_t lo, size_t hi, float* acc) {
+    for (size_t r = lo; r < hi; ++r) {
+      const float* dyr = dy.row(r);
+      for (size_t j = 0; j < out_dim_; ++j) acc[j] += dyr[j];
+    }
+  };
+  const FixedChunks grid = MakeFixedChunks(rows, /*min_chunk=*/64);
+  if (dy.size() >= kParallelElems && grid.count > 1) {
+    std::vector<float> partials(grid.count * out_dim_, 0.0f);
+    ParallelForEachChunk(grid, [&](size_t i) {
+      col_sums(grid.lo(i), grid.hi(i), partials.data() + i * out_dim_);
+    });
+    for (size_t i = 0; i < grid.count; ++i) {
+      const float* p = partials.data() + i * out_dim_;
+      for (size_t j = 0; j < out_dim_; ++j) db[j] += p[j];
+    }
+  } else {
+    col_sums(0, rows, db);
   }
   if (dx != nullptr) {
     // dx[B×in] = dy[B×out] * W[out×in].
@@ -69,14 +97,15 @@ void Linear::RegisterParams(Optimizer* opt) {
   opt->AddParam(&bias);
 }
 
-void Relu::Forward(const Tensor& x, Tensor* y) {
+void Relu::Forward(const Tensor& x, Tensor* y, ReluWorkspace* ws) const {
   y->Resize(x.shape());
-  mask_.Resize(x.shape());
+  ws->mask.Resize(x.shape());
+  Tensor& mask = ws->mask;
   auto body = [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const bool pos = x[i] > 0.0f;
       (*y)[i] = pos ? x[i] : 0.0f;
-      mask_[i] = pos ? 1.0f : 0.0f;
+      mask[i] = pos ? 1.0f : 0.0f;
     }
   };
   if (x.size() >= kParallelElems) {
@@ -86,10 +115,22 @@ void Relu::Forward(const Tensor& x, Tensor* y) {
   }
 }
 
-void Relu::Backward(const Tensor& dy, Tensor* dx) {
-  CHECK(dy.SameShape(mask_));
+void Relu::Backward(const Tensor& dy, Tensor* dx,
+                    const ReluWorkspace& ws) const {
+  OPTINTER_TRACE_SPAN("relu_bwd");
+  const Tensor& mask = ws.mask;
+  CHECK(dy.SameShape(mask));
   dx->Resize(dy.shape());
-  for (size_t i = 0; i < dy.size(); ++i) (*dx)[i] = dy[i] * mask_[i];
+  auto body = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) (*dx)[i] = dy[i] * mask[i];
+  };
+  // Disjoint elementwise writes: bit-identical to serial under any
+  // chunking.
+  if (dy.size() >= kParallelElems) {
+    ParallelForChunks(0, dy.size(), body, /*min_chunk=*/4096);
+  } else {
+    body(0, dy.size());
+  }
 }
 
 LayerNorm::LayerNorm(std::string name, size_t dim, float lr, float l2)
@@ -105,13 +146,16 @@ LayerNorm::LayerNorm(std::string name, size_t dim, float lr, float l2)
   beta.l2 = 0.0f;
 }
 
-void LayerNorm::Forward(const Tensor& x, Tensor* y) {
+void LayerNorm::Forward(const Tensor& x, Tensor* y,
+                        LayerNormWorkspace* ws) const {
   OPTINTER_TRACE_SPAN("layernorm_fwd");
   CHECK_EQ(x.cols(), dim_);
   const size_t batch = x.rows();
   y->Resize({batch, dim_});
-  xhat_cache_.Resize({batch, dim_});
-  inv_std_cache_.Resize({batch});
+  ws->xhat.Resize({batch, dim_});
+  ws->inv_std.Resize({batch});
+  Tensor& xhat = ws->xhat;
+  Tensor& inv_std_cache = ws->inv_std;
   const float* g = gamma.value.data();
   const float* b = beta.value.data();
   auto body = [&](size_t lo, size_t hi) {
@@ -125,8 +169,8 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y) {
       }
       var /= static_cast<float>(dim_);
       const float inv_std = 1.0f / std::sqrt(var + kEps);
-      inv_std_cache_[r] = inv_std;
-      float* xh = xhat_cache_.row(r);
+      inv_std_cache[r] = inv_std;
+      float* xh = xhat.row(r);
       float* yr = y->row(r);
       for (size_t j = 0; j < dim_; ++j) {
         xh[j] = (xr[j] - mean) * inv_std;
@@ -141,35 +185,61 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y) {
   }
 }
 
-void LayerNorm::Backward(const Tensor& dy, Tensor* dx) {
+void LayerNorm::Backward(const Tensor& dy, Tensor* dx,
+                         const LayerNormWorkspace& ws) {
   OPTINTER_TRACE_SPAN("layernorm_bwd");
   CHECK_EQ(dy.cols(), dim_);
   const size_t batch = dy.rows();
-  CHECK_EQ(batch, xhat_cache_.rows());
+  CHECK_EQ(batch, ws.xhat.rows());
   dx->Resize({batch, dim_});
   const float* g = gamma.value.data();
   float* dg = gamma.grad.data();
   float* db = beta.grad.data();
   const float inv_n = 1.0f / static_cast<float>(dim_);
-  for (size_t r = 0; r < batch; ++r) {
-    const float* dyr = dy.row(r);
-    const float* xh = xhat_cache_.row(r);
-    const float inv_std = inv_std_cache_[r];
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_xhat = 0.0f;
-    for (size_t j = 0; j < dim_; ++j) {
-      const float dxhat = dyr[j] * g[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xh[j];
-      dg[j] += dyr[j] * xh[j];
-      db[j] += dyr[j];
+  // Per-row dx writes are disjoint; dgamma/dbeta are reductions over rows
+  // accumulated into `dg_acc`/`db_acc` (the shared grads on the serial
+  // path, per-chunk partials on the parallel one).
+  auto body = [&](size_t lo, size_t hi, float* dg_acc, float* db_acc) {
+    for (size_t r = lo; r < hi; ++r) {
+      const float* dyr = dy.row(r);
+      const float* xh = ws.xhat.row(r);
+      const float inv_std = ws.inv_std[r];
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (size_t j = 0; j < dim_; ++j) {
+        const float dxhat = dyr[j] * g[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xh[j];
+        dg_acc[j] += dyr[j] * xh[j];
+        db_acc[j] += dyr[j];
+      }
+      float* dxr = dx->row(r);
+      for (size_t j = 0; j < dim_; ++j) {
+        const float dxhat = dyr[j] * g[j];
+        dxr[j] = inv_std *
+                 (dxhat - inv_n * sum_dxhat - xh[j] * inv_n * sum_dxhat_xhat);
+      }
     }
-    float* dxr = dx->row(r);
-    for (size_t j = 0; j < dim_; ++j) {
-      const float dxhat = dyr[j] * g[j];
-      dxr[j] = inv_std *
-               (dxhat - inv_n * sum_dxhat - xh[j] * inv_n * sum_dxhat_xhat);
+  };
+  const FixedChunks grid = MakeFixedChunks(batch, /*min_chunk=*/64);
+  if (batch * dim_ >= kParallelElems && grid.count > 1) {
+    // Per-chunk gradient partials merged in chunk order: the fixed grid
+    // keeps the summation tree — and therefore every bit of dg/db —
+    // independent of the thread count.
+    std::vector<float> partials(grid.count * 2 * dim_, 0.0f);
+    ParallelForEachChunk(grid, [&](size_t i) {
+      float* p = partials.data() + i * 2 * dim_;
+      body(grid.lo(i), grid.hi(i), p, p + dim_);
+    });
+    for (size_t i = 0; i < grid.count; ++i) {
+      const float* p = partials.data() + i * 2 * dim_;
+      for (size_t j = 0; j < dim_; ++j) {
+        dg[j] += p[j];
+        db[j] += p[dim_ + j];
+      }
     }
+  } else {
+    body(0, batch, dg, db);
   }
 }
 

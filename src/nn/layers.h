@@ -1,9 +1,21 @@
 // Batch-oriented layers with explicit forward/backward.
 //
-// Every layer caches what its backward pass needs during Forward(); calling
-// Backward() without a preceding Forward() on the same batch is a
+// Every layer caches what its backward pass needs during Forward();
+// calling Backward() without a preceding Forward() on the same batch is a
 // programmer error. Parameter gradients accumulate (ZeroGrad between
 // steps); input gradients are overwritten.
+//
+// Re-entrancy: the workspace-taking Forward overloads are const and keep
+// all per-call state in the caller's workspace, so one layer can serve
+// concurrent forward passes on different batches (parameters must be
+// quiescent, i.e. no concurrent optimizer step). The workspace-less
+// overloads use a private default workspace and are single-caller, like
+// the original API. Backward accumulates into shared parameter gradients
+// and must not run concurrently with another Backward on the same layer.
+//
+// Determinism: the parallel paths inside Backward use fixed chunk grids
+// (a function of the batch shape only, never the pool size) with ordered
+// reductions, so results are bit-identical at any thread count.
 
 #pragma once
 
@@ -13,6 +25,7 @@
 #include "common/rng.h"
 #include "nn/optimizer.h"
 #include "nn/param.h"
+#include "nn/workspace.h"
 #include "tensor/tensor.h"
 
 namespace optinter {
@@ -23,12 +36,18 @@ class Linear {
   Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
          float l2, Rng* rng);
 
-  /// y: [B × out]. Caches x for the backward pass.
-  void Forward(const Tensor& x, Tensor* y);
+  /// y: [B × out]. Caches x in `ws` for the backward pass. Re-entrant:
+  /// concurrent calls with distinct workspaces are safe.
+  void Forward(const Tensor& x, Tensor* y, LinearWorkspace* ws) const;
+
+  /// Single-caller convenience using the layer's default workspace.
+  void Forward(const Tensor& x, Tensor* y) { Forward(x, y, &ws_); }
 
   /// Accumulates dW, db; writes dx (pass nullptr to skip input grads,
-  /// e.g. for the first layer).
-  void Backward(const Tensor& dy, Tensor* dx);
+  /// e.g. for the first layer). `ws` must come from the matching Forward.
+  void Backward(const Tensor& dy, Tensor* dx, const LinearWorkspace& ws);
+
+  void Backward(const Tensor& dy, Tensor* dx) { Backward(dy, dx, ws_); }
 
   void RegisterParams(Optimizer* opt);
   size_t ParamCount() const { return weight.size() + bias.size(); }
@@ -42,17 +61,20 @@ class Linear {
  private:
   size_t in_dim_;
   size_t out_dim_;
-  Tensor x_cache_;
+  LinearWorkspace ws_;
 };
 
 /// Elementwise ReLU.
 class Relu {
  public:
-  void Forward(const Tensor& x, Tensor* y);
-  void Backward(const Tensor& dy, Tensor* dx);
+  void Forward(const Tensor& x, Tensor* y, ReluWorkspace* ws) const;
+  void Forward(const Tensor& x, Tensor* y) { Forward(x, y, &ws_); }
+
+  void Backward(const Tensor& dy, Tensor* dx, const ReluWorkspace& ws) const;
+  void Backward(const Tensor& dy, Tensor* dx) { Backward(dy, dx, ws_); }
 
  private:
-  Tensor mask_;
+  ReluWorkspace ws_;
 };
 
 /// Layer normalization over the feature dimension of a [B × D] batch,
@@ -61,8 +83,11 @@ class LayerNorm {
  public:
   LayerNorm(std::string name, size_t dim, float lr, float l2);
 
-  void Forward(const Tensor& x, Tensor* y);
-  void Backward(const Tensor& dy, Tensor* dx);
+  void Forward(const Tensor& x, Tensor* y, LayerNormWorkspace* ws) const;
+  void Forward(const Tensor& x, Tensor* y) { Forward(x, y, &ws_); }
+
+  void Backward(const Tensor& dy, Tensor* dx, const LayerNormWorkspace& ws);
+  void Backward(const Tensor& dy, Tensor* dx) { Backward(dy, dx, ws_); }
 
   void RegisterParams(Optimizer* opt);
   size_t ParamCount() const { return gamma.size() + beta.size(); }
@@ -73,8 +98,7 @@ class LayerNorm {
  private:
   size_t dim_;
   static constexpr float kEps = 1e-5f;
-  Tensor xhat_cache_;    // [B × D]
-  Tensor inv_std_cache_; // [B]
+  LayerNormWorkspace ws_;
 };
 
 /// Binary cross-entropy from logits (paper Eq. 13), mean over the batch.

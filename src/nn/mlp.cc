@@ -23,52 +23,57 @@ Mlp::Mlp(std::string name, size_t in_dim, const MlpConfig& config, Rng* rng)
                         config.l2, rng);
 }
 
-void Mlp::Forward(const Tensor& x, Tensor* y) {
+void Mlp::Forward(const Tensor& x, Tensor* y, MlpWorkspace* ws) const {
   OPTINTER_TRACE_SPAN("mlp_forward");
   const size_t n_hidden = config_.hidden.size();
-  acts_.resize(2 * n_hidden + 1);  // per-hidden: post-linear, post-activation
+  ws->linears.resize(linears_.size());
+  ws->relus.resize(relus_.size());
+  ws->norms.resize(norms_.size());
+  ws->acts.resize(2 * n_hidden + 1);  // per-hidden: post-linear, post-act
   const Tensor* cur = &x;
   size_t slot = 0;
   for (size_t li = 0; li < n_hidden; ++li) {
-    Tensor& lin_out = acts_[slot++];
-    linears_[li].Forward(*cur, &lin_out);
-    Tensor& act_out = acts_[slot++];
-    relus_[li].Forward(lin_out, &act_out);
+    Tensor& lin_out = ws->acts[slot++];
+    linears_[li].Forward(*cur, &lin_out, &ws->linears[li]);
+    Tensor& act_out = ws->acts[slot++];
+    relus_[li].Forward(lin_out, &act_out, &ws->relus[li]);
     if (config_.layer_norm) {
       Tensor normed;
-      norms_[li].Forward(act_out, &normed);
+      norms_[li].Forward(act_out, &normed, &ws->norms[li]);
       act_out = std::move(normed);
     }
     cur = &act_out;
   }
-  linears_[n_hidden].Forward(*cur, y);
+  linears_[n_hidden].Forward(*cur, y, &ws->linears[n_hidden]);
 }
 
-void Mlp::Backward(const Tensor& dy, Tensor* dx) {
+void Mlp::Backward(const Tensor& dy, Tensor* dx, MlpWorkspace* ws) {
   OPTINTER_TRACE_SPAN("mlp_backward");
   const size_t n_hidden = config_.hidden.size();
-  grads_.resize(2 * n_hidden + 2);
+  CHECK_EQ(ws->linears.size(), linears_.size())
+      << "Backward without a matching Forward on this workspace";
+  ws->grads.resize(2 * n_hidden + 2);
   const Tensor* cur_grad = &dy;
   size_t slot = 0;
   // Output layer.
   {
-    Tensor& g = grads_[slot++];
+    Tensor& g = ws->grads[slot++];
     Tensor* target = (n_hidden == 0) ? dx : &g;
-    linears_[n_hidden].Backward(*cur_grad, target);
+    linears_[n_hidden].Backward(*cur_grad, target, ws->linears[n_hidden]);
     if (n_hidden == 0) return;
     cur_grad = &g;
   }
   for (size_t li = n_hidden; li-- > 0;) {
     if (config_.layer_norm) {
-      Tensor& g = grads_[slot++];
-      norms_[li].Backward(*cur_grad, &g);
+      Tensor& g = ws->grads[slot++];
+      norms_[li].Backward(*cur_grad, &g, ws->norms[li]);
       cur_grad = &g;
     }
-    Tensor& g_relu = grads_[slot++];
-    relus_[li].Backward(*cur_grad, &g_relu);
+    Tensor& g_relu = ws->grads[slot++];
+    relus_[li].Backward(*cur_grad, &g_relu, ws->relus[li]);
     cur_grad = &g_relu;
-    Tensor* target = (li == 0) ? dx : &grads_[slot++];
-    linears_[li].Backward(*cur_grad, target);
+    Tensor* target = (li == 0) ? dx : &ws->grads[slot++];
+    linears_[li].Backward(*cur_grad, target, ws->linears[li]);
     if (li != 0) cur_grad = target;
   }
 }

@@ -25,15 +25,24 @@ struct MlpConfig {
 };
 
 /// Feed-forward tower with hand-derived backprop.
+///
+/// The workspace-taking Forward overload is const and re-entrant:
+/// concurrent calls on different batches with distinct workspaces are
+/// safe as long as parameters are quiescent (no concurrent optimizer
+/// step). The workspace-less overloads use a private default workspace
+/// (single caller, the training path).
 class Mlp {
  public:
   Mlp(std::string name, size_t in_dim, const MlpConfig& config, Rng* rng);
 
-  /// y: [B × out_dim].
-  void Forward(const Tensor& x, Tensor* y);
+  /// y: [B × out_dim]. All per-call state lives in `ws`.
+  void Forward(const Tensor& x, Tensor* y, MlpWorkspace* ws) const;
+  void Forward(const Tensor& x, Tensor* y) { Forward(x, y, &ws_); }
 
-  /// Accumulates parameter grads; writes dx unless nullptr.
-  void Backward(const Tensor& dy, Tensor* dx);
+  /// Accumulates parameter grads; writes dx unless nullptr. `ws` must
+  /// come from the matching Forward call.
+  void Backward(const Tensor& dy, Tensor* dx, MlpWorkspace* ws);
+  void Backward(const Tensor& dy, Tensor* dx) { Backward(dy, dx, &ws_); }
 
   void RegisterParams(Optimizer* opt);
   size_t ParamCount() const;
@@ -47,9 +56,7 @@ class Mlp {
   std::vector<Linear> linears_;       // hidden layers + output layer
   std::vector<Relu> relus_;           // one per hidden layer
   std::vector<LayerNorm> norms_;      // one per hidden layer (if enabled)
-  // Per-layer activation caches for the backward pass.
-  std::vector<Tensor> acts_;
-  std::vector<Tensor> grads_;
+  MlpWorkspace ws_;                   // default workspace (training path)
 };
 
 }  // namespace optinter

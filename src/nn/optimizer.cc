@@ -3,9 +3,17 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/trace.h"
 
 namespace optinter {
+
+namespace {
+// Parameter size above which the per-element update loops fan out across
+// the pool. Updates touch disjoint (w, m, v) slots per index, so chunking
+// never changes any bit of the result.
+constexpr size_t kParallelElems = 1u << 15;
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (DenseParam* p : params_) p->ZeroGrad();
@@ -23,8 +31,15 @@ void Sgd::Step() {
     const float* g = p->grad.data();
     const float lr = p->lr;
     const float l2 = p->l2;
-    for (size_t i = 0; i < p->size(); ++i) {
-      w[i] -= lr * (g[i] + l2 * w[i]);
+    auto body = [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        w[i] -= lr * (g[i] + l2 * w[i]);
+      }
+    };
+    if (p->size() >= kParallelElems) {
+      ParallelForChunks(0, p->size(), body, /*min_chunk=*/4096);
+    } else {
+      body(0, p->size());
     }
   }
 }
@@ -56,13 +71,20 @@ void Adam::Step() {
     float* v = s.v.data();
     const float lr = p->lr;
     const float l2 = p->l2;
-    for (size_t i = 0; i < p->size(); ++i) {
-      const float gi = g[i] + l2 * w[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * gi;
-      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-      const float m_hat = m[i] / bc1;
-      const float v_hat = v[i] / bc2;
-      w[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    auto body = [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const float gi = g[i] + l2 * w[i];
+        m[i] = b1 * m[i] + (1.0f - b1) * gi;
+        v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+        const float m_hat = m[i] / bc1;
+        const float v_hat = v[i] / bc2;
+        w[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+      }
+    };
+    if (p->size() >= kParallelElems) {
+      ParallelForChunks(0, p->size(), body, /*min_chunk=*/4096);
+    } else {
+      body(0, p->size());
     }
   }
 }

@@ -1,0 +1,48 @@
+// Per-call activation workspaces for the nn layers.
+//
+// Each layer's Forward caches what its Backward needs (inputs, masks,
+// normalization statistics). Historically those caches were layer members,
+// which made Forward non-re-entrant: two concurrent Predict calls on
+// different batches clobbered each other's activations, forcing evaluation
+// to run batches serially. The structs below move that per-call state into
+// a caller-owned workspace threaded through Forward/Backward, so a shared
+// (read-only) layer can serve any number of concurrent calls, each with
+// its own workspace. Every layer keeps one private default workspace
+// behind its workspace-less overloads for the single-caller training path,
+// so existing call sites are unchanged.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace optinter {
+
+/// Forward-pass state of one Linear call (input cached for the dW GEMM).
+struct LinearWorkspace {
+  Tensor x_cache;
+};
+
+/// Forward-pass state of one Relu call.
+struct ReluWorkspace {
+  Tensor mask;
+};
+
+/// Forward-pass state of one LayerNorm call.
+struct LayerNormWorkspace {
+  Tensor xhat;     // [B × D]
+  Tensor inv_std;  // [B]
+};
+
+/// Workspaces for every sub-layer of an Mlp plus the inter-layer
+/// activation / gradient scratch tensors.
+struct MlpWorkspace {
+  std::vector<LinearWorkspace> linears;
+  std::vector<ReluWorkspace> relus;
+  std::vector<LayerNormWorkspace> norms;
+  std::vector<Tensor> acts;
+  std::vector<Tensor> grads;
+};
+
+}  // namespace optinter

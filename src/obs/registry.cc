@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -120,6 +121,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else if (slot->bounds() != upper_bounds) {
+    // obs sits below common/ and cannot use CHECK; abort directly. A
+    // silent bounds mismatch would mis-bucket one call site forever.
+    std::fprintf(stderr,
+                 "MetricsRegistry::GetHistogram(\"%s\"): re-registration "
+                 "with different upper_bounds\n",
+                 name.c_str());
+    std::abort();
   }
   return slot.get();
 }

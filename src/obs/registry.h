@@ -116,7 +116,10 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   /// Creates the histogram with `upper_bounds` on first use; later calls
-  /// return the existing histogram regardless of the bounds argument.
+  /// must pass the same bounds and return the existing histogram. A
+  /// mismatched re-registration aborts the process: silently keeping the
+  /// first bounds would mis-bucket every observation from the second call
+  /// site with no error anywhere.
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds);
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -110,30 +109,45 @@ void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
   // C[k×n] = A^T[k×m] * B[m×n]; accumulate row-of-A outer products.
   //
   // Unlike the NN/NT variants, every row of A touches every row of C, so
-  // row-blocking over m needs per-chunk private accumulators; each chunk
-  // reduces into the shared C under a mutex (the reduction is O(k·n) per
-  // chunk vs O(m·k·n / chunks) of accumulation, so contention is noise).
-  // Chunk merge order varies run-to-run: callers get the same result up
-  // to float summation order, which gradient accumulation tolerates.
+  // row-blocking over m uses per-chunk private accumulators. The chunk
+  // grid is fixed (a pure function of m) and the partials are combined by
+  // a tree whose shape depends only on the chunk count, so the result is
+  // bit-identical at any thread count — the determinism contract the
+  // train-step identity tests rely on (DESIGN.md §threading).
   ScaleRows(c, k, n, beta);
-  if (m * k * n >= kParallelFlops && m > 1) {
-    // Keep chunks large (≈2 per worker): every chunk pays O(k·n) to zero
-    // and merge its private accumulator, and merges serialize on the
-    // mutex, so many small chunks would drown the O(rows·k·n) useful work.
-    const size_t workers = ThreadPool::Global().num_threads();
-    const size_t min_chunk =
-        std::max<size_t>(32, (m + 2 * workers - 1) / (2 * workers));
-    std::mutex merge_mutex;
-    ParallelForChunks(0, m, [&](size_t lo, size_t hi) {
-      std::vector<float> local(k * n, 0.0f);
-      GemmTNRange(a, b, local.data(), lo, hi, k, n, alpha);
-      std::lock_guard<std::mutex> guard(merge_mutex);
-      const float* src = local.data();
-      for (size_t idx = 0; idx < k * n; ++idx) c[idx] += src[idx];
-    }, min_chunk);
-  } else {
+  if (m * k * n < kParallelFlops || m <= 1) {
     GemmTNRange(a, b, c, 0, m, k, n, alpha);
+    return;
   }
+  // Few large chunks: every chunk pays O(k·n) to zero its private
+  // accumulator and the reduce is O(count·k·n), so many small chunks
+  // would drown the O(m·k·n) useful work.
+  const FixedChunks grid = MakeFixedChunks(m, /*min_chunk=*/32,
+                                           /*max_chunks=*/8);
+  if (grid.count == 1) {
+    GemmTNRange(a, b, c, 0, m, k, n, alpha);
+    return;
+  }
+  const size_t cells = k * n;
+  std::vector<float> partials(grid.count * cells, 0.0f);
+  ParallelForEachChunk(grid, [&](size_t i) {
+    GemmTNRange(a, b, partials.data() + i * cells, grid.lo(i), grid.hi(i),
+                k, n, alpha);
+  });
+  // Tree reduce: fold partial (i + stride) into partial i, doubling the
+  // stride. Each level's folds write disjoint partials, so they can fan
+  // out across the pool without changing the summation tree.
+  for (size_t stride = 1; stride < grid.count; stride *= 2) {
+    const size_t step = 2 * stride;
+    const size_t folds = grid.count > stride ? (grid.count - stride + step - 1) / step : 0;
+    ParallelFor(0, folds, [&](size_t f) {
+      float* dst = partials.data() + f * step * cells;
+      const float* src = dst + stride * cells;
+      for (size_t idx = 0; idx < cells; ++idx) dst[idx] += src[idx];
+    }, /*grain=*/1);
+  }
+  const float* root = partials.data();
+  for (size_t idx = 0; idx < cells; ++idx) c[idx] += root[idx];
 }
 
 void Axpy(size_t n, float alpha, const float* x, float* y) {

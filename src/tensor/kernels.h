@@ -27,8 +27,9 @@ void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha = 1.0f, float beta = 0.0f);
 
 /// C[k×n] = A^T * B where A is [m×k], B is [m×n]. Weight-gradient shape.
-/// Large shapes are row-blocked over m with per-chunk private accumulators,
-/// so the result matches the serial path up to float summation order.
+/// Large shapes are row-blocked over m with per-chunk private accumulators
+/// combined by a fixed-shape tree reduce; the chunk grid depends only on
+/// the shape, so the result is bit-identical at any thread count.
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha = 1.0f, float beta = 0.0f);
 

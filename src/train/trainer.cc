@@ -54,20 +54,47 @@ EvalMetrics EvaluateModel(CtrModel* model, const EncodedDataset& data,
   } else {
     gather_labels(0, n);
   }
-  // Predict is not re-entrant (layers cache activations in members), so
-  // batches run in order on this thread; each batch writes its slice of
-  // all_probs at a deterministic offset, which keeps the stitched result —
-  // and therefore AUC/log-loss — bit-identical to the serial path. The
-  // kernels inside Predict row-block across the pool on their own.
-  std::vector<float> probs;  // per-batch scratch, reused across batches
-  for (size_t start = 0; start < n; start += options.batch_size) {
-    Batch b;
-    b.data = &data;
-    b.rows = rows.data() + start;
-    b.size = std::min(options.batch_size, n - start);
-    model->Predict(b, &probs);
-    std::memcpy(all_probs.data() + start, probs.data(),
-                b.size * sizeof(float));
+  // Batch-parallel prediction when the model supports re-entrant Predict:
+  // each task owns a ForwardContext and writes its slice of all_probs at a
+  // deterministic offset, so the stitched result — and therefore
+  // AUC/log-loss — is bit-identical to the serial path whatever the
+  // batch-to-task assignment. Models without re-entrant Predict (layers
+  // cache activations in members) run batches in order on this thread; the
+  // kernels inside Predict still row-block across the pool on their own.
+  const size_t num_batches = (n + options.batch_size - 1) / options.batch_size;
+  auto predict_range = [&](size_t lo, size_t hi, std::vector<float>* probs,
+                           ForwardContext* ctx) {
+    const CtrModel* cm = model;
+    for (size_t bi = lo; bi < hi; ++bi) {
+      const size_t start = bi * options.batch_size;
+      Batch b;
+      b.data = &data;
+      b.rows = rows.data() + start;
+      b.size = std::min(options.batch_size, n - start);
+      if (ctx != nullptr) {
+        cm->Predict(b, probs, ctx);
+      } else {
+        model->Predict(b, probs);
+      }
+      std::memcpy(all_probs.data() + start, probs->data(),
+                  b.size * sizeof(float));
+    }
+  };
+  if (options.parallel && model->SupportsReentrantPredict() &&
+      num_batches > 1) {
+    OPTINTER_TRACE_SPAN("eval_batch_parallel");
+    ParallelForChunks(0, num_batches,
+                      [&](size_t lo, size_t hi) {
+                        // Task-local context and scratch, reused across the
+                        // task's batches.
+                        std::vector<float> probs;
+                        ForwardContext ctx;
+                        predict_range(lo, hi, &probs, &ctx);
+                      },
+                      /*min_chunk=*/1);
+  } else {
+    std::vector<float> probs;  // per-batch scratch, reused across batches
+    predict_range(0, num_batches, &probs, nullptr);
   }
   EvalMetrics m;
   m.auc = Auc(all_probs, all_labels);

@@ -49,11 +49,14 @@ struct EvalMetrics {
 /// Options for EvaluateModel.
 struct EvalOptions {
   size_t batch_size = 2048;
-  /// Fan the label gather and result stitching across the thread pool and
-  /// let the row-parallel forward kernels use it inside Predict. The
-  /// serial path exists as a bit-identical reference (Predict itself is
-  /// not re-entrant — layers cache activations — so batches are predicted
-  /// in order on the calling thread either way; see DESIGN.md §telemetry).
+  /// Run evaluation batch-parallel: the label gather fans across the
+  /// thread pool, and when the model supports re-entrant Predict
+  /// (CtrModel::SupportsReentrantPredict) whole batches are predicted
+  /// concurrently, each task owning a private ForwardContext. Every batch
+  /// writes a disjoint slice of the stitched result at an offset fixed by
+  /// the batch grid, so the metrics are bit-identical to the serial path.
+  /// Models without re-entrant Predict fall back to in-order batches on
+  /// the calling thread (the kernels inside Predict still use the pool).
   bool parallel = true;
 };
 

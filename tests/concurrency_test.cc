@@ -1,0 +1,493 @@
+// Concurrency and determinism tests for the parallel train/eval paths.
+//
+// Three families:
+//  - concurrent re-entrant Predict on distinct batches (also the targeted
+//    TSan workload: run under -fsanitize=thread in CI),
+//  - bit-identical results across global thread counts (1, 2, 8) for the
+//    chunked backward paths, the embedding scatter, full TrainModel runs
+//    and the search stage — the determinism contract of DESIGN.md,
+//  - finite-difference gradient checks of the parallel backward paths via
+//    CheckGradientAcrossThreadCounts.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/fixed_arch_model.h"
+#include "core/pipeline.h"
+#include "core/search_model.h"
+#include "gradient_check.h"
+#include "models/feature_embedding.h"
+#include "models/forward_context.h"
+#include "nn/layers.h"
+#include "test_data.h"
+#include "train/trainer.h"
+
+namespace optinter {
+namespace {
+
+using testing::CheckGradientAcrossThreadCounts;
+using testing::HeadBatch;
+using testing::SharedTinyData;
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 77;
+  return hp;
+}
+
+double WeightedSum(const Tensor& y, const Tensor& c) {
+  double s = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    s += static_cast<double>(y[i]) * c[i];
+  }
+  return s;
+}
+
+Tensor RandomTensor(std::vector<size_t> shape, Rng* rng, double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(-scale, scale));
+  }
+  return t;
+}
+
+// Restores the global pool size when a test returns (tests resize it to
+// exercise specific thread counts).
+struct PoolGuard {
+  size_t saved = ThreadPool::Global().num_threads();
+  ~PoolGuard() { ThreadPool::SetGlobalThreads(saved); }
+};
+
+// A mixed architecture covering all three interaction methods.
+Architecture MixedArch(size_t num_pairs) {
+  Architecture arch(num_pairs, InterMethod::kNaive);
+  arch[0] = InterMethod::kMemorize;
+  arch[1] = InterMethod::kFactorize;
+  arch[4] = InterMethod::kMemorize;
+  arch[7] = InterMethod::kFactorize;
+  return arch;
+}
+
+// Disjoint consecutive batches over the training split.
+std::vector<Batch> SplitBatches(const testing::PreparedData& p,
+                                size_t num_batches, size_t batch_size) {
+  std::vector<Batch> batches;
+  for (size_t i = 0; i < num_batches; ++i) {
+    Batch b;
+    b.data = &p.data;
+    b.rows = p.splits.train.data() + i * batch_size;
+    b.size = batch_size;
+    CHECK_LE((i + 1) * batch_size, p.splits.train.size());
+    batches.push_back(b);
+  }
+  return batches;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent re-entrant Predict
+// ---------------------------------------------------------------------------
+
+// Runs Predict over `batches` sequentially (reference) and concurrently
+// (one pool task per batch, each with a private ForwardContext), and
+// expects bit-identical probabilities.
+void CheckConcurrentPredict(const CtrModel& model,
+                            const std::vector<Batch>& batches) {
+  ASSERT_TRUE(model.SupportsReentrantPredict());
+  std::vector<std::vector<float>> reference(batches.size());
+  {
+    ForwardContext ctx;
+    for (size_t i = 0; i < batches.size(); ++i) {
+      model.Predict(batches[i], &reference[i], &ctx);
+    }
+  }
+  std::vector<std::vector<float>> concurrent(batches.size());
+  ThreadPool pool(4);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    pool.Submit([&, i] {
+      ForwardContext ctx;
+      model.Predict(batches[i], &concurrent[i], &ctx);
+    });
+  }
+  pool.Wait();
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ASSERT_EQ(concurrent[i].size(), reference[i].size());
+    for (size_t k = 0; k < reference[i].size(); ++k) {
+      EXPECT_EQ(concurrent[i][k], reference[i][k])
+          << "batch " << i << " row " << k;
+    }
+  }
+}
+
+TEST(ConcurrencyTest, ConcurrentPredictFixedArchMatchesSequential) {
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "concurrent");
+  Batch train_b = HeadBatch(p, 256);
+  for (int i = 0; i < 10; ++i) model.TrainStep(train_b);
+  CheckConcurrentPredict(model, SplitBatches(p, 8, 64));
+}
+
+TEST(ConcurrencyTest, ConcurrentPredictSearchModelMatchesSequential) {
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  Batch train_b = HeadBatch(p, 256);
+  for (int i = 0; i < 5; ++i) model.TrainStep(train_b);
+  CheckConcurrentPredict(model, SplitBatches(p, 8, 64));
+}
+
+TEST(ConcurrencyTest, EvaluateModelParallelBitwiseMatchesSerial) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "eval");
+  Batch train_b = HeadBatch(p, 256);
+  for (int i = 0; i < 10; ++i) model.TrainStep(train_b);
+  EvalOptions serial;
+  serial.parallel = false;
+  serial.batch_size = 64;  // many batches → the parallel path has work
+  EvalOptions parallel = serial;
+  parallel.parallel = true;
+  const EvalMetrics ref = EvaluateModel(&model, p.data, p.splits.val, serial);
+  const EvalMetrics par =
+      EvaluateModel(&model, p.data, p.splits.val, parallel);
+  EXPECT_EQ(ref.auc, par.auc);
+  EXPECT_EQ(ref.logloss, par.logloss);
+}
+
+// Distinct layer objects may run their (internally chunked) backward
+// passes concurrently: all per-call state is in caller-owned workspaces.
+// Primarily a TSan workload; the bit-identity of each result is checked
+// against a serial reference.
+TEST(ConcurrencyTest, ConcurrentBackwardOnDistinctLayers) {
+  Rng rng(5);
+  constexpr size_t kLayers = 4;
+  std::vector<Linear> layers;
+  std::vector<Tensor> xs, cs;
+  for (size_t l = 0; l < kLayers; ++l) {
+    layers.emplace_back("l" + std::to_string(l), 32, 8, 1e-3f, 0.0f, &rng);
+    xs.push_back(RandomTensor({2048, 32}, &rng));
+    cs.push_back(RandomTensor({2048, 8}, &rng));
+  }
+  // Serial reference.
+  std::vector<std::vector<float>> ref_dw(kLayers);
+  for (size_t l = 0; l < kLayers; ++l) {
+    layers[l].weight.grad.Fill(0.0f);
+    layers[l].bias.grad.Fill(0.0f);
+    LinearWorkspace ws;
+    Tensor y, dx;
+    layers[l].Forward(xs[l], &y, &ws);
+    layers[l].Backward(cs[l], &dx, ws);
+    ref_dw[l].assign(layers[l].weight.grad.data(),
+                     layers[l].weight.grad.data() +
+                         layers[l].weight.grad.size());
+  }
+  // Concurrent re-run.
+  for (size_t l = 0; l < kLayers; ++l) {
+    layers[l].weight.grad.Fill(0.0f);
+    layers[l].bias.grad.Fill(0.0f);
+  }
+  ThreadPool pool(4);
+  for (size_t l = 0; l < kLayers; ++l) {
+    pool.Submit([&, l] {
+      LinearWorkspace ws;
+      Tensor y, dx;
+      layers[l].Forward(xs[l], &y, &ws);
+      layers[l].Backward(cs[l], &dx, ws);
+    });
+  }
+  pool.Wait();
+  for (size_t l = 0; l < kLayers; ++l) {
+    for (size_t i = 0; i < ref_dw[l].size(); ++i) {
+      EXPECT_EQ(layers[l].weight.grad[i], ref_dw[l][i])
+          << "layer " << l << " dW[" << i << "]";
+    }
+  }
+}
+
+// Full search epoch with a multi-thread pool — the broadest TSan workload:
+// Gumbel sampling, gather, z-assembly, MLP forward/backward, the chunked
+// interaction backward, sharded scatter, and both optimizers.
+TEST(ConcurrencyTest, SearchEpochRunsUnderThreads) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  const auto& p = SharedTinyData();
+  SearchOptions opts;
+  opts.search_epochs = 1;
+  const SearchResult res =
+      RunSearchStage(p.data, p.splits, TinyHp(), opts);
+  EXPECT_EQ(res.arch.size(), p.data.num_pairs());
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical results across thread counts
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, LinearBackwardBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(91);
+  // Shapes cross both parallel thresholds: dy is 8192×8 = 65536 floats
+  // (chunked db reduction) and the dW GEMM is 8192·8·48 ≈ 3.1M flops
+  // (tree-reduced GemmTN).
+  Linear lin("t", 48, 8, 1e-3f, 0.0f, &rng);
+  Tensor x = RandomTensor({8192, 48}, &rng, 0.5);
+  Tensor c = RandomTensor({8192, 8}, &rng, 0.5);
+  auto run = [&]() {
+    lin.weight.grad.Fill(0.0f);
+    lin.bias.grad.Fill(0.0f);
+    LinearWorkspace ws;
+    Tensor y, dx;
+    lin.Forward(x, &y, &ws);
+    lin.Backward(c, &dx, ws);
+    std::vector<float> out(lin.weight.grad.data(),
+                           lin.weight.grad.data() + lin.weight.grad.size());
+    out.insert(out.end(), lin.bias.grad.data(),
+               lin.bias.grad.data() + lin.bias.grad.size());
+    out.insert(out.end(), dx.data(), dx.data() + dx.size());
+    return out;
+  };
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<float> ref = run();
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<float> got = run();
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i]) << threads << " threads, index " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, EmbeddingScatterBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  Rng rng(17);
+  FeatureEmbedding emb(p.data, 8, 1e-3f, 0.0f, &rng);
+  Batch batch = HeadBatch(p, 1024);  // 1024×56 floats → parallel scatter
+  Tensor d_out = RandomTensor({batch.size, emb.output_dim()}, &rng);
+  auto run = [&]() {
+    emb.ClearGrads();
+    Tensor out;
+    emb.Forward(batch, &out);
+    emb.Backward(d_out);
+    // Flatten every table's accumulated sparse grads in id order.
+    std::vector<float> grads;
+    for (size_t f = 0; f < p.data.num_categorical(); ++f) {
+      const EmbeddingTable& t = emb.cat_table(f);
+      for (size_t id = 0; id < t.vocab_size(); ++id) {
+        const float* g = t.AccumulatedGrad(static_cast<int32_t>(id));
+        if (g == nullptr) {
+          grads.insert(grads.end(), t.dim(), 0.0f);
+        } else {
+          grads.insert(grads.end(), g, g + t.dim());
+        }
+      }
+    }
+    return grads;
+  };
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<float> ref = run();
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<float> got = run();
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i]) << threads << " threads, index " << i;
+    }
+  }
+}
+
+// Flattened trainable state + predictions of a model, for bit-exact
+// comparison of whole training runs.
+std::vector<float> SnapshotModel(CtrModel* model, const Batch& batch) {
+  std::vector<float> snap;
+  std::vector<Tensor*> state;
+  model->CollectState(&state);
+  for (const Tensor* t : state) {
+    snap.insert(snap.end(), t->data(), t->data() + t->size());
+  }
+  std::vector<float> probs;
+  model->Predict(batch, &probs);
+  snap.insert(snap.end(), probs.begin(), probs.end());
+  return snap;
+}
+
+void ExpectBitIdentical(const std::vector<float>& got,
+                        const std::vector<float>& ref, size_t threads) {
+  ASSERT_EQ(got.size(), ref.size());
+  size_t mismatches = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::memcmp(&got[i], &ref[i], sizeof(float)) != 0) {
+      if (++mismatches <= 5) {
+        ADD_FAILURE() << threads << " threads: state differs at index " << i
+                      << ": " << got[i] << " vs " << ref[i];
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << threads << " threads";
+}
+
+TEST(DeterminismTest, TrainModelBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  auto run = [&](size_t threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                         "det");
+    TrainOptions opts;
+    opts.epochs = 2;
+    opts.batch_size = 1024;  // crosses the GEMM / scatter thresholds
+    opts.seed = 123;
+    TrainModel(&model, p.data, p.splits, opts);
+    return SnapshotModel(&model, HeadBatch(p, 256));
+  };
+  const std::vector<float> ref = run(1);
+  ExpectBitIdentical(run(2), ref, 2);
+  ExpectBitIdentical(run(8), ref, 8);
+}
+
+TEST(DeterminismTest, SearchModelBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  auto run = [&](size_t threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    SearchModel model(p.data, TinyHp());
+    Batch b = HeadBatch(p, 1024);
+    for (int i = 0; i < 5; ++i) model.TrainStep(b);
+    // Snapshot includes α (via CollectState) and eval-mode logits.
+    std::vector<float> snap = SnapshotModel(&model, HeadBatch(p, 256));
+    const Tensor& alpha = model.alpha().value;
+    snap.insert(snap.end(), alpha.data(), alpha.data() + alpha.size());
+    return snap;
+  };
+  const std::vector<float> ref = run(1);
+  ExpectBitIdentical(run(2), ref, 2);
+  ExpectBitIdentical(run(8), ref, 8);
+}
+
+TEST(DeterminismTest, RunSearchStageBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  SearchOptions opts;
+  opts.search_epochs = 1;
+  auto run = [&](size_t threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    return RunSearchStage(p.data, p.splits, TinyHp(), opts);
+  };
+  const SearchResult ref = run(1);
+  for (size_t threads : {2u, 8u}) {
+    const SearchResult got = run(threads);
+    EXPECT_TRUE(got.arch == ref.arch) << threads << " threads";
+    EXPECT_EQ(got.search_val.auc, ref.search_val.auc);
+    EXPECT_EQ(got.search_val.logloss, ref.search_val.logloss);
+    EXPECT_EQ(got.search_test.auc, ref.search_test.auc);
+    EXPECT_EQ(got.search_test.logloss, ref.search_test.logloss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference checks of the parallel backward paths
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckParallelTest, LinearBackwardAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(21);
+  Linear lin("t", 48, 8, 1e-3f, 0.0f, &rng);
+  Tensor x = RandomTensor({8192, 48}, &rng, 0.5);
+  Tensor c = RandomTensor({8192, 8}, &rng, 0.5);
+  auto compute = [&]() {
+    lin.weight.grad.Fill(0.0f);
+    lin.bias.grad.Fill(0.0f);
+    LinearWorkspace ws;
+    Tensor y, dx;
+    lin.Forward(x, &y, &ws);
+    lin.Backward(c, &dx, ws);
+    std::vector<float> g(lin.weight.grad.data(),
+                         lin.weight.grad.data() + lin.weight.grad.size());
+    return g;
+  };
+  auto loss = [&]() {
+    LinearWorkspace ws;
+    Tensor y;
+    lin.Forward(x, &y, &ws);
+    return WeightedSum(y, c);
+  };
+  CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
+                                  lin.weight.value.data(), /*check_n=*/32,
+                                  loss);
+}
+
+TEST(GradCheckParallelTest, LayerNormBackwardAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(22);
+  LayerNorm ln("t", 64, 1e-3f, 0.0f);
+  for (size_t i = 0; i < 64; ++i) {
+    ln.gamma.value[i] = 0.5f + 0.01f * static_cast<float>(i);
+    ln.beta.value[i] = 0.02f * static_cast<float>(i);
+  }
+  Tensor x = RandomTensor({512, 64}, &rng, 2.0);  // 32768 floats → parallel
+  Tensor c = RandomTensor({512, 64}, &rng);
+  auto compute = [&]() {
+    ln.gamma.grad.Fill(0.0f);
+    ln.beta.grad.Fill(0.0f);
+    LayerNormWorkspace ws;
+    Tensor y, dx;
+    ln.Forward(x, &y, &ws);
+    ln.Backward(c, &dx, ws);
+    std::vector<float> g(ln.gamma.grad.data(),
+                         ln.gamma.grad.data() + ln.gamma.grad.size());
+    g.insert(g.end(), ln.beta.grad.data(),
+             ln.beta.grad.data() + ln.beta.grad.size());
+    return g;
+  };
+  auto loss = [&]() {
+    LayerNormWorkspace ws;
+    Tensor y;
+    ln.Forward(x, &y, &ws);
+    return WeightedSum(y, c);
+  };
+  CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
+                                  ln.gamma.value.data(), /*check_n=*/32,
+                                  loss, 1e-3, 4e-2);
+}
+
+TEST(GradCheckParallelTest, EmbeddingScatterAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  Rng rng(23);
+  FeatureEmbedding emb(p.data, 8, 1e-3f, 0.0f, &rng);
+  Batch batch = HeadBatch(p, 1024);
+  Tensor c = RandomTensor({batch.size, emb.output_dim()}, &rng);
+  EmbeddingTable& table = emb.cat_table(0);
+  auto compute = [&]() {
+    emb.ClearGrads();
+    Tensor out;
+    emb.Forward(batch, &out);
+    emb.Backward(c);
+    // Dense view of table 0's sparse grads, aligned with its values.
+    std::vector<float> g(table.vocab_size() * table.dim(), 0.0f);
+    for (size_t id = 0; id < table.vocab_size(); ++id) {
+      const float* ag = table.AccumulatedGrad(static_cast<int32_t>(id));
+      if (ag != nullptr) {
+        std::memcpy(g.data() + id * table.dim(), ag,
+                    table.dim() * sizeof(float));
+      }
+    }
+    return g;
+  };
+  auto loss = [&]() {
+    Tensor out;
+    emb.Gather(batch, &out);
+    return WeightedSum(out, c);
+  };
+  CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
+                                  table.mutable_values().data(),
+                                  /*check_n=*/24, loss);
+}
+
+}  // namespace
+}  // namespace optinter

@@ -8,8 +8,11 @@
 
 #include <cmath>
 #include <functional>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace optinter {
 namespace testing {
@@ -38,6 +41,65 @@ inline void CheckGradient(float* buf, size_t n, const float* analytic,
         << "grad mismatch at " << i << ": numeric=" << numeric
         << " analytic=" << analytic[i];
   }
+}
+
+/// Largest finite-difference relative error over buf[0..n) — the same
+/// comparison CheckGradient makes, reduced to one number so tests can
+/// assert the error itself is unchanged between configurations.
+inline double MaxGradRelError(float* buf, size_t n, const float* analytic,
+                              const std::function<double()>& loss,
+                              double eps = 1e-3) {
+  double max_err = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float saved = buf[i];
+    buf[i] = saved + static_cast<float>(eps);
+    const double up = loss();
+    buf[i] = saved - static_cast<float>(eps);
+    const double down = loss();
+    buf[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    max_err = std::max(max_err, RelError(numeric, analytic[i]));
+  }
+  return max_err;
+}
+
+/// Checks a parallel backward path at several global thread counts.
+///
+/// `compute_grads` must recompute the analytic gradient under test from
+/// scratch (zero accumulators, forward, backward) and return it; its
+/// backward must route through ThreadPool::Global() so resizing the pool
+/// exercises the 1-thread serial execution and the multi-thread fan-out
+/// of the same fixed chunk grid. Every recomputation must be bit-identical
+/// to the first — the determinism contract — which also pins the
+/// finite-difference max rel-error (checked once, against `check_n`
+/// entries of `buf`) to exactly the serial value at every thread count.
+/// Restores the original pool size before returning.
+inline void CheckGradientAcrossThreadCounts(
+    const std::vector<size_t>& thread_counts,
+    const std::function<std::vector<float>()>& compute_grads, float* buf,
+    size_t check_n, const std::function<double()>& loss, double eps = 1e-3,
+    double tol = 2e-2) {
+  ASSERT_FALSE(thread_counts.empty());
+  const size_t restore = ThreadPool::Global().num_threads();
+  ThreadPool::SetGlobalThreads(thread_counts[0]);
+  const std::vector<float> reference = compute_grads();
+  for (size_t ti = 1; ti < thread_counts.size(); ++ti) {
+    ThreadPool::SetGlobalThreads(thread_counts[ti]);
+    const std::vector<float> grads = compute_grads();
+    ASSERT_EQ(grads.size(), reference.size());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      // Exact equality, not near: parallel must match serial bit for bit.
+      EXPECT_EQ(grads[i], reference[i])
+          << "gradient differs from the " << thread_counts[0]
+          << "-thread reference at index " << i << " with "
+          << thread_counts[ti] << " threads";
+    }
+  }
+  ThreadPool::SetGlobalThreads(restore);
+  ASSERT_LE(check_n, reference.size());
+  const double err =
+      MaxGradRelError(buf, check_n, reference.data(), loss, eps);
+  EXPECT_LT(err, tol);
 }
 
 }  // namespace testing

@@ -118,7 +118,14 @@ TEST(RegistryTest, GetReturnsSamePointerForSameName) {
   EXPECT_EQ(reg.GetGauge("test.same_gauge"),
             reg.GetGauge("test.same_gauge"));
   EXPECT_EQ(reg.GetHistogram("test.same_hist", {1.0}),
-            reg.GetHistogram("test.same_hist", {2.0, 3.0}));
+            reg.GetHistogram("test.same_hist", {1.0}));
+}
+
+TEST(RegistryDeathTest, HistogramBoundsMismatchAborts) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetHistogram("test.bounds_mismatch", {1.0, 2.0});
+  EXPECT_DEATH(reg.GetHistogram("test.bounds_mismatch", {1.0, 3.0}),
+               "different upper_bounds");
 }
 
 TEST(RegistryTest, HistogramBucketEdges) {
