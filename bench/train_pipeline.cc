@@ -1,0 +1,126 @@
+// Serial vs pipelined training executor comparison (perf harness for
+// src/train/pipeline_executor.h): trains the same FixedArchModel — and
+// runs the same joint-mode search stage — once with TrainOptions::pipeline
+// off and once with it on, printing throughput rows plus the executor's
+// stall/workspace counters. Quality columns (AUC/logloss) must match
+// bitwise between the two modes at any thread count; that is the
+// determinism contract the concurrency tests enforce. On a single core the
+// two modes should also perform alike (the pipeline degrades to the serial
+// schedule); multi-core speedups are what this harness exists to measure.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/fixed_arch_model.h"
+#include "core/pipeline.h"
+#include "models/interaction.h"
+#include "obs/registry.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+namespace {
+
+// Same mixed assignment the concurrency tests use: exercises the
+// memorize/factorize/naive shards of the prepared batch at once.
+Architecture MixedArch(size_t num_pairs) {
+  Architecture arch(num_pairs, InterMethod::kNaive);
+  if (num_pairs > 0) arch[0] = InterMethod::kMemorize;
+  if (num_pairs > 1) arch[1] = InterMethod::kFactorize;
+  return arch;
+}
+
+// Snapshot of the executor's cumulative counters, for per-run deltas.
+struct PipelineCounters {
+  uint64_t steps = 0;
+  uint64_t stall_us = 0;
+  uint64_t growth_steps = 0;
+};
+
+PipelineCounters ReadPipelineCounters() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  PipelineCounters c;
+  c.steps = reg.GetCounter("pipeline.steps")->Value();
+  c.stall_us = reg.GetCounter("pipeline.stall_us")->Value();
+  c.growth_steps = reg.GetCounter("pipeline.workspace_growth_steps")->Value();
+  return c;
+}
+
+std::string PipelineExtra(const PipelineCounters& before,
+                          const PipelineCounters& after) {
+  const uint64_t steps = after.steps - before.steps;
+  if (steps == 0) return "serial path";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%llu steps, stall %.1fms, %llu growth steps, ws %s",
+                static_cast<unsigned long long>(steps),
+                static_cast<double>(after.stall_us - before.stall_us) / 1e3,
+                static_cast<unsigned long long>(after.growth_steps -
+                                                before.growth_steps),
+                HumanCount(static_cast<size_t>(
+                               obs::MetricsRegistry::Global()
+                                   .GetGauge("pipeline.workspace_bytes")
+                                   ->Value()))
+                    .c_str());
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddBool("search", true,
+                "also compare serial vs pipelined joint-mode search epochs");
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("train_pipeline", flags);
+
+  for (const auto& name : DatasetList(flags, {"tiny"})) {
+    PrepareOptions popts;
+    popts.rows_scale = flags.GetDouble("rows_scale");
+    auto prepared = PrepareProfile(name, popts);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const PreparedDataset& p = *prepared;
+    HyperParams hp = DefaultHyperParams(name);
+    ApplyOverrides(flags, &hp);
+    const TrainOptions topts = MakeTrainOptions(flags, hp);
+
+    report.Section("Pipelined trainer: " + name);
+    for (const bool pipelined : {false, true}) {
+      FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), hp,
+                           pipelined ? "fixed-pipelined" : "fixed-serial");
+      TrainOptions run = topts;
+      run.pipeline = pipelined;
+      const PipelineCounters before = ReadPipelineCounters();
+      const TrainSummary s = TrainModel(&model, p.data, p.splits, run);
+      const PipelineCounters after = ReadPipelineCounters();
+      report.AddRow(pipelined ? "Train/pipelined" : "Train/serial",
+                    s.final_test.auc, s.final_test.logloss,
+                    model.ParamCount(), s.telemetry,
+                    pipelined ? PipelineExtra(before, after) : "");
+    }
+
+    if (flags.GetBool("search")) {
+      for (const bool pipelined : {false, true}) {
+        SearchOptions sopts;
+        sopts.search_epochs = hp.search_epochs;
+        sopts.verbose = flags.GetBool("verbose");
+        sopts.pipeline = pipelined;
+        const PipelineCounters before = ReadPipelineCounters();
+        const SearchResult r = RunSearchStage(p.data, p.splits, hp, sopts);
+        const PipelineCounters after = ReadPipelineCounters();
+        report.AddRow(pipelined ? "Search/pipelined" : "Search/serial",
+                      r.search_val.auc, r.search_val.logloss, /*params=*/0,
+                      pipelined ? PipelineExtra(before, after) : "");
+      }
+    }
+  }
+  return report.Finish();
+}

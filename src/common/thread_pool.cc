@@ -71,11 +71,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, TaskGroup* group) {
   const bool observed = obs::Enabled();
-  Task queued{std::move(task), observed
-                                  ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{}};
+  if (group != nullptr) group->Add();
+  Task queued{std::move(task), group,
+              observed ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{}};
   {
     std::unique_lock<std::mutex> lock(mutex_);
     CHECK(!shutting_down_);
@@ -119,6 +120,7 @@ void ThreadPool::WorkerLoop() {
       TasksExecutedCounter()->Add(1);
     }
     task.fn();
+    if (task.group != nullptr) task.group->Finish();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -154,49 +156,6 @@ void ThreadPool::SetGlobalThreads(size_t num_threads) {
       ->Set(static_cast<double>(num_threads));
 }
 
-void ParallelForChunks(size_t begin, size_t end,
-                       const std::function<void(size_t, size_t)>& body,
-                       size_t min_chunk) {
-  if (begin >= end) return;
-  if (ThreadPool::InWorkerThread()) {
-    // Nested parallel region: run serially on this worker (see
-    // InWorkerThread for the deadlock rationale).
-    body(begin, end);
-    return;
-  }
-  const size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::Global();
-  const size_t max_chunks = pool.num_threads() * 4;
-  size_t chunk = std::max(min_chunk, (n + max_chunks - 1) / max_chunks);
-  if (n <= chunk) {
-    body(begin, end);
-    return;
-  }
-  std::atomic<size_t> next{begin};
-  const size_t num_tasks =
-      std::min(pool.num_threads(), (n + chunk - 1) / chunk);
-  for (size_t t = 0; t < num_tasks; ++t) {
-    pool.Submit([&next, end, chunk, &body] {
-      for (;;) {
-        size_t lo = next.fetch_add(chunk);
-        if (lo >= end) return;
-        body(lo, std::min(lo + chunk, end));
-      }
-    });
-  }
-  pool.Wait();
-}
-
-void ParallelFor(size_t begin, size_t end,
-                 const std::function<void(size_t)>& body, size_t grain) {
-  ParallelForChunks(
-      begin, end,
-      [&body](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) body(i);
-      },
-      grain);
-}
-
 FixedChunks MakeFixedChunks(size_t n, size_t min_chunk, size_t max_chunks) {
   CHECK_GE(min_chunk, 1u);
   CHECK_GE(max_chunks, 1u);
@@ -209,28 +168,6 @@ FixedChunks MakeFixedChunks(size_t n, size_t min_chunk, size_t max_chunks) {
   // chunk=2 covers n in 5 chunks); trim so every chunk is non-empty.
   grid.count = (n + grid.chunk - 1) / grid.chunk;
   return grid;
-}
-
-void ParallelForEachChunk(const FixedChunks& grid,
-                          const std::function<void(size_t)>& body) {
-  if (grid.count == 0) return;
-  if (grid.count == 1 || ThreadPool::InWorkerThread()) {
-    for (size_t i = 0; i < grid.count; ++i) body(i);
-    return;
-  }
-  ThreadPool& pool = ThreadPool::Global();
-  std::atomic<size_t> next{0};
-  const size_t num_tasks = std::min(pool.num_threads(), grid.count);
-  for (size_t t = 0; t < num_tasks; ++t) {
-    pool.Submit([&next, &grid, &body] {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= grid.count) return;
-        body(i);
-      }
-    });
-  }
-  pool.Wait();
 }
 
 }  // namespace optinter

@@ -72,13 +72,6 @@ FixedArchModel::FixedArchModel(const EncodedDataset& data,
   mlp_->RegisterParams(&dense_opt_);
 }
 
-void FixedArchModel::Forward(const Batch& batch) {
-  emb_.Forward(batch, &ctx_.emb_out);
-  if (cross_emb_) cross_emb_->Forward(batch, &ctx_.cross_out);
-  if (triple_emb_) triple_emb_->Forward(batch, &ctx_.triple_out);
-  AssembleForward(batch, &ctx_);
-}
-
 void FixedArchModel::AssembleForward(const Batch& batch,
                                      ForwardContext* ctx) const {
   const size_t b = batch.size;
@@ -127,33 +120,54 @@ void FixedArchModel::AssembleForward(const Batch& batch,
 }
 
 float FixedArchModel::TrainStep(const Batch& batch) {
-  Forward(batch);
-  const size_t b = batch.size;
-  labels_.resize(b);
-  dlogits_.resize(b);
-  for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
-  const float loss = BceWithLogitsLoss(ctx_.logits.data(), labels_.data(),
-                                       b, dlogits_.data());
+  PrepareBatch(batch, &own_prep_);
+  const float loss = ForwardBackward(own_prep_);
+  ApplyGrads();
+  return loss;
+}
 
-  Tensor dmlp_out({b, 1});
-  for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
-  Tensor dz;
-  mlp_->Backward(dmlp_out, &dz, &ctx_.mlp);
+void FixedArchModel::PrepareBatch(const Batch& batch,
+                                  PreparedBatch* prep) const {
+  OPTINTER_TRACE_SPAN("prepare_batch");
+  prep->BeginFill(batch);
+  emb_.Prepare(batch, prep);
+  if (cross_emb_) cross_emb_->Prepare(batch, &prep->dedup, &prep->cross);
+  if (triple_emb_) triple_emb_->Prepare(batch, &prep->dedup, &prep->triple);
+}
+
+float FixedArchModel::ForwardBackward(const PreparedBatch& prep) {
+  emb_.ForwardPrepared(prep, &ctx_.emb_out);
+  if (cross_emb_) {
+    cross_emb_->ForwardPrepared(prep.cross, prep.size, &ctx_.cross_out);
+  }
+  if (triple_emb_) {
+    triple_emb_->ForwardPrepared(prep.triple, prep.size, &ctx_.triple_out);
+  }
+  AssembleForward(prep.AsBatch(), &ctx_);
+
+  const size_t b = prep.size;
+  dlogits_.resize(b);
+  const float loss = BceWithLogitsLoss(ctx_.logits.data(),
+                                       prep.labels.data(), b,
+                                       dlogits_.data());
+
+  dmlp_out_.Resize({b, 1});
+  for (size_t k = 0; k < b; ++k) dmlp_out_.at(k, 0) = dlogits_[k];
+  mlp_->Backward(dmlp_out_, &dz_, &ctx_.mlp);
 
   const size_t emb_cols = ctx_.emb_out.cols();
-  Tensor demb({b, emb_cols});
-  Tensor dcross;
-  if (cross_emb_) dcross.Resize({b, ctx_.cross_out.cols()});
+  demb_.Resize({b, emb_cols});
+  if (cross_emb_) dcross_.Resize({b, ctx_.cross_out.cols()});
   auto bwd_rows = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
-      const float* dzr = dz.row(k);
-      std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+      const float* dzr = dz_.row(k);
+      std::memcpy(demb_.row(k), dzr, emb_cols * sizeof(float));
       const float* e = ctx_.emb_out.row(k);
-      float* de = demb.row(k);
+      float* de = demb_.row(k);
       for (size_t p = 0; p < arch_.size(); ++p) {
         switch (arch_[p]) {
           case InterMethod::kMemorize:
-            std::memcpy(dcross.row(k) + mem_slot_[p] * s2_,
+            std::memcpy(dcross_.row(k) + mem_slot_[p] * s2_,
                         dzr + emb_cols + block_offset_[p],
                         s2_ * sizeof(float));
             break;
@@ -180,24 +194,28 @@ float FixedArchModel::TrainStep(const Batch& batch) {
       bwd_rows(0, b);
     }
   }
-  emb_.Backward(demb);
-  if (cross_emb_) cross_emb_->Backward(dcross);
+  emb_.BackwardPrepared(demb_, prep);
+  if (cross_emb_) cross_emb_->BackwardPrepared(dcross_, prep.cross);
   if (triple_emb_) {
-    Tensor dtriple({b, triple_emb_->output_dim()});
+    dtriple_.Resize({b, triple_emb_->output_dim()});
     const size_t triple_off =
         emb_cols + inter_dim_ - triple_emb_->output_dim();
     for (size_t k = 0; k < b; ++k) {
-      std::memcpy(dtriple.row(k), dz.row(k) + triple_off,
+      std::memcpy(dtriple_.row(k), dz_.row(k) + triple_off,
                   triple_emb_->output_dim() * sizeof(float));
     }
-    triple_emb_->Backward(dtriple);
+    triple_emb_->BackwardPrepared(dtriple_, prep.triple);
   }
-  emb_.Step();
-  if (cross_emb_) cross_emb_->Step();
-  if (triple_emb_) triple_emb_->Step();
+  return loss;
+}
+
+void FixedArchModel::ApplyGrads() {
+  OPTINTER_TRACE_SPAN("apply_grads");
+  emb_.StepPrepared();
+  if (cross_emb_) cross_emb_->StepPrepared();
+  if (triple_emb_) triple_emb_->StepPrepared();
   dense_opt_.Step();
   dense_opt_.ZeroGrad();
-  return loss;
 }
 
 void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs) {

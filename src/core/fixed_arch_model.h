@@ -44,7 +44,16 @@ class FixedArchModel : public CtrModel {
                  std::vector<FactorizeFn> pair_fns = {});
 
   std::string Name() const override { return name_; }
+
+  /// Exactly PrepareBatch + ForwardBackward + ApplyGrads, so the serial
+  /// loop and the pipelined executor produce bit-identical training.
   float TrainStep(const Batch& batch) override;
+
+  bool SupportsPhasedTrainStep() const override { return true; }
+  void PrepareBatch(const Batch& batch, PreparedBatch* prep) const override;
+  float ForwardBackward(const PreparedBatch& prep) override;
+  void ApplyGrads() override;
+
   void Predict(const Batch& batch, std::vector<float>* probs) override;
 
   /// Re-entrant prediction into a caller-owned context; safe to run
@@ -67,10 +76,6 @@ class FixedArchModel : public CtrModel {
       const EncodedDataset& data, const HyperParams& hp);
 
  private:
-  /// Training forward: caches scatter rows in the embedding layers and
-  /// activations in ctx_.
-  void Forward(const Batch& batch);
-
   /// Shared tail of the forward pass: assembles z from the gathered
   /// embeddings in `ctx`, runs the MLP, fills ctx->logits.
   void AssembleForward(const Batch& batch, ForwardContext* ctx) const;
@@ -97,10 +102,18 @@ class FixedArchModel : public CtrModel {
   size_t inter_dim_ = 0;              // total interaction columns
 
   // Training-path caches: activations live in ctx_ so forward state has a
-  // single home shared with the re-entrant Predict machinery.
+  // single home shared with the re-entrant Predict machinery. The prepared
+  // batch and gradient tensors are members (not step locals) so their
+  // buffers persist across steps — part of the steady-state
+  // zero-allocation contract (DESIGN.md).
   ForwardContext ctx_;
-  std::vector<float> labels_;
+  PreparedBatch own_prep_;  // used by the plain (serial) TrainStep
   std::vector<float> dlogits_;
+  Tensor dmlp_out_;
+  Tensor dz_;
+  Tensor demb_;
+  Tensor dcross_;
+  Tensor dtriple_;
 };
 
 }  // namespace optinter

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "common/stopwatch.h"
 #include "metrics/mutual_information.h"
 #include "core/autofis.h"
 #include "core/fixed_arch_model.h"
+#include "train/pipeline_executor.h"
 
 namespace optinter {
 
@@ -61,6 +63,14 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
   SearchResult result;
   Architecture prev_arch;  // empty until the first epoch snapshot
   const size_t epochs = std::max<size_t>(1, options.search_epochs);
+  // Joint mode pipelines Θ+α steps; bi-level interleaves a serial ArchStep
+  // per batch, so overlapping the next prepare would change nothing and
+  // complicate the fence story.
+  const bool use_pipeline = options.pipeline &&
+                            options.mode == UpdateMode::kJoint &&
+                            model.SupportsPhasedTrainStep();
+  std::unique_ptr<PipelinedTrainExecutor> executor;
+  if (use_pipeline) executor = std::make_unique<PipelinedTrainExecutor>(&model);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     if (options.anneal_temperature) {
       const float frac =
@@ -76,19 +86,27 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
     double loss_sum = 0.0;
     size_t batches = 0;
     size_t rows_seen = 0;
-    for (;;) {
-      Batch b = train_batcher.Next();
-      if (b.size == 0) break;
-      loss_sum += model.TrainStep(b);
-      rows_seen += b.size;
-      ++batches;
-      if (options.mode == UpdateMode::kBilevel) {
-        Batch vb = arch_batcher.Next();
-        if (vb.size == 0) {
-          arch_batcher.StartEpoch();
-          vb = arch_batcher.Next();
+    if (use_pipeline) {
+      const PipelinedTrainExecutor::EpochStats stats =
+          executor->RunEpoch(&train_batcher);
+      loss_sum = stats.loss_sum;
+      batches = stats.batches;
+      rows_seen = stats.rows;
+    } else {
+      for (;;) {
+        Batch b = train_batcher.Next();
+        if (b.size == 0) break;
+        loss_sum += model.TrainStep(b);
+        rows_seen += b.size;
+        ++batches;
+        if (options.mode == UpdateMode::kBilevel) {
+          Batch vb = arch_batcher.Next();
+          if (vb.size == 0) {
+            arch_batcher.StartEpoch();
+            vb = arch_batcher.Next();
+          }
+          model.ArchStep(vb);
         }
-        model.ArchStep(vb);
       }
     }
     EpochTelemetry et;

@@ -22,6 +22,11 @@ struct SearchOptions {
   /// HyperParams::gumbel_temp_start to gumbel_temp_end.
   bool anneal_temperature = true;
   bool verbose = false;
+  /// Run joint-mode search epochs through the pipelined executor
+  /// (bit-identical to the serial loop; see src/train/pipeline_executor.h).
+  /// Bi-level mode always runs serially: every train step interleaves an
+  /// ArchStep on a validation batch, so there is no prepare to overlap.
+  bool pipeline = true;
 };
 
 /// Outcome of the search stage.

@@ -72,13 +72,6 @@ void SearchModel::SampleProbs(std::vector<float>* probs) {
   }
 }
 
-void SearchModel::ForwardWithProbs(const Batch& batch,
-                                   const std::vector<float>& probs) {
-  emb_.Forward(batch, &ctx_.emb_out);
-  cross_emb_->Forward(batch, &ctx_.cross_out);
-  AssembleForward(batch, probs, &ctx_);
-}
-
 void SearchModel::AssembleForward(const Batch& batch,
                                   const std::vector<float>& probs,
                                   ForwardContext* ctx) const {
@@ -88,9 +81,11 @@ void SearchModel::AssembleForward(const Batch& batch,
   Tensor& z = ctx->z;
   z.Resize({b, emb_cols + num_pairs * db_});
   auto assemble = [&](size_t lo, size_t hi) {
-    // Chunk-local factorization scratch: a shared member buffer would be
-    // raced by concurrent chunks.
-    std::vector<float> fact(fact_width_);
+    // Thread-local factorization scratch: per-thread so concurrent chunks
+    // (and concurrent Predict calls) never race, and capacity survives
+    // across steps so steady-state steps don't allocate.
+    static thread_local std::vector<float> fact;
+    fact.resize(fact_width_);
     for (size_t k = lo; k < hi; ++k) {
       float* zr = z.row(k);
       std::memcpy(zr, ctx->emb_out.row(k), emb_cols * sizeof(float));
@@ -127,41 +122,53 @@ void SearchModel::AssembleForward(const Batch& batch,
   for (size_t k = 0; k < b; ++k) ctx->logits[k] = ctx->mlp_out.at(k, 0);
 }
 
-float SearchModel::Step(const Batch& batch, bool update_theta,
-                        bool update_alpha) {
-  OPTINTER_TRACE_SPAN("search_step");
+float SearchModel::ComputeForwardBackward(const Batch& batch,
+                                          const PreparedBatch* prep) {
   SampleProbs(&probs_cache_);
-  ForwardWithProbs(batch, probs_cache_);
+  if (prep != nullptr) {
+    emb_.ForwardPrepared(*prep, &ctx_.emb_out);
+    cross_emb_->ForwardPrepared(prep->cross, prep->size, &ctx_.cross_out);
+  } else {
+    emb_.Forward(batch, &ctx_.emb_out);
+    cross_emb_->Forward(batch, &ctx_.cross_out);
+  }
+  AssembleForward(batch, probs_cache_, &ctx_);
   const size_t b = batch.size;
-  labels_.resize(b);
+  const float* labels;
+  if (prep != nullptr) {
+    labels = prep->labels.data();
+  } else {
+    labels_.resize(b);
+    for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
+    labels = labels_.data();
+  }
   dlogits_.resize(b);
-  for (size_t k = 0; k < b; ++k) labels_[k] = batch.label(k);
-  const float loss = BceWithLogitsLoss(ctx_.logits.data(), labels_.data(),
-                                       b, dlogits_.data());
+  const float loss = BceWithLogitsLoss(ctx_.logits.data(), labels, b,
+                                       dlogits_.data());
 
-  Tensor dmlp_out({b, 1});
-  for (size_t k = 0; k < b; ++k) dmlp_out.at(k, 0) = dlogits_[k];
-  Tensor dz;
-  mlp_->Backward(dmlp_out, &dz, &ctx_.mlp);
+  dmlp_out_.Resize({b, 1});
+  for (size_t k = 0; k < b; ++k) dmlp_out_.at(k, 0) = dlogits_[k];
+  mlp_->Backward(dmlp_out_, &dz_, &ctx_.mlp);
 
   const size_t emb_cols = ctx_.emb_out.cols();
   const size_t num_pairs = data_.num_pairs();
-  Tensor demb({b, emb_cols});
-  Tensor dcross({b, ctx_.cross_out.cols()});
+  demb_.Resize({b, emb_cols});
+  dcross_.Resize({b, ctx_.cross_out.cols()});
   // d(loss)/d(candidate probability), accumulated over the batch.
-  std::vector<double> dp(num_pairs * 3, 0.0);
+  dp_.assign(num_pairs * 3, 0.0);
   // Per-row demb/dcross writes are disjoint; dp is a reduction over rows
   // accumulated into `dp_acc` (the shared vector on the serial path,
   // per-chunk partials on the parallel one).
   auto body = [&](size_t lo, size_t hi, double* dp_acc) {
-    std::vector<float> fact(fact_width_);
+    static thread_local std::vector<float> fact;
+    fact.resize(fact_width_);
     for (size_t k = lo; k < hi; ++k) {
-      const float* dzr = dz.row(k);
-      std::memcpy(demb.row(k), dzr, emb_cols * sizeof(float));
+      const float* dzr = dz_.row(k);
+      std::memcpy(demb_.row(k), dzr, emb_cols * sizeof(float));
       const float* e = ctx_.emb_out.row(k);
       const float* cr = ctx_.cross_out.row(k);
-      float* de = demb.row(k);
-      float* dcr = dcross.row(k);
+      float* de = demb_.row(k);
+      float* dcr = dcross_.row(k);
       const float* dblocks = dzr + emb_cols;
       for (size_t p = 0; p < num_pairs; ++p) {
         const float pm = probs_cache_[p * 3 + 0];
@@ -196,16 +203,19 @@ float SearchModel::Step(const Batch& batch, bool update_theta,
     if (b * (emb_cols + num_pairs * db_) >= (1u << 15) && grid.count > 1) {
       // Per-chunk dp partials merged in chunk order: the fixed grid keeps
       // the summation tree independent of the thread count.
-      std::vector<double> partials(grid.count * num_pairs * 3, 0.0);
+      dp_partials_.assign(grid.count * num_pairs * 3, 0.0);
       ParallelForEachChunk(grid, [&](size_t i) {
-        body(grid.lo(i), grid.hi(i), partials.data() + i * num_pairs * 3);
+        body(grid.lo(i), grid.hi(i),
+             dp_partials_.data() + i * num_pairs * 3);
       });
       for (size_t i = 0; i < grid.count; ++i) {
-        const double* part = partials.data() + i * num_pairs * 3;
-        for (size_t idx = 0; idx < num_pairs * 3; ++idx) dp[idx] += part[idx];
+        const double* part = dp_partials_.data() + i * num_pairs * 3;
+        for (size_t idx = 0; idx < num_pairs * 3; ++idx) {
+          dp_[idx] += part[idx];
+        }
       }
     } else {
-      body(0, b, dp.data());
+      body(0, b, dp_.data());
     }
   }
 
@@ -215,7 +225,7 @@ float SearchModel::Step(const Batch& batch, bool update_theta,
     OPTINTER_TRACE_SPAN("alpha_bwd");
     for (size_t p = 0; p < num_pairs; ++p) {
       const float* pr = probs_cache_.data() + p * 3;
-      const double* dpr = dp.data() + p * 3;
+      const double* dpr = dp_.data() + p * 3;
       double weighted = 0.0;
       for (int k = 0; k < 3; ++k) weighted += pr[k] * dpr[k];
       float* da = alpha_.grad.row(p);
@@ -225,32 +235,57 @@ float SearchModel::Step(const Batch& batch, bool update_theta,
     }
   }
 
-  emb_.Backward(demb);
-  cross_emb_->Backward(dcross);
-
-  if (update_theta) {
-    emb_.Step();
-    cross_emb_->Step();
-    theta_opt_.Step();
+  if (prep != nullptr) {
+    emb_.BackwardPrepared(demb_, *prep);
+    cross_emb_->BackwardPrepared(dcross_, prep->cross);
   } else {
-    emb_.ClearGrads();
-    cross_emb_->ClearGrads();
+    emb_.Backward(demb_);
+    cross_emb_->Backward(dcross_);
   }
-  theta_opt_.ZeroGrad();
-  if (update_alpha) {
-    arch_opt_.Step();
-  }
-  arch_opt_.ZeroGrad();
   return loss;
 }
 
 float SearchModel::TrainStep(const Batch& batch) {
-  const bool update_alpha = mode_ == UpdateMode::kJoint;
-  return Step(batch, /*update_theta=*/true, update_alpha);
+  PrepareBatch(batch, &own_prep_);
+  const float loss = ForwardBackward(own_prep_);
+  ApplyGrads();
+  return loss;
+}
+
+void SearchModel::PrepareBatch(const Batch& batch,
+                               PreparedBatch* prep) const {
+  OPTINTER_TRACE_SPAN("prepare_batch");
+  prep->BeginFill(batch);
+  emb_.Prepare(batch, prep);
+  cross_emb_->Prepare(batch, &prep->dedup, &prep->cross);
+}
+
+float SearchModel::ForwardBackward(const PreparedBatch& prep) {
+  OPTINTER_TRACE_SPAN("search_step");
+  return ComputeForwardBackward(prep.AsBatch(), &prep);
+}
+
+void SearchModel::ApplyGrads() {
+  OPTINTER_TRACE_SPAN("apply_grads");
+  emb_.StepPrepared();
+  cross_emb_->StepPrepared();
+  theta_opt_.Step();
+  theta_opt_.ZeroGrad();
+  if (mode_ == UpdateMode::kJoint) arch_opt_.Step();
+  arch_opt_.ZeroGrad();
 }
 
 float SearchModel::ArchStep(const Batch& batch) {
-  return Step(batch, /*update_theta=*/false, /*update_alpha=*/true);
+  OPTINTER_TRACE_SPAN("search_step");
+  // α-only update on the legacy (unprepared) path: Θ gradients are
+  // computed but discarded.
+  const float loss = ComputeForwardBackward(batch, nullptr);
+  emb_.ClearGrads();
+  cross_emb_->ClearGrads();
+  theta_opt_.ZeroGrad();
+  arch_opt_.Step();
+  arch_opt_.ZeroGrad();
+  return loss;
 }
 
 void SearchModel::Predict(const Batch& batch, std::vector<float>* probs) {

@@ -51,8 +51,16 @@ class SearchModel : public CtrModel {
   }
 
   /// One step on a training batch. Joint mode updates Θ and α; bi-level
-  /// mode updates Θ only.
+  /// mode updates Θ only. Implemented as exactly PrepareBatch +
+  /// ForwardBackward + ApplyGrads, so the serial loop and the pipelined
+  /// executor produce bit-identical training (including the Gumbel noise
+  /// stream, which is consumed inside ForwardBackward in step order).
   float TrainStep(const Batch& batch) override;
+
+  bool SupportsPhasedTrainStep() const override { return true; }
+  void PrepareBatch(const Batch& batch, PreparedBatch* prep) const override;
+  float ForwardBackward(const PreparedBatch& prep) override;
+  void ApplyGrads() override;
 
   /// Bi-level only: one α-update step (typically on a validation batch).
   float ArchStep(const Batch& batch);
@@ -87,11 +95,6 @@ class SearchModel : public CtrModel {
   DenseParam& mutable_alpha() { return alpha_; }
 
  private:
-  /// Training forward with the given per-pair method probabilities laid
-  /// out as probs[p*3 + k]; caches scatter rows for Backward in the
-  /// embedding layers and activations in ctx_.
-  void ForwardWithProbs(const Batch& batch, const std::vector<float>& probs);
-
   /// Shared tail of the forward pass: assembles z from ctx->emb_out /
   /// ctx->cross_out, runs the MLP, fills ctx->logits. Touches only `ctx`.
   void AssembleForward(const Batch& batch, const std::vector<float>& probs,
@@ -100,8 +103,10 @@ class SearchModel : public CtrModel {
   /// Computes per-pair probabilities with fresh Gumbel noise.
   void SampleProbs(std::vector<float>* probs);
 
-  /// Full forward/backward; steps the chosen parameter families.
-  float Step(const Batch& batch, bool update_theta, bool update_alpha);
+  /// Gumbel sample + forward + loss + backward (Θ and α gradients left
+  /// accumulated). With `prep` non-null the prepared gather/scatter path
+  /// is used; otherwise the legacy batch path (ArchStep).
+  float ComputeForwardBackward(const Batch& batch, const PreparedBatch* prep);
 
   const EncodedDataset& data_;
   UpdateMode mode_;
@@ -122,11 +127,21 @@ class SearchModel : public CtrModel {
   std::vector<std::pair<size_t, size_t>> cat_pairs_;
 
   // Training-path caches: activations live in ctx_ so forward state has a
-  // single home shared with the re-entrant Predict machinery.
+  // single home shared with the re-entrant Predict machinery. Gradient
+  // tensors and reduction buffers are members so their heap capacity
+  // persists across steps (steady-state zero-allocation contract,
+  // DESIGN.md).
   ForwardContext ctx_;
+  PreparedBatch own_prep_;  // used by the plain (serial) TrainStep
   std::vector<float> probs_cache_;
   std::vector<float> labels_;
   std::vector<float> dlogits_;
+  Tensor dmlp_out_;
+  Tensor dz_;
+  Tensor demb_;
+  Tensor dcross_;
+  std::vector<double> dp_;
+  std::vector<double> dp_partials_;
 };
 
 }  // namespace optinter

@@ -5,19 +5,33 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace optinter {
 
-double Auc(const std::vector<float>& scores,
-           const std::vector<float>& labels) {
-  CHECK_EQ(scores.size(), labels.size());
-  const size_t n = scores.size();
-  CHECK_GT(n, 0u);
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return scores[a] < scores[b];
-  });
+namespace {
+
+// Element count above which the rank sort fans out across the pool.
+constexpr size_t kParallelSortN = 1u << 15;
+
+/// Strict total order (score, index): no two elements compare equal, so
+/// the sorted permutation is unique and any correct sort — serial, chunked
+/// or merged — produces the identical order array.
+inline bool ScoreIndexLess(const std::vector<float>& scores, size_t a,
+                           size_t b) {
+  const float sa = scores[a];
+  const float sb = scores[b];
+  if (sa != sb) return sa < sb;
+  return a < b;
+}
+
+/// Midrank walk over a fully sorted order array. Serial on the calling
+/// thread: the accumulation order is fixed by `order`, which both Auc
+/// paths produce identically.
+double AucFromOrder(const std::vector<size_t>& order,
+                    const std::vector<float>& scores,
+                    const std::vector<float>& labels) {
+  const size_t n = order.size();
   // Midranks: average rank within each tied block.
   double rank_sum_pos = 0.0;
   size_t n_pos = 0;
@@ -40,6 +54,67 @@ double Auc(const std::vector<float>& scores,
   const double u = rank_sum_pos -
                    static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
   return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace
+
+namespace internal {
+
+double AucSerial(const std::vector<float>& scores,
+                 const std::vector<float>& labels) {
+  CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  CHECK_GT(n, 0u);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ScoreIndexLess(scores, a, b); });
+  return AucFromOrder(order, scores, labels);
+}
+
+}  // namespace internal
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  CHECK_GT(n, 0u);
+  if (n < kParallelSortN || ThreadPool::InWorkerThread() ||
+      ThreadPool::Global().num_threads() == 1) {
+    return internal::AucSerial(scores, labels);
+  }
+  // Chunk sorts + width-doubling pairwise merges. The grid is a pure
+  // function of n, but even that is not load-bearing: the comparator is a
+  // strict total order, so every path yields the one sorted permutation.
+  const FixedChunks grid = MakeFixedChunks(n, /*min_chunk=*/1u << 14,
+                                           /*max_chunks=*/16);
+  if (grid.count == 1) return internal::AucSerial(scores, labels);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> scratch(n);
+  auto cmp = [&](size_t a, size_t b) { return ScoreIndexLess(scores, a, b); };
+  ParallelForEachChunk(grid, [&](size_t i) {
+    std::sort(order.begin() + static_cast<ptrdiff_t>(grid.lo(i)),
+              order.begin() + static_cast<ptrdiff_t>(grid.hi(i)), cmp);
+  });
+  std::vector<size_t>* src = &order;
+  std::vector<size_t>* dst = &scratch;
+  for (size_t width = grid.chunk; width < n; width *= 2) {
+    const size_t pair_span = 2 * width;
+    const size_t pairs = (n + pair_span - 1) / pair_span;
+    ParallelFor(0, pairs, [&](size_t p) {
+      const size_t lo = p * pair_span;
+      const size_t mid = std::min(lo + width, n);
+      const size_t hi = std::min(lo + pair_span, n);
+      std::merge(src->begin() + static_cast<ptrdiff_t>(lo),
+                 src->begin() + static_cast<ptrdiff_t>(mid),
+                 src->begin() + static_cast<ptrdiff_t>(mid),
+                 src->begin() + static_cast<ptrdiff_t>(hi),
+                 dst->begin() + static_cast<ptrdiff_t>(lo), cmp);
+    }, /*grain=*/1);
+    std::swap(src, dst);
+  }
+  return AucFromOrder(*src, scores, labels);
 }
 
 double LogLoss(const std::vector<float>& probs,

@@ -10,8 +10,22 @@ namespace optinter {
 /// Exact AUC (area under the ROC curve) via the Mann–Whitney rank
 /// statistic with midrank tie handling. Labels must be 0/1; requires at
 /// least one positive and one negative. O(n log n).
+///
+/// Large inputs sort in parallel (per-chunk sorts + width-doubling
+/// merges). The comparator is the strict total order (score, index), so
+/// the sorted permutation is unique and the parallel path is bit-identical
+/// to the serial one at any thread count — including on ties, where the
+/// midrank only depends on tied-block boundaries.
 double Auc(const std::vector<float>& scores,
            const std::vector<float>& labels);
+
+namespace internal {
+/// Serial reference implementation of Auc (same comparator, plain
+/// std::sort). Exposed so tests can assert the parallel path is
+/// bit-identical.
+double AucSerial(const std::vector<float>& scores,
+                 const std::vector<float>& labels);
+}  // namespace internal
 
 /// Mean binary cross-entropy of predicted probabilities (paper Eq. 13).
 /// Probabilities are clamped to [eps, 1-eps] for stability.

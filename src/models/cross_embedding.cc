@@ -82,6 +82,76 @@ void CrossEmbedding::Backward(const Tensor& d_out) {
   }
 }
 
+void CrossEmbedding::Prepare(const Batch& batch, IdDedupScratch* dedup,
+                             std::vector<PreparedTable>* tables) const {
+  OPTINTER_TRACE_SPAN("cross_prepare");
+  CHECK(batch.data == &data_);
+  tables->resize(pairs_.size());
+  for (size_t t = 0; t < pairs_.size(); ++t) {
+    PrepareTableIds(
+        batch.size,
+        [&](size_t k) { return data_.cross(batch.rows[k], pairs_[t]); },
+        dedup, &(*tables)[t]);
+  }
+}
+
+void CrossEmbedding::ForwardPrepared(const std::vector<PreparedTable>& tables,
+                                     size_t batch_size, Tensor* out) {
+  OPTINTER_TRACE_SPAN("cross_gather");
+  CHECK_EQ(tables.size(), pairs_.size());
+  out->Resize({batch_size, output_dim()});
+  auto gather = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      float* dst = out->row(k);
+      for (size_t t = 0; t < pairs_.size(); ++t) {
+        std::memcpy(dst + t * dim_, tables_[t]->Row(tables[t].ids[k]),
+                    dim_ * sizeof(float));
+      }
+    }
+  };
+  if (batch_size * output_dim() >= (1u << 15)) {
+    ParallelForChunks(0, batch_size, gather, /*min_chunk=*/64);
+  } else {
+    gather(0, batch_size);
+  }
+  for (size_t t = 0; t < pairs_.size(); ++t) {
+    tables_[t]->BeginPreparedScatter(tables[t].unique_ids.data(),
+                                     tables[t].unique_ids.size());
+  }
+}
+
+void CrossEmbedding::BackwardPrepared(
+    const Tensor& d_out, const std::vector<PreparedTable>& tables) {
+  OPTINTER_TRACE_SPAN("cross_scatter");
+  CHECK_EQ(tables.size(), pairs_.size());
+  CHECK_EQ(d_out.cols(), output_dim());
+  auto scatter_bucket = [&](size_t t, size_t shard) {
+    EmbeddingTable& table = *tables_[t];
+    const PreparedTable& pt = tables[t];
+    for (const int32_t k : pt.shard_rows[shard]) {
+      table.AccumulatePreparedGrad(
+          static_cast<size_t>(pt.slots[k]),
+          d_out.row(static_cast<size_t>(k)) + t * dim_);
+    }
+  };
+  const size_t num_buckets = pairs_.size() * EmbeddingTable::kGradShards;
+  auto run_buckets = [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      scatter_bucket(b / EmbeddingTable::kGradShards,
+                     b % EmbeddingTable::kGradShards);
+    }
+  };
+  if (d_out.size() >= (1u << 15) && num_buckets > 1) {
+    ParallelForChunks(0, num_buckets, run_buckets, /*min_chunk=*/1);
+  } else {
+    run_buckets(0, num_buckets);
+  }
+}
+
+void CrossEmbedding::StepPrepared(const AdamConfig& config) {
+  for (auto& t : tables_) t->SparseAdamStepPrepared(config);
+}
+
 void CrossEmbedding::Step(const AdamConfig& config) {
   for (auto& t : tables_) t->SparseAdamStep(config);
 }

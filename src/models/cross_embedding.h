@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/batch.h"
+#include "models/prepared_batch.h"
 #include "nn/embedding.h"
 #include "tensor/tensor.h"
 
@@ -38,6 +39,17 @@ class CrossEmbedding {
 
   /// Scatters d_out into table gradients.
   void Backward(const Tensor& d_out);
+
+  // Phase-split path (see prepared_batch.h / DESIGN.md): id prep reads
+  // only the dataset, ForwardPrepared arms the slot-addressed scatter,
+  // BackwardPrepared/StepPrepared mirror Backward/Step bit for bit.
+  void Prepare(const Batch& batch, IdDedupScratch* dedup,
+               std::vector<PreparedTable>* tables) const;
+  void ForwardPrepared(const std::vector<PreparedTable>& tables,
+                       size_t batch_size, Tensor* out);
+  void BackwardPrepared(const Tensor& d_out,
+                        const std::vector<PreparedTable>& tables);
+  void StepPrepared(const AdamConfig& config = {});
 
   void Step(const AdamConfig& config = {});
   void ClearGrads();

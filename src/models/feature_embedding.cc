@@ -121,6 +121,115 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
   }
 }
 
+void FeatureEmbedding::Prepare(const Batch& batch, PreparedBatch* prep) const {
+  OPTINTER_TRACE_SPAN("embedding_prepare");
+  CHECK(batch.data == &data_);
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  prep->cat.resize(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) {
+    PrepareTableIds(
+        batch.size, [&](size_t k) { return data_.cat(batch.rows[k], f); },
+        &prep->dedup, &prep->cat[f]);
+  }
+  prep->cont.clear();
+  for (size_t k = 0; k < batch.size; ++k) {
+    const size_t r = batch.rows[k];
+    for (size_t f = 0; f < num_cont; ++f) {
+      prep->cont.push_back(data_.cont(r, f));
+    }
+  }
+}
+
+void FeatureEmbedding::ForwardPrepared(const PreparedBatch& prep,
+                                       Tensor* out) {
+  OPTINTER_TRACE_SPAN("embedding_gather");
+  CHECK(prep.data == &data_);
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  CHECK_EQ(prep.cat.size(), num_cat);
+  const size_t batch_size = prep.size;
+  out->Resize({batch_size, output_dim()});
+  auto gather = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      float* dst = out->row(k);
+      for (size_t f = 0; f < num_cat; ++f) {
+        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(prep.cat[f].ids[k]),
+                    dim_ * sizeof(float));
+      }
+      for (size_t f = 0; f < num_cont; ++f) {
+        const float v = prep.cont[k * num_cont + f];
+        const float* src = cont_tables_[f]->Row(0);
+        float* d = dst + (num_cat + f) * dim_;
+        for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
+      }
+    }
+  };
+  if (batch_size * output_dim() >= kParallelGatherFloats) {
+    ParallelForChunks(0, batch_size, gather, /*min_chunk=*/64);
+  } else {
+    gather(0, batch_size);
+  }
+  // Arm the slot-addressed scatters for BackwardPrepared.
+  for (size_t f = 0; f < num_cat; ++f) {
+    cat_tables_[f]->BeginPreparedScatter(prep.cat[f].unique_ids.data(),
+                                         prep.cat[f].unique_ids.size());
+  }
+  static constexpr int32_t kContId[1] = {0};
+  for (auto& t : cont_tables_) t->BeginPreparedScatter(kContId, 1);
+}
+
+void FeatureEmbedding::BackwardPrepared(const Tensor& d_out,
+                                        const PreparedBatch& prep) {
+  OPTINTER_TRACE_SPAN("embedding_scatter");
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  CHECK_EQ(d_out.rows(), prep.size);
+  CHECK_EQ(d_out.cols(), output_dim());
+  // Same (table, id-shard) bucket fan-out as Backward, but rows come
+  // pre-bucketed from PrepareBatch (ascending within each bucket, so the
+  // per-id accumulation order still matches the serial loop bit for bit)
+  // and gradients land in the slot-addressed prepared buffers.
+  auto scatter_bucket = [&](size_t f, size_t shard) {
+    if (f < num_cat) {
+      EmbeddingTable& table = *cat_tables_[f];
+      const PreparedTable& pt = prep.cat[f];
+      for (const int32_t k : pt.shard_rows[shard]) {
+        table.AccumulatePreparedGrad(
+            static_cast<size_t>(pt.slots[k]),
+            d_out.row(static_cast<size_t>(k)) + f * dim_);
+      }
+    } else {
+      // Continuous tables have a single row: id 0, one shard.
+      if (shard != EmbeddingTable::ShardOf(0)) return;
+      const size_t fc = f - num_cat;
+      EmbeddingTable& table = *cont_tables_[fc];
+      for (size_t k = 0; k < prep.size; ++k) {
+        table.AccumulatePreparedGradScaled(0, d_out.row(k) + f * dim_,
+                                           prep.cont[k * num_cont + fc]);
+      }
+    }
+  };
+  const size_t num_buckets =
+      (num_cat + num_cont) * EmbeddingTable::kGradShards;
+  auto run_buckets = [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      scatter_bucket(b / EmbeddingTable::kGradShards,
+                     b % EmbeddingTable::kGradShards);
+    }
+  };
+  if (d_out.size() >= kParallelGatherFloats && num_buckets > 1) {
+    ParallelForChunks(0, num_buckets, run_buckets, /*min_chunk=*/1);
+  } else {
+    run_buckets(0, num_buckets);
+  }
+}
+
+void FeatureEmbedding::StepPrepared(const AdamConfig& config) {
+  for (auto& t : cat_tables_) t->SparseAdamStepPrepared(config);
+  for (auto& t : cont_tables_) t->SparseAdamStepPrepared(config);
+}
+
 void FeatureEmbedding::Step(const AdamConfig& config) {
   for (auto& t : cat_tables_) t->SparseAdamStep(config);
   for (auto& t : cont_tables_) t->SparseAdamStep(config);

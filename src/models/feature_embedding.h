@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/batch.h"
+#include "models/prepared_batch.h"
 #include "nn/embedding.h"
 #include "tensor/tensor.h"
 
@@ -36,6 +37,24 @@ class FeatureEmbedding {
 
   /// Scatters d_out (same shape as Forward's out) into table gradients.
   void Backward(const Tensor& d_out);
+
+  // --- Phase-split path (see prepared_batch.h / DESIGN.md) -------------
+
+  /// Fills prep->cat (per-field id/slot/dedup lists) and prep->cont (the
+  /// stitched continuous values). Reads only the dataset and row ids —
+  /// never weights — so it may run ahead of the current step's ApplyGrads.
+  void Prepare(const Batch& batch, PreparedBatch* prep) const;
+
+  /// Forward from a prepared batch (same output as Gather) and arms every
+  /// table's prepared scatter for BackwardPrepared.
+  void ForwardPrepared(const PreparedBatch& prep, Tensor* out);
+
+  /// Slot-addressed scatter of d_out into the prepared gradient buffers.
+  /// Bit-identical accumulation order to Backward.
+  void BackwardPrepared(const Tensor& d_out, const PreparedBatch& prep);
+
+  /// Sparse-Adam over the prepared slots of every table.
+  void StepPrepared(const AdamConfig& config = {});
 
   /// Applies sparse-Adam to all tables.
   void Step(const AdamConfig& config = {});

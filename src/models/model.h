@@ -16,6 +16,8 @@
 
 namespace optinter {
 
+struct PreparedBatch;
+
 /// A trainable CTR predictor.
 class CtrModel {
  public:
@@ -26,6 +28,45 @@ class CtrModel {
 
   /// One optimization step on `batch`; returns the mean batch loss.
   virtual float TrainStep(const Batch& batch) = 0;
+
+  // --- Phase-split training protocol (pipelined executor) --------------
+  //
+  // Models that opt in (SupportsPhasedTrainStep) decompose TrainStep into
+  //   PrepareBatch -> ForwardBackward -> ApplyGrads
+  // with the invariant that calling the three phases back to back is
+  // EXACTLY TrainStep (the model's own TrainStep must be implemented that
+  // way). PrepareBatch is const and must read only the dataset and the
+  // batch's row ids — never weights or optimizer state — unless the model
+  // overrides PrepareIsWeightIndependent() to false, in which case the
+  // executor fences each prepare behind the previous step's ApplyGrads.
+  // See src/train/pipeline_executor.h and DESIGN.md for the full contract.
+
+  /// True when the three phase methods below are implemented.
+  virtual bool SupportsPhasedTrainStep() const { return false; }
+
+  /// True (default) when PrepareBatch never reads weights, so batch t+1's
+  /// prepare may overlap batch t's compute without fencing.
+  virtual bool PrepareIsWeightIndependent() const { return true; }
+
+  /// Phase 1: weight-independent batch preparation into `prep`.
+  virtual void PrepareBatch(const Batch& batch, PreparedBatch* prep) const {
+    (void)batch;
+    (void)prep;
+    CHECK(false) << Name() << " does not support phased TrainStep";
+  }
+
+  /// Phase 2: forward + loss + backward from a prepared batch; returns
+  /// the mean batch loss. Gradients are left accumulated for ApplyGrads.
+  virtual float ForwardBackward(const PreparedBatch& prep) {
+    (void)prep;
+    CHECK(false) << Name() << " does not support phased TrainStep";
+    return 0.0f;
+  }
+
+  /// Phase 3: applies the accumulated gradients and clears them.
+  virtual void ApplyGrads() {
+    CHECK(false) << Name() << " does not support phased TrainStep";
+  }
 
   /// Predicted probabilities for the rows of `batch` (no grads).
   virtual void Predict(const Batch& batch, std::vector<float>* probs) = 0;

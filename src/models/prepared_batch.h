@@ -1,0 +1,159 @@
+// Weight-independent per-batch preparation for the phase-split TrainStep.
+//
+// PrepareBatch (phase 1 of the pipelined training executor, DESIGN.md) does
+// everything a step needs that depends only on the dataset and the batch's
+// row ids — label gather, per-table cross-product id lookup, and per-table
+// unique-id dedup with slot assignment — so it can run on the pool for
+// batch t+1 while batch t is still in ForwardBackward. The dedup output
+// feeds EmbeddingTable's prepared scatter: the backward pass writes into a
+// flat slot-addressed buffer (no hashing, no per-new-id allocation) and the
+// sparse optimizer walks (unique_ids, slots) directly.
+//
+// All buffers retain capacity across steps: a PreparedBatch reused for
+// same-shaped batches performs zero heap allocations after warmup.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/embedding.h"
+
+namespace optinter {
+
+/// Reusable open-addressing id→slot map (linear probing, power-of-two
+/// capacity, generation stamps instead of per-round clearing). One scratch
+/// instance serves every table of a PreparedBatch sequentially.
+class IdDedupScratch {
+ public:
+  /// Starts a new dedup round expecting up to `expected` inserts. Grows
+  /// the table to keep load factor <= 0.5; never shrinks.
+  void Begin(size_t expected) {
+    size_t want = 16;
+    const size_t target = expected < 8 ? 16 : expected * 2;
+    while (want < target) want <<= 1;
+    if (want > keys_.size()) {
+      keys_.assign(want, 0);
+      slot_of_.assign(want, 0);
+      stamps_.assign(want, 0);
+      round_ = 0;
+    }
+    mask_ = keys_.size() - 1;
+    if (++round_ == 0) {
+      // uint32 wraparound: stale stamps could collide with a reused round
+      // value, so wipe once every ~4 billion rounds.
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      round_ = 1;
+    }
+  }
+
+  /// Slot of `id` this round; assigns the next slot (appending to
+  /// `unique`) on first sight.
+  int32_t SlotFor(int32_t id, std::vector<int32_t>* unique) {
+    size_t h = (static_cast<uint32_t>(id) * 2654435761u) & mask_;
+    for (;;) {
+      if (stamps_[h] != round_) {
+        stamps_[h] = round_;
+        keys_[h] = id;
+        const int32_t slot = static_cast<int32_t>(unique->size());
+        slot_of_[h] = slot;
+        unique->push_back(id);
+        return slot;
+      }
+      if (keys_[h] == id) return slot_of_[h];
+      h = (h + 1) & mask_;
+    }
+  }
+
+  size_t CapacityBytes() const {
+    return keys_.capacity() * sizeof(int32_t) +
+           slot_of_.capacity() * sizeof(int32_t) +
+           stamps_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<int32_t> keys_;
+  std::vector<int32_t> slot_of_;
+  std::vector<uint32_t> stamps_;
+  uint32_t round_ = 0;
+  size_t mask_ = 0;
+};
+
+/// Per-(batch, embedding table) id preparation: the raw per-row ids, each
+/// row's dedup slot, the unique-id list (slot order), and the batch rows
+/// bucketed by gradient shard. Shard buckets hold rows in ascending order,
+/// so a prepared scatter that walks one bucket accumulates every id's
+/// gradient in the same order as the serial row loop — bit for bit.
+struct PreparedTable {
+  std::vector<int32_t> ids;         // [batch_size] id of row k
+  std::vector<int32_t> slots;       // [batch_size] dedup slot of row k
+  std::vector<int32_t> unique_ids;  // [num_unique] id of each slot
+  std::array<std::vector<int32_t>, EmbeddingTable::kGradShards> shard_rows;
+
+  void Clear() {
+    ids.clear();
+    slots.clear();
+    unique_ids.clear();
+    for (auto& v : shard_rows) v.clear();
+  }
+
+  size_t CapacityBytes() const {
+    size_t total = (ids.capacity() + slots.capacity() +
+                    unique_ids.capacity()) *
+                   sizeof(int32_t);
+    for (const auto& v : shard_rows) total += v.capacity() * sizeof(int32_t);
+    return total;
+  }
+};
+
+/// Fills `pt` for one table from `id_of(k)` (the id of batch row k).
+template <typename IdFn>
+void PrepareTableIds(size_t batch_size, IdFn&& id_of, IdDedupScratch* dedup,
+                     PreparedTable* pt) {
+  pt->Clear();
+  dedup->Begin(batch_size);
+  for (size_t k = 0; k < batch_size; ++k) {
+    const int32_t id = id_of(k);
+    pt->ids.push_back(id);
+    pt->slots.push_back(dedup->SlotFor(id, &pt->unique_ids));
+    pt->shard_rows[EmbeddingTable::ShardOf(id)].push_back(
+        static_cast<int32_t>(k));
+  }
+}
+
+/// Everything PrepareBatch produces for one batch. Owned by a
+/// StepWorkspace in the pipelined executor (or by the model for plain
+/// serial TrainStep calls) and reused across steps.
+struct PreparedBatch {
+  const EncodedDataset* data = nullptr;
+  size_t size = 0;
+  std::vector<size_t> rows;    // copy of the batch's row indices
+  std::vector<float> labels;   // [size]
+  std::vector<PreparedTable> cat;     // per categorical field
+  std::vector<float> cont;            // [size × num_cont] feature values
+  std::vector<PreparedTable> cross;   // per embedded pair
+  std::vector<PreparedTable> triple;  // per embedded triple
+  IdDedupScratch dedup;
+
+  /// Copies the batch's identity (rows + labels). The batch's row pointer
+  /// may be invalidated afterwards (e.g. by Batcher::StartEpoch) — the
+  /// prepared copy is self-contained.
+  void BeginFill(const Batch& batch);
+
+  /// Batch view over the copied rows (for code that still takes a Batch).
+  Batch AsBatch() const {
+    Batch b;
+    b.data = data;
+    b.rows = rows.data();
+    b.size = size;
+    return b;
+  }
+
+  /// Total heap capacity held (workspace gauge; growth here after warmup
+  /// signals an allocation regression).
+  size_t CapacityBytes() const;
+};
+
+}  // namespace optinter

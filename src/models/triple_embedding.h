@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/batch.h"
+#include "models/prepared_batch.h"
 #include "nn/embedding.h"
 #include "tensor/tensor.h"
 
@@ -27,6 +28,15 @@ class TripleEmbedding {
   /// on different batches are safe.
   void Gather(const Batch& batch, Tensor* out) const;
   void Backward(const Tensor& d_out);
+  // Phase-split path (see prepared_batch.h / DESIGN.md); mirrors
+  // Gather/Backward/Step bit for bit from prepared id lists.
+  void Prepare(const Batch& batch, IdDedupScratch* dedup,
+               std::vector<PreparedTable>* tables) const;
+  void ForwardPrepared(const std::vector<PreparedTable>& tables,
+                       size_t batch_size, Tensor* out);
+  void BackwardPrepared(const Tensor& d_out,
+                        const std::vector<PreparedTable>& tables);
+  void StepPrepared(const AdamConfig& config = {});
   void Step(const AdamConfig& config = {});
   void ClearGrads();
 

@@ -107,6 +107,30 @@ void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
   ClearGrads();
 }
 
+void EmbeddingTable::SparseAdamStepPrepared(const AdamConfig& config) {
+  OPTINTER_TRACE_SPAN("sparse_adam_step");
+  RowsUpdatedCounter()->Add(prep_count_);
+  ++step_;
+  const float b1 = config.beta1;
+  const float b2 = config.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t t = 0; t < prep_count_; ++t) {
+    const int32_t id = prep_ids_[t];
+    const float* g_row = prep_grads_.data() + t * dim_;
+    float* w = value_.data() + static_cast<size_t>(id) * dim_;
+    float* m = m_.data() + static_cast<size_t>(id) * dim_;
+    float* v = v_.data() + static_cast<size_t>(id) * dim_;
+    for (size_t i = 0; i < dim_; ++i) {
+      const float gi = g_row[i] + l2 * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
+    }
+  }
+  ClearPreparedGrads();
+}
+
 void EmbeddingTable::SparseSgdStep() {
   OPTINTER_TRACE_SPAN("sparse_sgd_step");
   RowsUpdatedCounter()->Add(touched_count());

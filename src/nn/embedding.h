@@ -72,6 +72,62 @@ class EmbeddingTable {
   /// step, then clears the touched set.
   void SparseAdamStep(const AdamConfig& config = {});
 
+  // --- Prepared (pre-deduped) gradient scatter -------------------------
+  //
+  // The phase-split TrainStep (DESIGN.md) dedupes each batch's ids during
+  // PrepareBatch, before any weights are read. The backward pass then
+  // scatters into a flat slot-addressed buffer sized by the unique-id
+  // count — no hashing, no per-new-id allocation — and the optimizer
+  // walks (unique_ids, slots) directly. Buffer capacity is retained
+  // across steps, so steady-state steps allocate nothing. The prepared
+  // path and the legacy AccumulateGrad path share the same Adam state and
+  // step counter and produce bit-identical updates (each touched id is
+  // updated exactly once from its summed gradient, and per-id updates are
+  // independent, so iteration order is immaterial).
+
+  /// Starts a prepared scatter over `count` unique ids. `unique_ids` must
+  /// stay valid until the matching SparseAdamStepPrepared/
+  /// ClearPreparedGrads. Zeroes (and if needed grows) the slot buffer.
+  void BeginPreparedScatter(const int32_t* unique_ids, size_t count) {
+    prep_ids_ = unique_ids;
+    prep_count_ = count;
+    prep_grads_.assign(count * dim_, 0.0f);
+  }
+
+  /// Adds `grad` (length dim) into slot `slot` — the dedup index assigned
+  /// to the target id during PrepareBatch. Concurrent calls are safe iff
+  /// they target ids of distinct shards (same contract as
+  /// AccumulateGradInShard; slots of different ids never alias).
+  void AccumulatePreparedGrad(size_t slot, const float* grad) {
+    float* dst = prep_grads_.data() + slot * dim_;
+    for (size_t i = 0; i < dim_; ++i) dst[i] += grad[i];
+  }
+
+  /// Fused scale-and-accumulate: slot += grad * scale. Used by continuous
+  /// feature tables, whose gradient is d_out scaled by the feature value.
+  void AccumulatePreparedGradScaled(size_t slot, const float* grad,
+                                    float scale) {
+    float* dst = prep_grads_.data() + slot * dim_;
+    for (size_t i = 0; i < dim_; ++i) dst[i] += grad[i] * scale;
+  }
+
+  /// Sparse-Adam step over the prepared slots (same math/state as
+  /// SparseAdamStep), then ends the prepared scatter keeping capacity.
+  void SparseAdamStepPrepared(const AdamConfig& config = {});
+
+  /// Ends a prepared scatter without updating (keeps capacity).
+  void ClearPreparedGrads() {
+    prep_ids_ = nullptr;
+    prep_count_ = 0;
+    prep_grads_.clear();
+  }
+
+  /// Prepared gradient slot (length dim) for `slot` (tests/diagnostics).
+  const float* PreparedGrad(size_t slot) const {
+    CHECK_LT(slot, prep_count_);
+    return prep_grads_.data() + slot * dim_;
+  }
+
   /// Applies plain SGD over touched rows (used in gradient-check tests).
   void SparseSgdStep();
 
@@ -114,6 +170,12 @@ class EmbeddingTable {
   Tensor v_;
   int64_t step_ = 0;
   std::array<GradShard, kGradShards> shards_;
+
+  // Prepared-scatter state (see BeginPreparedScatter). The id list is
+  // owned by the caller's PreparedBatch; only the slot buffer lives here.
+  const int32_t* prep_ids_ = nullptr;
+  size_t prep_count_ = 0;
+  std::vector<float> prep_grads_;
 };
 
 }  // namespace optinter

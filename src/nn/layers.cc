@@ -73,12 +73,18 @@ void Linear::Backward(const Tensor& dy, Tensor* dx,
   };
   const FixedChunks grid = MakeFixedChunks(rows, /*min_chunk=*/64);
   if (dy.size() >= kParallelElems && grid.count > 1) {
-    std::vector<float> partials(grid.count * out_dim_, 0.0f);
-    ParallelForEachChunk(grid, [&](size_t i) {
-      col_sums(grid.lo(i), grid.hi(i), partials.data() + i * out_dim_);
+    // Caller-thread-local partial buffer: assign() reuses capacity, so
+    // steady-state steps don't allocate. Workers must write the CALLER's
+    // buffer, and lambdas don't capture thread_locals (each worker would
+    // silently get its own empty vector) — hence the hoisted pointer.
+    static thread_local std::vector<float> partials_tls;
+    partials_tls.assign(grid.count * out_dim_, 0.0f);
+    float* const partials = partials_tls.data();
+    ParallelForEachChunk(grid, [&, partials](size_t i) {
+      col_sums(grid.lo(i), grid.hi(i), partials + i * out_dim_);
     });
     for (size_t i = 0; i < grid.count; ++i) {
-      const float* p = partials.data() + i * out_dim_;
+      const float* p = partials + i * out_dim_;
       for (size_t j = 0; j < out_dim_; ++j) db[j] += p[j];
     }
   } else {
@@ -225,14 +231,19 @@ void LayerNorm::Backward(const Tensor& dy, Tensor* dx,
   if (batch * dim_ >= kParallelElems && grid.count > 1) {
     // Per-chunk gradient partials merged in chunk order: the fixed grid
     // keeps the summation tree — and therefore every bit of dg/db —
-    // independent of the thread count.
-    std::vector<float> partials(grid.count * 2 * dim_, 0.0f);
-    ParallelForEachChunk(grid, [&](size_t i) {
-      float* p = partials.data() + i * 2 * dim_;
+    // independent of the thread count. Caller-thread-local so capacity
+    // survives across steps (zero-allocation contract); the pointer is
+    // hoisted because lambdas don't capture thread_locals and workers must
+    // write the caller's buffer, not their own.
+    static thread_local std::vector<float> partials_tls;
+    partials_tls.assign(grid.count * 2 * dim_, 0.0f);
+    float* const partials = partials_tls.data();
+    ParallelForEachChunk(grid, [&, partials](size_t i) {
+      float* p = partials + i * 2 * dim_;
       body(grid.lo(i), grid.hi(i), p, p + dim_);
     });
     for (size_t i = 0; i < grid.count; ++i) {
-      const float* p = partials.data() + i * 2 * dim_;
+      const float* p = partials + i * 2 * dim_;
       for (size_t j = 0; j < dim_; ++j) {
         dg[j] += p[j];
         db[j] += p[dim_ + j];
@@ -263,7 +274,16 @@ float BceWithLogitsLoss(const float* logits, const float* labels, size_t n,
 }
 
 void SigmoidForward(const float* z, size_t n, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(z[i]);
+  auto body = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) out[i] = SigmoidScalar(z[i]);
+  };
+  // Disjoint elementwise writes and a shape-only path choice: the fan-out
+  // is bit-identical to the serial loop at any thread count.
+  if (n >= kParallelElems) {
+    ParallelForChunks(0, n, body, /*min_chunk=*/4096);
+  } else {
+    body(0, n);
+  }
 }
 
 }  // namespace optinter

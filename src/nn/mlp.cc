@@ -29,7 +29,12 @@ void Mlp::Forward(const Tensor& x, Tensor* y, MlpWorkspace* ws) const {
   ws->linears.resize(linears_.size());
   ws->relus.resize(relus_.size());
   ws->norms.resize(norms_.size());
-  ws->acts.resize(2 * n_hidden + 1);  // per-hidden: post-linear, post-act
+  // Per-hidden slots: post-linear, post-relu, and (with layer_norm) the
+  // normed output in its own workspace slot — a local temporary here would
+  // reallocate every call and break the steady-state zero-allocation
+  // contract for TrainStep.
+  const size_t per_hidden = config_.layer_norm ? 3 : 2;
+  ws->acts.resize(per_hidden * n_hidden + 1);
   const Tensor* cur = &x;
   size_t slot = 0;
   for (size_t li = 0; li < n_hidden; ++li) {
@@ -37,12 +42,12 @@ void Mlp::Forward(const Tensor& x, Tensor* y, MlpWorkspace* ws) const {
     linears_[li].Forward(*cur, &lin_out, &ws->linears[li]);
     Tensor& act_out = ws->acts[slot++];
     relus_[li].Forward(lin_out, &act_out, &ws->relus[li]);
-    if (config_.layer_norm) {
-      Tensor normed;
-      norms_[li].Forward(act_out, &normed, &ws->norms[li]);
-      act_out = std::move(normed);
-    }
     cur = &act_out;
+    if (config_.layer_norm) {
+      Tensor& normed = ws->acts[slot++];
+      norms_[li].Forward(act_out, &normed, &ws->norms[li]);
+      cur = &normed;
+    }
   }
   linears_[n_hidden].Forward(*cur, y, &ws->linears[n_hidden]);
 }

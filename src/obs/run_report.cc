@@ -57,5 +57,26 @@ bool RunReport::WriteFile(const std::string& path, std::string* error) const {
   return true;
 }
 
+void RunReport::WriteEvery(const std::string& path, double seconds) {
+  periodic_path_ = path;
+  periodic_seconds_ = seconds;
+  periodic_armed_ = true;
+  last_flush_ = std::chrono::steady_clock::now();
+}
+
+bool RunReport::MaybeWriteEvery() {
+  if (!periodic_armed_) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (std::chrono::duration<double>(now - last_flush_).count() <
+      periodic_seconds_) {
+    return false;
+  }
+  last_flush_ = now;
+  CaptureMetrics();
+  CaptureSpans();
+  WriteFile(periodic_path_);
+  return true;
+}
+
 }  // namespace obs
 }  // namespace optinter

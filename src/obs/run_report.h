@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -47,9 +48,26 @@ class RunReport {
   /// message in `*error` when non-null) on IO failure.
   bool WriteFile(const std::string& path, std::string* error = nullptr) const;
 
+  /// Arms periodic flushing: from now on MaybeWriteEvery() re-captures
+  /// metrics + spans and rewrites `path` whenever at least `seconds` have
+  /// elapsed since the previous flush. The first flush happens `seconds`
+  /// after this call, so a run shorter than the interval writes only its
+  /// caller-driven final report.
+  void WriteEvery(const std::string& path, double seconds);
+
+  /// Flushes if armed and due; returns whether a write happened. Must be
+  /// called from a quiescent point (it runs Tracer::Collect, same rule as
+  /// CaptureSpans); IO failures are swallowed — a periodic flush is best
+  /// effort and the caller's final WriteFile still reports them.
+  bool MaybeWriteEvery();
+
  private:
   JsonValue run_;  // object
   std::vector<std::pair<std::string, JsonValue>> sections_;
+  std::string periodic_path_;
+  double periodic_seconds_ = 0.0;
+  bool periodic_armed_ = false;
+  std::chrono::steady_clock::time_point last_flush_{};
 };
 
 }  // namespace obs

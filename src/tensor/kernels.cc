@@ -129,9 +129,16 @@ void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
     return;
   }
   const size_t cells = k * n;
-  std::vector<float> partials(grid.count * cells, 0.0f);
-  ParallelForEachChunk(grid, [&](size_t i) {
-    GemmTNRange(a, b, partials.data() + i * cells, grid.lo(i), grid.hi(i),
+  // Caller-thread-local accumulator buffer: assign() reuses capacity so
+  // repeated same-shape GEMMs (steady-state training) never allocate. The
+  // raw pointer is hoisted and captured by value because lambdas don't
+  // capture thread_locals — workers must write the caller's buffer, not
+  // their own empty one.
+  static thread_local std::vector<float> partials_tls;
+  partials_tls.assign(grid.count * cells, 0.0f);
+  float* const partials = partials_tls.data();
+  ParallelForEachChunk(grid, [&, partials](size_t i) {
+    GemmTNRange(a, b, partials + i * cells, grid.lo(i), grid.hi(i),
                 k, n, alpha);
   });
   // Tree reduce: fold partial (i + stride) into partial i, doubling the
@@ -140,13 +147,13 @@ void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
   for (size_t stride = 1; stride < grid.count; stride *= 2) {
     const size_t step = 2 * stride;
     const size_t folds = grid.count > stride ? (grid.count - stride + step - 1) / step : 0;
-    ParallelFor(0, folds, [&](size_t f) {
-      float* dst = partials.data() + f * step * cells;
+    ParallelFor(0, folds, [&, partials](size_t f) {
+      float* dst = partials + f * step * cells;
       const float* src = dst + stride * cells;
       for (size_t idx = 0; idx < cells; ++idx) dst[idx] += src[idx];
     }, /*grain=*/1);
   }
-  const float* root = partials.data();
+  const float* root = partials;
   for (size_t idx = 0; idx < cells; ++idx) c[idx] += root[idx];
 }
 

@@ -22,24 +22,36 @@ class Tensor {
   Tensor() = default;
 
   /// Zero-initialized tensor of the given shape.
-  explicit Tensor(std::vector<size_t> shape) { Resize(std::move(shape)); }
-  Tensor(std::initializer_list<size_t> shape)
-      : Tensor(std::vector<size_t>(shape)) {}
+  explicit Tensor(const std::vector<size_t>& shape) { Resize(shape); }
+  Tensor(std::initializer_list<size_t> shape) { Resize(shape); }
 
-  /// Reshapes (and zero-fills) to `shape`.
-  void Resize(std::vector<size_t> shape) {
-    shape_ = std::move(shape);
-    size_t n = 1;
-    for (size_t d : shape_) n *= d;
-    data_.assign(n, 0.0f);
+  /// Reshapes (and zero-fills) to `shape`. Both overloads assign into the
+  /// existing buffers, so a Tensor resized to the same (or smaller) shape
+  /// every step never reallocates — part of the steady-state
+  /// zero-allocation contract for TrainStep (DESIGN.md). The braced-list
+  /// overload matters: without it `Resize({a, b})` would materialize a
+  /// temporary std::vector on the heap at every call site.
+  void Resize(const std::vector<size_t>& shape) {
+    shape_.assign(shape.begin(), shape.end());
+    ResizeDataToShape();
+  }
+  void Resize(std::initializer_list<size_t> shape) {
+    shape_.assign(shape.begin(), shape.end());
+    ResizeDataToShape();
   }
 
   /// Reinterprets the buffer with a new shape of identical element count.
-  void Reshape(std::vector<size_t> shape) {
+  void Reshape(const std::vector<size_t>& shape) {
     size_t n = 1;
     for (size_t d : shape) n *= d;
     CHECK_EQ(n, data_.size());
-    shape_ = std::move(shape);
+    shape_.assign(shape.begin(), shape.end());
+  }
+  void Reshape(std::initializer_list<size_t> shape) {
+    size_t n = 1;
+    for (size_t d : shape) n *= d;
+    CHECK_EQ(n, data_.size());
+    shape_.assign(shape.begin(), shape.end());
   }
 
   const std::vector<size_t>& shape() const { return shape_; }
@@ -105,6 +117,12 @@ class Tensor {
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
  private:
+  void ResizeDataToShape() {
+    size_t n = 1;
+    for (size_t d : shape_) n *= d;
+    data_.assign(n, 0.0f);
+  }
+
   std::vector<size_t> shape_;
   std::vector<float> data_;
 };

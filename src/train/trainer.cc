@@ -1,13 +1,16 @@
 #include "train/trainer.h"
 
 #include <cstring>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "metrics/metrics.h"
 #include "obs/registry.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
+#include "train/pipeline_executor.h"
 
 namespace optinter {
 
@@ -126,6 +129,14 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
   model->CollectState(&state);
   std::vector<Tensor> best_state;
   bool have_snapshot = false;
+  // One executor for the whole run so workspace capacity persists across
+  // epochs (only the first epoch's first steps may allocate).
+  const bool use_pipeline = options.pipeline && model->SupportsPhasedTrainStep();
+  std::unique_ptr<PipelinedTrainExecutor> executor;
+  if (use_pipeline) executor = std::make_unique<PipelinedTrainExecutor>(model);
+  auto tick_report = [&] {
+    if (options.report != nullptr) options.report->MaybeWriteEvery();
+  };
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch epoch_timer;
     batcher.StartEpoch();
@@ -134,13 +145,24 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
     size_t rows_seen = 0;
     {
       OPTINTER_TRACE_SPAN("train_epoch");
-      for (;;) {
-        Batch b = batcher.Next();
-        if (b.size == 0) break;
-        OPTINTER_TRACE_SPAN("train_step");
-        loss_sum += model->TrainStep(b);
-        rows_seen += b.size;
-        ++batches;
+      if (use_pipeline) {
+        const PipelinedTrainExecutor::EpochStats stats =
+            executor->RunEpoch(&batcher, tick_report);
+        loss_sum = stats.loss_sum;
+        batches = stats.batches;
+        rows_seen = stats.rows;
+      } else {
+        for (;;) {
+          Batch b = batcher.Next();
+          if (b.size == 0) break;
+          {
+            OPTINTER_TRACE_SPAN("train_step");
+            loss_sum += model->TrainStep(b);
+          }
+          rows_seen += b.size;
+          ++batches;
+          tick_report();
+        }
       }
     }
     TrainRowsCounter()->Add(rows_seen);
@@ -203,6 +225,7 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
                  << " rows/s=" << et.train_rows_per_sec;
     }
     telemetry.epochs.push_back(et);
+    tick_report();
     if (stop) break;
   }
   if (have_snapshot) {

@@ -11,6 +11,10 @@
 
 namespace optinter {
 
+namespace obs {
+class RunReport;
+}  // namespace obs
+
 /// Which validation metric gates early stopping.
 enum class StopMetric {
   /// Minimize validation log loss (guards calibration drift — memorized
@@ -38,6 +42,17 @@ struct TrainOptions {
   size_t patience = 1;
   StopMetric stop_metric = StopMetric::kLogLoss;
   bool verbose = false;
+  /// Run the epoch loop through the pipelined executor (batch t+1's
+  /// PrepareBatch overlaps batch t's compute) when the model supports the
+  /// phased TrainStep protocol; other models fall back to the serial loop.
+  /// Bit-identical to the serial loop at any thread count — see
+  /// src/train/pipeline_executor.h.
+  bool pipeline = true;
+  /// Optional: a report armed with RunReport::WriteEvery is ticked at
+  /// quiescent points (after each step on the pipelined path, each batch
+  /// on the serial path, and after every epoch) so long runs flush
+  /// progress without waiting for the final write. Not owned.
+  obs::RunReport* report = nullptr;
 };
 
 /// AUC + log loss of one evaluation pass.

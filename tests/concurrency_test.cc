@@ -20,10 +20,12 @@
 #include "core/pipeline.h"
 #include "core/search_model.h"
 #include "gradient_check.h"
+#include "metrics/metrics.h"
 #include "models/feature_embedding.h"
 #include "models/forward_context.h"
 #include "nn/layers.h"
 #include "test_data.h"
+#include "train/pipeline_executor.h"
 #include "train/trainer.h"
 
 namespace optinter {
@@ -487,6 +489,139 @@ TEST(GradCheckParallelTest, EmbeddingScatterAcrossThreadCounts) {
   CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
                                   table.mutable_values().data(),
                                   /*check_n=*/24, loss);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined executor vs the serial training loop
+// ---------------------------------------------------------------------------
+
+// The pipelined TrainModel path must produce bit-for-bit the weights and
+// predictions of the serial loop, at every thread count — the executor only
+// moves PrepareBatch onto the pool, never the math.
+TEST(DeterminismTest, PipelinedTrainModelMatchesSerialAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  auto run = [&](size_t threads, bool pipeline) {
+    ThreadPool::SetGlobalThreads(threads);
+    FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                         "pipe");
+    TrainOptions opts;
+    opts.epochs = 2;
+    opts.batch_size = 1024;  // crosses the GEMM / scatter thresholds
+    opts.seed = 123;
+    opts.pipeline = pipeline;
+    TrainModel(&model, p.data, p.splits, opts);
+    return SnapshotModel(&model, HeadBatch(p, 256));
+  };
+  const std::vector<float> ref = run(1, /*pipeline=*/false);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ExpectBitIdentical(run(threads, /*pipeline=*/true), ref, threads);
+  }
+}
+
+// Same contract for the search stage: the Gumbel noise stream is consumed
+// inside ForwardBackward in batch order, so pipelining must not move it.
+TEST(DeterminismTest, PipelinedSearchStageMatchesSerialAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  auto run = [&](size_t threads, bool pipeline) {
+    ThreadPool::SetGlobalThreads(threads);
+    SearchOptions opts;
+    opts.search_epochs = 1;
+    opts.pipeline = pipeline;
+    return RunSearchStage(p.data, p.splits, TinyHp(), opts);
+  };
+  const SearchResult ref = run(1, /*pipeline=*/false);
+  for (size_t threads : {1u, 2u, 8u}) {
+    const SearchResult got = run(threads, /*pipeline=*/true);
+    EXPECT_TRUE(got.arch == ref.arch) << threads << " threads";
+    EXPECT_EQ(got.search_val.auc, ref.search_val.auc) << threads;
+    EXPECT_EQ(got.search_val.logloss, ref.search_val.logloss) << threads;
+    EXPECT_EQ(got.search_test.auc, ref.search_test.auc) << threads;
+    EXPECT_EQ(got.search_test.logloss, ref.search_test.logloss) << threads;
+  }
+}
+
+// Pipelined TSan workload: prefetched PrepareBatch tasks overlap the
+// compute thread's ForwardBackward/ApplyGrads (plus the nested parallel
+// kernels) for a full search epoch on a multi-thread pool.
+TEST(ConcurrencyTest, PipelinedSearchEpochRunsUnderThreads) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  Batcher batcher(&p.data, p.splits.train, /*batch_size=*/512, /*seed=*/9);
+  PipelinedTrainExecutor executor(&model);
+  batcher.StartEpoch();
+  const PipelinedTrainExecutor::EpochStats stats = executor.RunEpoch(&batcher);
+  EXPECT_EQ(stats.rows, p.splits.train.size());
+  EXPECT_GT(stats.batches, 1u);
+  EXPECT_EQ(executor.steps_done(), stats.batches);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel AUC and elementwise forward paths
+// ---------------------------------------------------------------------------
+
+// Heavy ties + a size past the parallel-sort threshold: the (score, index)
+// total order makes the parallel merge sort reproduce the serial
+// permutation exactly, so the AUC must match bit for bit.
+TEST(DeterminismTest, AucParallelBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(5);
+  const size_t n = (1u << 16) + 331;
+  std::vector<float> scores(n), labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] =
+        static_cast<float>(static_cast<int>(rng.Uniform(0.0, 64.0))) / 64.0f;
+    labels[i] = rng.Uniform(0.0, 1.0) < 0.3 ? 1.0f : 0.0f;
+  }
+  const double serial = internal::AucSerial(scores, labels);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    EXPECT_EQ(Auc(scores, labels), serial) << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, SigmoidForwardBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(31);
+  const size_t n = (1u << 16) + 17;  // crosses kParallelElems
+  std::vector<float> z(n), ref(n), got(n);
+  for (float& v : z) v = static_cast<float>(rng.Uniform(-8.0, 8.0));
+  ThreadPool::SetGlobalThreads(1);
+  SigmoidForward(z.data(), n, ref.data());
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    SigmoidForward(z.data(), n, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(), n * sizeof(float)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, LinearForwardBiasAddBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(12);
+  Linear lin("bias", 16, 8, 1e-3f, 0.0f, &rng);
+  for (size_t i = 0; i < lin.bias.value.size(); ++i) {
+    lin.bias.value[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  Tensor x = RandomTensor({8192, 16}, &rng, 0.5);  // 8192×8 out → parallel
+  ThreadPool::SetGlobalThreads(1);
+  Tensor ref;
+  {
+    LinearWorkspace ws;
+    lin.Forward(x, &ref, &ws);
+  }
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    LinearWorkspace ws;
+    Tensor y;
+    lin.Forward(x, &y, &ws);
+    ASSERT_EQ(y.size(), ref.size());
+    EXPECT_EQ(std::memcmp(y.data(), ref.data(), y.size() * sizeof(float)), 0)
+        << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -62,6 +62,27 @@ TEST(AucTest, RandomScoresNearHalf) {
   EXPECT_NEAR(Auc(scores, labels), 0.5, 0.02);
 }
 
+TEST(AucTest, SerialReferenceMatchesAucOnTies) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.9f, 0.1f, 0.5f, 0.9f};
+  const std::vector<float> labels = {1, 0, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(internal::AucSerial(scores, labels), Auc(scores, labels));
+}
+
+TEST(AucTest, ParallelPathMatchesSerialOnLargeTiedInput) {
+  // Past the parallel-sort threshold with heavily quantized (tied) scores:
+  // the (score, index) total order must make chunked sort + merge
+  // reproduce the serial result exactly, midranks included.
+  Rng rng(404);
+  const size_t n = (1u << 16) + 77;
+  std::vector<float> scores(n), labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] =
+        static_cast<float>(static_cast<int>(rng.Uniform(0.0, 16.0))) / 16.0f;
+    labels[i] = rng.Uniform(0.0, 1.0) < 0.25 ? 1.0f : 0.0f;
+  }
+  EXPECT_EQ(Auc(scores, labels), internal::AucSerial(scores, labels));
+}
+
 TEST(AucTest, InvariantToMonotoneTransform) {
   Rng rng(4);
   std::vector<float> scores(500), labels(500);

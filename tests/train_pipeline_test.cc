@@ -1,0 +1,282 @@
+// Tests for the pipelined training executor (src/train/pipeline_executor.h):
+// the grad-apply fence for weight-dependent prepares, the steady-state
+// zero-allocation contract of the phase-split TrainStep, workspace reuse
+// across epochs, and RunReport::WriteEvery periodic flushing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/fixed_arch_model.h"
+#include "core/search_model.h"
+#include "models/hyperparams.h"
+#include "models/prepared_batch.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "test_data.h"
+#include "train/pipeline_executor.h"
+#include "train/trainer.h"
+
+// --------------------------------------------------------------------------
+// Global allocation counter. std::vector and Tensor go through
+// operator new(size_t) (operator new[] forwards to it), so counting here
+// catches every steady-state heap allocation the contract forbids.
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<size_t> g_alloc_events{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace optinter {
+namespace {
+
+using testing::HeadBatch;
+using testing::SharedTinyData;
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 77;
+  return hp;
+}
+
+Architecture MixedArch(size_t num_pairs) {
+  Architecture arch(num_pairs, InterMethod::kNaive);
+  arch[0] = InterMethod::kMemorize;
+  arch[1] = InterMethod::kFactorize;
+  return arch;
+}
+
+struct PoolGuard {
+  size_t saved = ThreadPool::Global().num_threads();
+  ~PoolGuard() { ThreadPool::SetGlobalThreads(saved); }
+};
+
+// Allocation events across `steps` repetitions of model->TrainStep(batch)
+// after `warmup` untracked repetitions.
+size_t CountSteadyStateAllocs(CtrModel* model, const Batch& batch,
+                              int warmup, int steps) {
+  for (int i = 0; i < warmup; ++i) model->TrainStep(batch);
+  g_alloc_events.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < steps; ++i) model->TrainStep(batch);
+  g_count_allocs.store(false);
+  return g_alloc_events.load();
+}
+
+// --------------------------------------------------------------------------
+// Zero-allocation steady state
+// --------------------------------------------------------------------------
+
+// After warmup every per-step buffer (prepared tables, scatter slots,
+// activations, gradient partials) must be reused from capacity: a repeated
+// identical batch performs zero heap allocations per TrainStep. Runs at one
+// pool thread — the serial/inline execution path; the multi-thread fan-out
+// allocates task objects by design.
+TEST(TrainPipelineTest, FixedArchTrainStepSteadyStateZeroAlloc) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(1);
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "alloc");
+  const Batch batch = HeadBatch(p, 256);
+  EXPECT_EQ(CountSteadyStateAllocs(&model, batch, /*warmup=*/3, /*steps=*/5),
+            0u);
+}
+
+TEST(TrainPipelineTest, SearchModelTrainStepSteadyStateZeroAlloc) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(1);
+  const auto& p = SharedTinyData();
+  SearchModel model(p.data, TinyHp());
+  const Batch batch = HeadBatch(p, 256);
+  EXPECT_EQ(CountSteadyStateAllocs(&model, batch, /*warmup=*/3, /*steps=*/5),
+            0u);
+}
+
+// The executor's workspace-growth counter tells the same story at run
+// scale: once capacities reach their high-water mark, later epochs must
+// not grow the pooled workspaces. One full-split batch per epoch keeps the
+// per-epoch row multiset (and therefore every capacity requirement)
+// identical despite reshuffling — with smaller batches a reshuffle can
+// legitimately raise a per-shard high-water mark.
+TEST(TrainPipelineTest, WorkspaceStopsGrowingAfterWarmup) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(2);
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "grow");
+  Batcher batcher(&p.data, p.splits.train,
+                  /*batch_size=*/p.splits.train.size(), /*seed=*/3);
+  PipelinedTrainExecutor executor(&model);
+  obs::Counter* growth = obs::MetricsRegistry::Global().GetCounter(
+      "pipeline.workspace_growth_steps");
+  batcher.StartEpoch();
+  executor.RunEpoch(&batcher);  // warmup epoch: growth expected
+  const uint64_t after_warmup = growth->Value();
+  for (int e = 0; e < 3; ++e) {
+    batcher.StartEpoch();
+    executor.RunEpoch(&batcher);
+  }
+  EXPECT_EQ(growth->Value(), after_warmup);
+  obs::Gauge* bytes =
+      obs::MetricsRegistry::Global().GetGauge("pipeline.workspace_bytes");
+  EXPECT_GT(bytes->Value(), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Grad-apply fencing
+// --------------------------------------------------------------------------
+
+// Minimal phased model whose prepare is declared weight-dependent. Each
+// PrepareBatch records how many ApplyGrads had completed when it ran; the
+// fence must make that count exactly the batch index — i.e. prepare t
+// always observes step t-1's update, never an older state.
+class FenceProbeModel : public CtrModel {
+ public:
+  std::string Name() const override { return "fence-probe"; }
+  bool SupportsPhasedTrainStep() const override { return true; }
+  bool PrepareIsWeightIndependent() const override { return false; }
+
+  void PrepareBatch(const Batch& batch, PreparedBatch* prep) const override {
+    prep->BeginFill(batch);
+    // Serialized by the executor (at most one prepare in flight, joined
+    // before the next launch), so no lock is needed.
+    prepare_applied_.push_back(applied_.load(std::memory_order_relaxed));
+  }
+  float ForwardBackward(const PreparedBatch& prep) override {
+    return prep.size > 0 ? 0.5f : 0.0f;
+  }
+  void ApplyGrads() override {
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  float TrainStep(const Batch& batch) override {
+    PreparedBatch prep;
+    PrepareBatch(batch, &prep);
+    const float loss = ForwardBackward(prep);
+    ApplyGrads();
+    return loss;
+  }
+  void Predict(const Batch& batch, std::vector<float>* probs) override {
+    probs->assign(batch.size, 0.5f);
+  }
+  size_t ParamCount() const override { return 0; }
+
+  mutable std::atomic<uint64_t> applied_{0};
+  mutable std::vector<uint64_t> prepare_applied_;
+};
+
+TEST(TrainPipelineTest, FenceOrdersWeightDependentPrepares) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  const auto& p = SharedTinyData();
+  FenceProbeModel model;
+  Batcher batcher(&p.data, p.splits.train, /*batch_size=*/64, /*seed=*/11);
+  PipelinedTrainExecutor executor(&model);
+  batcher.StartEpoch();
+  const PipelinedTrainExecutor::EpochStats stats = executor.RunEpoch(&batcher);
+  ASSERT_EQ(model.prepare_applied_.size(), stats.batches);
+  ASSERT_GT(stats.batches, 4u);
+  for (size_t t = 0; t < model.prepare_applied_.size(); ++t) {
+    EXPECT_EQ(model.prepare_applied_[t], t) << "prepare " << t;
+  }
+}
+
+// Without the weight-dependence flag the executor never blocks a prepare on
+// the fence; the run still visits every row exactly once, in order.
+TEST(TrainPipelineTest, UnfencedEpochCoversAllRows) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "cover");
+  Batcher batcher(&p.data, p.splits.train, /*batch_size=*/512, /*seed=*/5);
+  PipelinedTrainExecutor executor(&model);
+  batcher.StartEpoch();
+  const PipelinedTrainExecutor::EpochStats stats = executor.RunEpoch(&batcher);
+  EXPECT_EQ(stats.rows, p.splits.train.size());
+  EXPECT_EQ(stats.batches,
+            (p.splits.train.size() + 511) / 512);
+  EXPECT_GT(stats.loss_sum, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// RunReport::WriteEvery
+// --------------------------------------------------------------------------
+
+TEST(RunReportWriteEveryTest, NotArmedNeverWrites) {
+  obs::RunReport report("idle");
+  EXPECT_FALSE(report.MaybeWriteEvery());
+}
+
+TEST(RunReportWriteEveryTest, FlushesWhenIntervalElapsed) {
+  const std::string path = ::testing::TempDir() + "/periodic_report.json";
+  std::remove(path.c_str());
+  obs::RunReport report("periodic");
+  report.WriteEvery(path, /*seconds=*/0.0);
+  EXPECT_TRUE(report.MaybeWriteEvery());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  EXPECT_NE(contents.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(contents.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(contents.find("\"spans\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunReportWriteEveryTest, RespectsInterval) {
+  const std::string path = ::testing::TempDir() + "/never_report.json";
+  std::remove(path.c_str());
+  obs::RunReport report("slow");
+  report.WriteEvery(path, /*seconds=*/3600.0);
+  EXPECT_FALSE(report.MaybeWriteEvery());
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+// End-to-end: a report handed to TrainModel with a zero-second interval is
+// flushed from inside the training loop.
+TEST(RunReportWriteEveryTest, TrainerTicksPeriodicReport) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(2);
+  const auto& p = SharedTinyData();
+  const std::string path = ::testing::TempDir() + "/trainer_report.json";
+  std::remove(path.c_str());
+  obs::RunReport report("train");
+  report.WriteEvery(path, /*seconds=*/0.0);
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "tick");
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 1024;
+  opts.patience = 0;
+  opts.report = &report;
+  TrainModel(&model, p.data, p.splits, opts);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace optinter
