@@ -1,18 +1,70 @@
 // Micro-benchmarks for the hot numeric kernels underlying every
-// experiment: GEMM variants, embedding gather/scatter + sparse Adam,
-// Hadamard interaction blocks, Gumbel-softmax sampling, and AUC.
+// experiment: GEMM variants, elementwise/reduction kernels, embedding
+// gather/scatter + sparse Adam, Hadamard interaction blocks,
+// Gumbel-softmax sampling, and AUC.
+//
+// Every FLOP-bound benchmark reports GFLOP/s ("FLOPS" counter) and every
+// kernel reports memory traffic as GB/s ("BYTES" counter), so the perf
+// trajectory of the kernel layer is recorded run over run. A custom main
+// accepts --report=PATH (the same flag as the table/figure harnesses) and
+// writes google-benchmark's JSON there — CI emits BENCH_kernels.json from
+// it.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "metrics/metrics.h"
 #include "nn/embedding.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/param.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "tensor/kernels.h"
 
 namespace optinter {
 namespace {
+
+// FLOPS/BYTES rate counters: google-benchmark divides by wall time and
+// prints with G/M suffixes, so these read directly as GFLOP/s and GB/s.
+void SetRateCounters(benchmark::State& state, double flops_per_iter,
+                     double bytes_per_iter) {
+  if (flops_per_iter > 0) {
+    state.counters["FLOPS"] = benchmark::Counter(
+        flops_per_iter * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+  }
+  state.counters["BYTES"] = benchmark::Counter(
+      bytes_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void SetGemmCounters(benchmark::State& state, size_t m, size_t k, size_t n) {
+  const double flops = 2.0 * static_cast<double>(m * k * n);
+  const double bytes =
+      4.0 * static_cast<double>(m * k + k * n + 2 * m * n);
+  SetRateCounters(state, flops, bytes);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = 256;
+  const size_t n = 64;
+  std::vector<float> a(m * k, 0.5f), b(k * n, 0.25f), c(m * n);
+  for (auto _ : state) {
+    GemmNN(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m * k * n));
+  SetGemmCounters(state, m, k, n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_GemmNT(benchmark::State& state) {
   const size_t m = static_cast<size_t>(state.range(0));
@@ -25,6 +77,7 @@ void BM_GemmNT(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(m * k * n));
+  SetGemmCounters(state, m, k, n);
 }
 BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -39,8 +92,91 @@ void BM_GemmTN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(m * k * n));
+  SetGemmCounters(state, m, k, n);
 }
 BENCHMARK(BM_GemmTN)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> x(n, 0.5f), y(n, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(n, x.data(), y.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  SetRateCounters(state, 2.0 * static_cast<double>(n),
+                  8.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(4096);
+
+void BM_Axpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> x(n, 0.5f), y(n, 0.25f);
+  for (auto _ : state) {
+    Axpy(n, 0.001f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  SetRateCounters(state, 2.0 * static_cast<double>(n),
+                  12.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_Axpy)->Arg(64)->Arg(4096);
+
+void BM_SigmoidForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> z(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    z[i] = static_cast<float>(i % 17) - 8.0f;
+  }
+  for (auto _ : state) {
+    SigmoidForward(z.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  SetRateCounters(state, 0.0, 8.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SigmoidForward)->Arg(4096);
+
+void BM_ReluForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relu relu;
+  ReluWorkspace ws;
+  Tensor x({n}), y;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i % 7) - 3.0f;
+  }
+  for (auto _ : state) {
+    relu.Forward(x, &y, &ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  SetRateCounters(state, 0.0, 12.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_ReluForward)->Arg(16384);
+
+void BM_DenseAdamStep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DenseParam p;
+  p.name = "bench";
+  p.Resize({n});
+  p.lr = 1e-3f;
+  p.l2 = 1e-6f;
+  for (size_t i = 0; i < n; ++i) {
+    p.value[i] = static_cast<float>(i % 13) * 0.01f;
+    p.grad[i] = static_cast<float>(i % 7) * 0.001f;
+  }
+  Adam adam{AdamConfig{}};
+  adam.AddParam(&p);
+  for (auto _ : state) {
+    adam.Step();
+    benchmark::DoNotOptimize(p.value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  // ~12 flops/elem (2 fma + bias-correct divide + sqrt + update), touches
+  // w, g, m, v (reads) and w, m, v (writes).
+  SetRateCounters(state, 12.0 * static_cast<double>(n),
+                  28.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_DenseAdamStep)->Arg(65536);
 
 void BM_EmbeddingGather(benchmark::State& state) {
   const size_t vocab = 100000;
@@ -62,6 +198,7 @@ void BM_EmbeddingGather(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  SetRateCounters(state, 0.0, 8.0 * static_cast<double>(batch * dim));
 }
 BENCHMARK(BM_EmbeddingGather)->Arg(512)->Arg(4096);
 
@@ -81,6 +218,8 @@ void BM_SparseAdamStep(benchmark::State& state) {
     table.SparseAdamStep();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  SetRateCounters(state, 12.0 * static_cast<double>(batch * dim),
+                  28.0 * static_cast<double>(batch * dim));
 }
 BENCHMARK(BM_SparseAdamStep)->Arg(512)->Arg(4096);
 
@@ -100,6 +239,8 @@ void BM_HadamardBlock(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(pairs * dim));
+  SetRateCounters(state, static_cast<double>(pairs * dim),
+                  12.0 * static_cast<double>(pairs * dim));
 }
 BENCHMARK(BM_HadamardBlock);
 
@@ -181,3 +322,38 @@ BENCHMARK(BM_HistogramObserve);
 
 }  // namespace
 }  // namespace optinter
+
+// Custom main instead of benchmark_main: accepts the repo-wide
+// --report=PATH flag and mirrors the run as google-benchmark JSON there
+// (console output is unchanged). CI uses it to emit BENCH_kernels.json.
+// --report is rewritten into the native --benchmark_out flags so the
+// library's own file-reporter plumbing does the work.
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<std::string> arg_strings;
+  arg_strings.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else {
+      arg_strings.push_back(argv[i]);
+    }
+  }
+  if (!report_path.empty()) {
+    arg_strings.push_back("--benchmark_out=" + report_path);
+    arg_strings.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  for (std::string& s : arg_strings) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!report_path.empty()) {
+    std::printf("\nrun report written to %s\n", report_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

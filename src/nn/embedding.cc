@@ -5,10 +5,70 @@
 #include "nn/init.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
 
 namespace optinter {
 
 namespace {
+
+constexpr size_t kL = simd::kLanes;
+
+// One Adam row update over dim slots, vectorized. Rows are updated serially
+// (each touched id exactly once), so there is no chunk-boundary concern —
+// the helpers are shared by the shard and prepared paths so both produce
+// identical bits for identical accumulated gradients.
+inline void AdamUpdateRow(float* w, float* m, float* v, const float* g,
+                          size_t dim, float lr, float l2, float b1, float b2,
+                          float bc1, float bc2, float eps) {
+  const simd::VecF l2_v = simd::Set1(l2);
+  const simd::VecF b1_v = simd::Set1(b1);
+  const simd::VecF b2_v = simd::Set1(b2);
+  const simd::VecF omb1_v = simd::Set1(1.0f - b1);
+  const simd::VecF omb2_v = simd::Set1(1.0f - b2);
+  const simd::VecF bc1_v = simd::Set1(bc1);
+  const simd::VecF bc2_v = simd::Set1(bc2);
+  const simd::VecF lr_v = simd::Set1(lr);
+  const simd::VecF eps_v = simd::Set1(eps);
+  size_t i = 0;
+  for (; i + kL <= dim; i += kL) {
+    const simd::VecF wv = simd::LoadU(w + i);
+    const simd::VecF gi = simd::MulAdd(l2_v, wv, simd::LoadU(g + i));
+    const simd::VecF mv =
+        simd::MulAdd(b1_v, simd::LoadU(m + i), simd::Mul(omb1_v, gi));
+    const simd::VecF vv = simd::MulAdd(b2_v, simd::LoadU(v + i),
+                                       simd::Mul(simd::Mul(omb2_v, gi), gi));
+    simd::StoreU(m + i, mv);
+    simd::StoreU(v + i, vv);
+    const simd::VecF denom =
+        simd::Add(simd::Sqrt(simd::Div(vv, bc2_v)), eps_v);
+    const simd::VecF upd =
+        simd::Div(simd::Mul(lr_v, simd::Div(mv, bc1_v)), denom);
+    simd::StoreU(w + i, simd::Sub(wv, upd));
+  }
+  for (; i < dim; ++i) {
+    const float gi = simd::MulAddScalar(l2, w[i], g[i]);
+    m[i] = simd::MulAddScalar(b1, m[i], (1.0f - b1) * gi);
+    v[i] = simd::MulAddScalar(b2, v[i], ((1.0f - b2) * gi) * gi);
+    w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+  }
+}
+
+// One SGD row update: w -= lr·(g + l2·w) as two fused muladds.
+inline void SgdUpdateRow(float* w, const float* g, size_t dim, float lr,
+                         float l2) {
+  const simd::VecF l2_v = simd::Set1(l2);
+  const simd::VecF neg_lr_v = simd::Set1(-lr);
+  size_t i = 0;
+  for (; i + kL <= dim; i += kL) {
+    const simd::VecF wv = simd::LoadU(w + i);
+    const simd::VecF t = simd::MulAdd(l2_v, wv, simd::LoadU(g + i));
+    simd::StoreU(w + i, simd::MulAdd(neg_lr_v, t, wv));
+  }
+  for (; i < dim; ++i) {
+    const float t = simd::MulAddScalar(l2, w[i], g[i]);
+    w[i] = simd::MulAddScalar(-lr, t, w[i]);
+  }
+}
 // Rows touched per sparse step; handle cached once (registry never
 // invalidates it).
 obs::Counter* RowsUpdatedCounter() {
@@ -62,7 +122,12 @@ void EmbeddingTable::AccumulateGradInShard(size_t shard, int32_t id,
     s.grads.resize(s.grads.size() + dim_, 0.0f);
   }
   float* slot = s.grads.data() + it->second * dim_;
-  for (size_t i = 0; i < dim_; ++i) slot[i] += grad[i];
+  size_t i = 0;
+  for (; i + kL <= dim_; i += kL) {
+    simd::StoreU(slot + i,
+                 simd::Add(simd::LoadU(slot + i), simd::LoadU(grad + i)));
+  }
+  for (; i < dim_; ++i) slot[i] += grad[i];
 }
 
 const float* EmbeddingTable::AccumulatedGrad(int32_t id) const {
@@ -96,12 +161,8 @@ void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
       float* w = value_.data() + static_cast<size_t>(id) * dim_;
       float* m = m_.data() + static_cast<size_t>(id) * dim_;
       float* v = v_.data() + static_cast<size_t>(id) * dim_;
-      for (size_t i = 0; i < dim_; ++i) {
-        const float gi = g_row[i] + l2 * w[i];
-        m[i] = b1 * m[i] + (1.0f - b1) * gi;
-        v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-        w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
-      }
+      AdamUpdateRow(w, m, v, g_row, dim_, lr, l2, b1, b2, bc1, bc2,
+                    config.eps);
     }
   }
   ClearGrads();
@@ -121,12 +182,7 @@ void EmbeddingTable::SparseAdamStepPrepared(const AdamConfig& config) {
     float* w = value_.data() + static_cast<size_t>(id) * dim_;
     float* m = m_.data() + static_cast<size_t>(id) * dim_;
     float* v = v_.data() + static_cast<size_t>(id) * dim_;
-    for (size_t i = 0; i < dim_; ++i) {
-      const float gi = g_row[i] + l2 * w[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * gi;
-      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + config.eps);
-    }
+    AdamUpdateRow(w, m, v, g_row, dim_, lr, l2, b1, b2, bc1, bc2, config.eps);
   }
   ClearPreparedGrads();
 }
@@ -139,9 +195,7 @@ void EmbeddingTable::SparseSgdStep() {
       const int32_t id = s.ids[t];
       const float* g_row = s.grads.data() + t * dim_;
       float* w = value_.data() + static_cast<size_t>(id) * dim_;
-      for (size_t i = 0; i < dim_; ++i) {
-        w[i] -= lr * (g_row[i] + l2 * w[i]);
-      }
+      SgdUpdateRow(w, g_row, dim_, lr, l2);
     }
   }
   ClearGrads();

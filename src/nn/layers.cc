@@ -5,7 +5,9 @@
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 #include "nn/init.h"
+#include "tensor/aligned.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 
 namespace optinter {
 
@@ -15,6 +17,8 @@ namespace {
 // under any chunking); backward reductions use fixed chunk grids so the
 // summation tree depends only on the shape.
 constexpr size_t kParallelElems = 1u << 15;
+
+constexpr size_t kL = simd::kLanes;
 }  // namespace
 
 Linear::Linear(std::string name, size_t in_dim, size_t out_dim, float lr,
@@ -39,10 +43,16 @@ void Linear::Forward(const Tensor& x, Tensor* y, LinearWorkspace* ws) const {
   GemmNT(x.data(), weight.value.data(), y->data(), x.rows(), in_dim_,
          out_dim_);
   const float* b = bias.value.data();
+  const size_t out_dim = out_dim_;
   auto add_bias = [&](size_t lo, size_t hi) {
     for (size_t r = lo; r < hi; ++r) {
       float* yr = y->row(r);
-      for (size_t j = 0; j < out_dim_; ++j) yr[j] += b[j];
+      size_t j = 0;
+      for (; j + kL <= out_dim; j += kL) {
+        simd::StoreU(yr + j,
+                     simd::Add(simd::LoadU(yr + j), simd::LoadU(b + j)));
+      }
+      for (; j < out_dim; ++j) yr[j] += b[j];
     }
   };
   if (y->size() >= kParallelElems) {
@@ -64,11 +74,17 @@ void Linear::Backward(const Tensor& dy, Tensor* dx,
   // and chunk-ordered merge keep the sum bit-identical at any thread
   // count (the path choice depends only on the shape).
   const size_t rows = dy.rows();
+  const size_t out_dim = out_dim_;
   float* db = bias.grad.data();
   auto col_sums = [&](size_t lo, size_t hi, float* acc) {
     for (size_t r = lo; r < hi; ++r) {
       const float* dyr = dy.row(r);
-      for (size_t j = 0; j < out_dim_; ++j) acc[j] += dyr[j];
+      size_t j = 0;
+      for (; j + kL <= out_dim; j += kL) {
+        simd::StoreU(acc + j,
+                     simd::Add(simd::LoadU(acc + j), simd::LoadU(dyr + j)));
+      }
+      for (; j < out_dim; ++j) acc[j] += dyr[j];
     }
   };
   const FixedChunks grid = MakeFixedChunks(rows, /*min_chunk=*/64);
@@ -77,7 +93,7 @@ void Linear::Backward(const Tensor& dy, Tensor* dx,
     // steady-state steps don't allocate. Workers must write the CALLER's
     // buffer, and lambdas don't capture thread_locals (each worker would
     // silently get its own empty vector) — hence the hoisted pointer.
-    static thread_local std::vector<float> partials_tls;
+    static thread_local AlignedVector<float> partials_tls;
     partials_tls.assign(grid.count * out_dim_, 0.0f);
     float* const partials = partials_tls.data();
     ParallelForEachChunk(grid, [&, partials](size_t i) {
@@ -107,11 +123,26 @@ void Relu::Forward(const Tensor& x, Tensor* y, ReluWorkspace* ws) const {
   y->Resize(x.shape());
   ws->mask.Resize(x.shape());
   Tensor& mask = ws->mask;
+  const float* xp = x.data();
   auto body = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const bool pos = x[i] > 0.0f;
-      (*y)[i] = pos ? x[i] : 0.0f;
-      mask[i] = pos ? 1.0f : 0.0f;
+    float* yp = y->data();
+    float* mp = mask.data();
+    const simd::VecF zero = simd::Zero();
+    const simd::VecF one = simd::Set1(1.0f);
+    size_t i = lo;
+    // The vector and scalar forms are exact (compare + select), so an
+    // element's bits never depend on which side of a group boundary it
+    // lands on — chunking stays bit-invariant.
+    for (; i + kL <= hi; i += kL) {
+      const simd::VecF xv = simd::LoadU(xp + i);
+      const simd::VecF pos = simd::GtMask(xv, zero);
+      simd::StoreU(yp + i, simd::Select(pos, xv, zero));
+      simd::StoreU(mp + i, simd::And(pos, one));
+    }
+    for (; i < hi; ++i) {
+      const bool pos = xp[i] > 0.0f;
+      yp[i] = pos ? xp[i] : 0.0f;
+      mp[i] = pos ? 1.0f : 0.0f;
     }
   };
   if (x.size() >= kParallelElems) {
@@ -127,11 +158,20 @@ void Relu::Backward(const Tensor& dy, Tensor* dx,
   const Tensor& mask = ws.mask;
   CHECK(dy.SameShape(mask));
   dx->Resize(dy.shape());
+  const float* dyp = dy.data();
+  const float* mp = mask.data();
   auto body = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) (*dx)[i] = dy[i] * mask[i];
+    float* dxp = dx->data();
+    size_t i = lo;
+    for (; i + kL <= hi; i += kL) {
+      simd::StoreU(dxp + i,
+                   simd::Mul(simd::LoadU(dyp + i), simd::LoadU(mp + i)));
+    }
+    for (; i < hi; ++i) dxp[i] = dyp[i] * mp[i];
   };
-  // Disjoint elementwise writes: bit-identical to serial under any
-  // chunking.
+  // Disjoint elementwise writes; a single multiply rounds identically in
+  // vector and scalar form, so the fan-out is bit-identical to serial
+  // under any chunking.
   if (dy.size() >= kParallelElems) {
     ParallelForChunks(0, dy.size(), body, /*min_chunk=*/4096);
   } else {
@@ -157,6 +197,7 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y,
   OPTINTER_TRACE_SPAN("layernorm_fwd");
   CHECK_EQ(x.cols(), dim_);
   const size_t batch = x.rows();
+  const size_t dim = dim_;
   y->Resize({batch, dim_});
   ws->xhat.Resize({batch, dim_});
   ws->inv_std.Resize({batch});
@@ -164,23 +205,41 @@ void LayerNorm::Forward(const Tensor& x, Tensor* y,
   Tensor& inv_std_cache = ws->inv_std;
   const float* g = gamma.value.data();
   const float* b = beta.value.data();
+  // Rows are whole per chunk and each row's reductions use a vector-group
+  // layout that depends only on dim_, so results are chunking-invariant.
   auto body = [&](size_t lo, size_t hi) {
     for (size_t r = lo; r < hi; ++r) {
       const float* xr = x.row(r);
-      float mean = Sum(dim_, xr) / static_cast<float>(dim_);
-      float var = 0.0f;
-      for (size_t j = 0; j < dim_; ++j) {
-        const float d = xr[j] - mean;
-        var += d * d;
+      const float mean = Sum(dim, xr) / static_cast<float>(dim);
+      const simd::VecF mean_v = simd::Set1(mean);
+      simd::VecF vacc = simd::Zero();
+      size_t j = 0;
+      for (; j + kL <= dim; j += kL) {
+        const simd::VecF d = simd::Sub(simd::LoadU(xr + j), mean_v);
+        vacc = simd::MulAdd(d, d, vacc);
       }
-      var /= static_cast<float>(dim_);
+      float var = simd::ReduceAdd(vacc);
+      for (; j < dim; ++j) {
+        const float d = xr[j] - mean;
+        var = simd::MulAddScalar(d, d, var);
+      }
+      var /= static_cast<float>(dim);
       const float inv_std = 1.0f / std::sqrt(var + kEps);
       inv_std_cache[r] = inv_std;
+      const simd::VecF is_v = simd::Set1(inv_std);
       float* xh = xhat.row(r);
       float* yr = y->row(r);
-      for (size_t j = 0; j < dim_; ++j) {
+      j = 0;
+      for (; j + kL <= dim; j += kL) {
+        const simd::VecF xhv =
+            simd::Mul(simd::Sub(simd::LoadU(xr + j), mean_v), is_v);
+        simd::StoreU(xh + j, xhv);
+        simd::StoreU(yr + j,
+                     simd::MulAdd(xhv, simd::LoadU(g + j), simd::LoadU(b + j)));
+      }
+      for (; j < dim; ++j) {
         xh[j] = (xr[j] - mean) * inv_std;
-        yr[j] = xh[j] * g[j] + b[j];
+        yr[j] = simd::MulAddScalar(xh[j], g[j], b[j]);
       }
     }
   };
@@ -196,6 +255,7 @@ void LayerNorm::Backward(const Tensor& dy, Tensor* dx,
   OPTINTER_TRACE_SPAN("layernorm_bwd");
   CHECK_EQ(dy.cols(), dim_);
   const size_t batch = dy.rows();
+  const size_t dim = dim_;
   CHECK_EQ(batch, ws.xhat.rows());
   dx->Resize({batch, dim_});
   const float* g = gamma.value.data();
@@ -210,20 +270,45 @@ void LayerNorm::Backward(const Tensor& dy, Tensor* dx,
       const float* dyr = dy.row(r);
       const float* xh = ws.xhat.row(r);
       const float inv_std = ws.inv_std[r];
-      float sum_dxhat = 0.0f;
-      float sum_dxhat_xhat = 0.0f;
-      for (size_t j = 0; j < dim_; ++j) {
+      simd::VecF sum1_v = simd::Zero();  // Σ dxhat
+      simd::VecF sum2_v = simd::Zero();  // Σ dxhat·xhat
+      size_t j = 0;
+      for (; j + kL <= dim; j += kL) {
+        const simd::VecF dyv = simd::LoadU(dyr + j);
+        const simd::VecF xhv = simd::LoadU(xh + j);
+        const simd::VecF dxhat = simd::Mul(dyv, simd::LoadU(g + j));
+        sum1_v = simd::Add(sum1_v, dxhat);
+        sum2_v = simd::MulAdd(dxhat, xhv, sum2_v);
+        simd::StoreU(dg_acc + j,
+                     simd::MulAdd(dyv, xhv, simd::LoadU(dg_acc + j)));
+        simd::StoreU(db_acc + j, simd::Add(simd::LoadU(db_acc + j), dyv));
+      }
+      float sum_dxhat = simd::ReduceAdd(sum1_v);
+      float sum_dxhat_xhat = simd::ReduceAdd(sum2_v);
+      for (; j < dim; ++j) {
         const float dxhat = dyr[j] * g[j];
         sum_dxhat += dxhat;
-        sum_dxhat_xhat += dxhat * xh[j];
-        dg_acc[j] += dyr[j] * xh[j];
+        sum_dxhat_xhat = simd::MulAddScalar(dxhat, xh[j], sum_dxhat_xhat);
+        dg_acc[j] = simd::MulAddScalar(dyr[j], xh[j], dg_acc[j]);
         db_acc[j] += dyr[j];
       }
+      const float c1 = inv_n * sum_dxhat;
+      const float c2 = inv_n * sum_dxhat_xhat;
+      const simd::VecF c1_v = simd::Set1(c1);
+      const simd::VecF c2_v = simd::Set1(c2);
+      const simd::VecF is_v = simd::Set1(inv_std);
       float* dxr = dx->row(r);
-      for (size_t j = 0; j < dim_; ++j) {
+      j = 0;
+      for (; j + kL <= dim; j += kL) {
+        const simd::VecF dxhat =
+            simd::Mul(simd::LoadU(dyr + j), simd::LoadU(g + j));
+        const simd::VecF t = simd::Sub(
+            simd::Sub(dxhat, c1_v), simd::Mul(simd::LoadU(xh + j), c2_v));
+        simd::StoreU(dxr + j, simd::Mul(is_v, t));
+      }
+      for (; j < dim; ++j) {
         const float dxhat = dyr[j] * g[j];
-        dxr[j] = inv_std *
-                 (dxhat - inv_n * sum_dxhat - xh[j] * inv_n * sum_dxhat_xhat);
+        dxr[j] = inv_std * ((dxhat - c1) - xh[j] * c2);
       }
     }
   };
@@ -235,7 +320,7 @@ void LayerNorm::Backward(const Tensor& dy, Tensor* dx,
     // survives across steps (zero-allocation contract); the pointer is
     // hoisted because lambdas don't capture thread_locals and workers must
     // write the caller's buffer, not their own.
-    static thread_local std::vector<float> partials_tls;
+    static thread_local AlignedVector<float> partials_tls;
     partials_tls.assign(grid.count * 2 * dim_, 0.0f);
     float* const partials = partials_tls.data();
     ParallelForEachChunk(grid, [&, partials](size_t i) {
@@ -274,11 +359,28 @@ float BceWithLogitsLoss(const float* logits, const float* labels, size_t n,
 }
 
 void SigmoidForward(const float* z, size_t n, float* out) {
+  // Every element — including the sub-vector remainder of a chunk — goes
+  // through simd::Sigmoid's lane function: the tail is copied into a
+  // zero-padded stack vector, transformed, and copied back. Chunk
+  // boundaries depend on the pool size, so a scalar tail computed with
+  // std::exp would make an element's bits depend on where the boundary
+  // fell; routing everything through the same lane function removes the
+  // boundary from the math entirely. (On the scalar backend the lane
+  // function IS SigmoidScalar, bit for bit.)
   auto body = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) out[i] = SigmoidScalar(z[i]);
+    size_t i = lo;
+    for (; i + kL <= hi; i += kL) {
+      simd::StoreU(out + i, simd::Sigmoid(simd::LoadU(z + i)));
+    }
+    if (i < hi) {
+      alignas(kTensorAlignment) float tmp[kL] = {};
+      const size_t rem = hi - i;
+      for (size_t t = 0; t < rem; ++t) tmp[t] = z[i + t];
+      const simd::VecF r = simd::Sigmoid(simd::LoadU(tmp));
+      simd::StoreU(tmp, r);
+      for (size_t t = 0; t < rem; ++t) out[i + t] = tmp[t];
+    }
   };
-  // Disjoint elementwise writes and a shape-only path choice: the fan-out
-  // is bit-identical to the serial loop at any thread count.
   if (n >= kParallelElems) {
     ParallelForChunks(0, n, body, /*min_chunk=*/4096);
   } else {

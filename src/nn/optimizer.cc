@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
 
 namespace optinter {
 
@@ -13,6 +14,8 @@ namespace {
 // the pool. Updates touch disjoint (w, m, v) slots per index, so chunking
 // never changes any bit of the result.
 constexpr size_t kParallelElems = 1u << 15;
+
+constexpr size_t kL = simd::kLanes;
 }  // namespace
 
 void Optimizer::ZeroGrad() {
@@ -31,9 +34,21 @@ void Sgd::Step() {
     const float* g = p->grad.data();
     const float lr = p->lr;
     const float l2 = p->l2;
+    // w -= lr·(g + l2·w), as two fused muladds. The scalar tail mirrors the
+    // vector lanes op-for-op (MulAddScalar == MulAdd per element), so the
+    // update is bit-identical wherever the chunk/group boundaries fall.
     auto body = [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) {
-        w[i] -= lr * (g[i] + l2 * w[i]);
+      const simd::VecF l2_v = simd::Set1(l2);
+      const simd::VecF neg_lr_v = simd::Set1(-lr);
+      size_t i = lo;
+      for (; i + kL <= hi; i += kL) {
+        const simd::VecF wv = simd::LoadU(w + i);
+        const simd::VecF t = simd::MulAdd(l2_v, wv, simd::LoadU(g + i));
+        simd::StoreU(w + i, simd::MulAdd(neg_lr_v, t, wv));
+      }
+      for (; i < hi; ++i) {
+        const float t = simd::MulAddScalar(l2, w[i], g[i]);
+        w[i] = simd::MulAddScalar(-lr, t, w[i]);
       }
     };
     if (p->size() >= kParallelElems) {
@@ -71,14 +86,44 @@ void Adam::Step() {
     float* v = s.v.data();
     const float lr = p->lr;
     const float l2 = p->l2;
+    const float eps = config_.eps;
+    // Vector lanes and the scalar tail compute each slot with the same op
+    // sequence and rounding (MulAddScalar == MulAdd, Div/Sqrt correctly
+    // rounded on every backend), so the update is bit-identical wherever
+    // the chunk/group boundaries fall.
     auto body = [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) {
-        const float gi = g[i] + l2 * w[i];
-        m[i] = b1 * m[i] + (1.0f - b1) * gi;
-        v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const simd::VecF l2_v = simd::Set1(l2);
+      const simd::VecF b1_v = simd::Set1(b1);
+      const simd::VecF b2_v = simd::Set1(b2);
+      const simd::VecF omb1_v = simd::Set1(1.0f - b1);
+      const simd::VecF omb2_v = simd::Set1(1.0f - b2);
+      const simd::VecF bc1_v = simd::Set1(bc1);
+      const simd::VecF bc2_v = simd::Set1(bc2);
+      const simd::VecF lr_v = simd::Set1(lr);
+      const simd::VecF eps_v = simd::Set1(eps);
+      size_t i = lo;
+      for (; i + kL <= hi; i += kL) {
+        const simd::VecF wv = simd::LoadU(w + i);
+        const simd::VecF gi = simd::MulAdd(l2_v, wv, simd::LoadU(g + i));
+        const simd::VecF mv =
+            simd::MulAdd(b1_v, simd::LoadU(m + i), simd::Mul(omb1_v, gi));
+        const simd::VecF vv = simd::MulAdd(
+            b2_v, simd::LoadU(v + i), simd::Mul(simd::Mul(omb2_v, gi), gi));
+        simd::StoreU(m + i, mv);
+        simd::StoreU(v + i, vv);
+        const simd::VecF m_hat = simd::Div(mv, bc1_v);
+        const simd::VecF v_hat = simd::Div(vv, bc2_v);
+        const simd::VecF denom = simd::Add(simd::Sqrt(v_hat), eps_v);
+        simd::StoreU(
+            w + i, simd::Sub(wv, simd::Div(simd::Mul(lr_v, m_hat), denom)));
+      }
+      for (; i < hi; ++i) {
+        const float gi = simd::MulAddScalar(l2, w[i], g[i]);
+        m[i] = simd::MulAddScalar(b1, m[i], (1.0f - b1) * gi);
+        v[i] = simd::MulAddScalar(b2, v[i], ((1.0f - b2) * gi) * gi);
         const float m_hat = m[i] / bc1;
         const float v_hat = v[i] / bc2;
-        w[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+        w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
       }
     };
     if (p->size() >= kParallelElems) {

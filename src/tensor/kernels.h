@@ -1,8 +1,19 @@
 // Numeric kernels over raw float buffers.
 //
 // All GEMM variants are expressed with explicit transpose flags so the
-// layer backward passes never materialize transposed copies. Large GEMMs
-// are row-blocked across the global thread pool.
+// layer backward passes never materialize transposed copies. The GEMMs
+// are cache-blocked, panel-packed implementations with register-tiled
+// micro-kernels built on the fixed-width SIMD abstraction in simd.h
+// (AVX2+FMA / SSE2 / NEON / scalar, chosen at compile time); large GEMMs
+// are additionally row-blocked across the global thread pool.
+//
+// Determinism: for a given build (backend), every kernel is bit-identical
+// at any thread count — row chunking never changes a row's accumulation
+// order, reductions use fixed chunk grids with fixed-shape merges, and
+// elementwise kernels compute each element identically whether a vector
+// lane or a scalar tail handles it (see simd.h). Results differ ACROSS
+// backends (FMA contracts rounding; Exp is polynomial vs libm), which is
+// fine: tests compare against references, not golden floats (DESIGN.md §5).
 
 #pragma once
 
@@ -12,6 +23,11 @@
 #include "tensor/tensor.h"
 
 namespace optinter {
+
+/// Name of the compiled-in SIMD backend ("avx2-fma", "sse2", "neon",
+/// "scalar") — surfaced in benches and reports so recorded numbers are
+/// attributable to a backend.
+const char* SimdBackendName();
 
 // ---------------------------------------------------------------------------
 // GEMM family: C = alpha * op(A) * op(B) + beta * C, all row-major.
@@ -33,6 +49,20 @@ void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha = 1.0f, float beta = 0.0f);
 
+namespace internal {
+
+// Naive serial reference GEMMs: plain triple loops, no blocking, packing
+// or vectorization. Kept as the ground truth the property tests compare
+// the packed/SIMD implementations against (tests/simd_kernels_test.cc).
+void GemmNNRef(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n, float alpha = 1.0f, float beta = 0.0f);
+void GemmNTRef(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n, float alpha = 1.0f, float beta = 0.0f);
+void GemmTNRef(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n, float alpha = 1.0f, float beta = 0.0f);
+
+}  // namespace internal
+
 // ---------------------------------------------------------------------------
 // Elementwise / reduction helpers.
 // ---------------------------------------------------------------------------
@@ -43,7 +73,8 @@ void Axpy(size_t n, float alpha, const float* x, float* y);
 /// Scales x by alpha in place.
 void Scale(size_t n, float alpha, float* x);
 
-/// Dot product over n elements.
+/// Dot product over n elements (vector accumulators combined in a fixed
+/// order — deterministic per backend for a given n).
 float Dot(size_t n, const float* x, const float* y);
 
 /// out = x ⊙ y (Hadamard), n elements.
@@ -52,7 +83,7 @@ void Hadamard(size_t n, const float* x, const float* y, float* out);
 /// out += x ⊙ y, n elements.
 void HadamardAccum(size_t n, const float* x, const float* y, float* out);
 
-/// Sum of n elements.
+/// Sum of n elements (fixed reduction order, see Dot).
 float Sum(size_t n, const float* x);
 
 /// Numerically-stable softmax of `logits` (length n) into `probs`.

@@ -3,7 +3,9 @@
 // The NN substrate works almost exclusively with 1-D vectors and 2-D
 // (batch × features) matrices, so Tensor keeps a contiguous float32 buffer
 // plus a small shape vector; no strides, no views. Kernels that need raw
-// speed operate on data() directly (see kernels.h).
+// speed operate on data() directly (see kernels.h). Storage is 64-byte
+// aligned (aligned.h) so vector loads on tensor data never split a cache
+// line and packed GEMM panels copied from tensors stay line-aligned.
 
 #pragma once
 
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "tensor/aligned.h"
 
 namespace optinter {
 
@@ -124,7 +127,7 @@ class Tensor {
   }
 
   std::vector<size_t> shape_;
-  std::vector<float> data_;
+  AlignedVector<float> data_;
 };
 
 }  // namespace optinter

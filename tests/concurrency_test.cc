@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +25,8 @@
 #include "models/feature_embedding.h"
 #include "models/forward_context.h"
 #include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "tensor/kernels.h"
 #include "test_data.h"
 #include "train/pipeline_executor.h"
 #include "train/trainer.h"
@@ -596,6 +599,174 @@ TEST(DeterminismTest, SigmoidForwardBitIdenticalAcrossThreadCounts) {
     SigmoidForward(z.data(), n, got.data());
     EXPECT_EQ(std::memcmp(got.data(), ref.data(), n * sizeof(float)), 0)
         << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise thread-count invariance of the SIMD kernel layer (tensor/kernels):
+// every kernel that fans out under pool-size-dependent chunking must produce
+// identical bits at 1, 2, and 8 threads within a build. GEMM shapes are
+// chosen above the kParallelFlops threshold with odd edges so partial
+// micro-tiles and panels sit on chunk boundaries.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void ExpectKernelBitInvariant(size_t out_size, Fn&& run) {
+  PoolGuard guard;
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<float> ref(out_size);
+  run(ref.data());
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<float> got(out_size);
+    run(got.data());
+    EXPECT_EQ(
+        std::memcmp(got.data(), ref.data(), out_size * sizeof(float)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, GemmNNBitIdenticalAcrossThreadCounts) {
+  Rng rng(41);
+  const size_t m = 517, k = 129, n = 67;  // m·k·n > 2^21 → parallel path
+  std::vector<float> a(m * k), b(k * n);
+  for (float& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  ExpectKernelBitInvariant(m * n, [&](float* c) {
+    GemmNN(a.data(), b.data(), c, m, k, n, 0.5f, 0.0f);
+  });
+}
+
+TEST(DeterminismTest, GemmNTBitIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const size_t m = 517, k = 129, n = 67;
+  std::vector<float> a(m * k), b(n * k);
+  for (float& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  ExpectKernelBitInvariant(m * n, [&](float* c) {
+    GemmNT(a.data(), b.data(), c, m, k, n, 1.0f, 0.0f);
+  });
+}
+
+TEST(DeterminismTest, GemmTNBitIdenticalAcrossThreadCounts) {
+  Rng rng(43);
+  const size_t m = 1031, k = 65, n = 33;
+  std::vector<float> a(m * k), b(m * n);
+  for (float& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  ExpectKernelBitInvariant(k * n, [&](float* c) {
+    GemmTN(a.data(), b.data(), c, m, k, n, 1.0f, 0.0f);
+  });
+}
+
+TEST(DeterminismTest, ReluForwardBackwardBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(44);
+  const size_t n = (1u << 16) + 13;  // crosses kParallelElems, odd tail
+  Tensor x({n});
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  Tensor dy({n});
+  for (size_t i = 0; i < n; ++i) {
+    dy[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  Relu relu;
+  ThreadPool::SetGlobalThreads(1);
+  Tensor y_ref, dx_ref;
+  {
+    ReluWorkspace ws;
+    relu.Forward(x, &y_ref, &ws);
+    relu.Backward(dy, &dx_ref, ws);
+  }
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    ReluWorkspace ws;
+    Tensor y, dx;
+    relu.Forward(x, &y, &ws);
+    relu.Backward(dy, &dx, ws);
+    EXPECT_EQ(std::memcmp(y.data(), y_ref.data(), n * sizeof(float)), 0)
+        << "forward, " << threads << " threads";
+    EXPECT_EQ(std::memcmp(dx.data(), dx_ref.data(), n * sizeof(float)), 0)
+        << "backward, " << threads << " threads";
+  }
+}
+
+// One optimizer step on a parameter big enough to fan out, with an odd tail
+// so vector-group boundaries move with the chunking.
+template <typename MakeOpt>
+std::vector<float> DenseOptimizerResult(size_t threads, MakeOpt&& make_opt) {
+  ThreadPool::SetGlobalThreads(threads);
+  Rng rng(45);
+  DenseParam p;
+  p.Resize({(1u << 15) + 29});
+  p.lr = 1e-2f;
+  p.l2 = 1e-4f;
+  for (size_t i = 0; i < p.size(); ++i) {
+    p.value[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    p.grad[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  auto opt = make_opt();
+  opt->AddParam(&p);
+  opt->Step();
+  return std::vector<float>(p.value.data(), p.value.data() + p.size());
+}
+
+TEST(DeterminismTest, DenseSgdStepBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  auto make = [] { return std::make_unique<Sgd>(); };
+  const std::vector<float> ref = DenseOptimizerResult(1, make);
+  ExpectBitIdentical(DenseOptimizerResult(2, make), ref, 2);
+  ExpectBitIdentical(DenseOptimizerResult(8, make), ref, 8);
+}
+
+TEST(DeterminismTest, DenseAdamStepBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  auto make = [] { return std::make_unique<Adam>(); };
+  const std::vector<float> ref = DenseOptimizerResult(1, make);
+  ExpectBitIdentical(DenseOptimizerResult(2, make), ref, 2);
+  ExpectBitIdentical(DenseOptimizerResult(8, make), ref, 8);
+}
+
+TEST(DeterminismTest, LayerNormForwardBackwardBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(46);
+  const size_t batch = 1037, dim = 37;  // odd dim → scalar row tails
+  LayerNorm ln("ln", dim, 1e-3f, 0.0f);
+  Tensor x = RandomTensor({batch, dim}, &rng, 1.0);
+  Tensor dy = RandomTensor({batch, dim}, &rng, 1.0);
+  ThreadPool::SetGlobalThreads(1);
+  Tensor y_ref, dx_ref;
+  std::vector<float> dg_ref, db_ref;
+  {
+    LayerNormWorkspace ws;
+    ln.Forward(x, &y_ref, &ws);
+    ln.gamma.ZeroGrad();
+    ln.beta.ZeroGrad();
+    ln.Backward(dy, &dx_ref, ws);
+    dg_ref.assign(ln.gamma.grad.data(), ln.gamma.grad.data() + dim);
+    db_ref.assign(ln.beta.grad.data(), ln.beta.grad.data() + dim);
+  }
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    LayerNormWorkspace ws;
+    Tensor y, dx;
+    ln.Forward(x, &y, &ws);
+    ln.gamma.ZeroGrad();
+    ln.beta.ZeroGrad();
+    ln.Backward(dy, &dx, ws);
+    EXPECT_EQ(
+        std::memcmp(y.data(), y_ref.data(), y.size() * sizeof(float)), 0)
+        << "forward, " << threads << " threads";
+    EXPECT_EQ(
+        std::memcmp(dx.data(), dx_ref.data(), dx.size() * sizeof(float)), 0)
+        << "backward dx, " << threads << " threads";
+    EXPECT_EQ(std::memcmp(ln.gamma.grad.data(), dg_ref.data(),
+                          dim * sizeof(float)), 0)
+        << "dgamma, " << threads << " threads";
+    EXPECT_EQ(std::memcmp(ln.beta.grad.data(), db_ref.data(),
+                          dim * sizeof(float)), 0)
+        << "dbeta, " << threads << " threads";
   }
 }
 

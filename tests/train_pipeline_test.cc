@@ -27,25 +27,40 @@
 // --------------------------------------------------------------------------
 // Global allocation counter. std::vector and Tensor go through
 // operator new(size_t) (operator new[] forwards to it), so counting here
-// catches every steady-state heap allocation the contract forbids.
+// catches every steady-state heap allocation the contract forbids. The
+// aligned overloads are replaced too: Tensor storage and the kernel packing
+// buffers allocate through AlignedAllocator (tensor/aligned.h), which calls
+// operator new(size_t, align_val_t) — without these hooks the contract
+// would silently stop covering every tensor buffer in the model.
 // --------------------------------------------------------------------------
 
 namespace {
 std::atomic<bool> g_count_allocs{false};
 std::atomic<size_t> g_alloc_events{0};
-}  // namespace
 
-void* operator new(std::size_t size) {
+void* CountedAlloc(std::size_t size, std::size_t align) {
   if (g_count_allocs.load(std::memory_order_relaxed)) {
     g_alloc_events.fetch_add(1, std::memory_order_relaxed);
   }
-  void* p = std::malloc(size);
+  void* p = align == 0 ? std::malloc(size)
+                       : std::aligned_alloc(align, (size + align - 1) /
+                                                       align * align);
   if (p == nullptr) throw std::bad_alloc();
   return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
 }
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace optinter {
 namespace {
