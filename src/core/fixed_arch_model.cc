@@ -224,6 +224,10 @@ void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs) {
 
 void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs,
                              ForwardContext* ctx) const {
+  if (batch.size == 1 && fuse_single_row_) {
+    PredictSingleRow(*batch.data, batch.rows[0], probs, ctx);
+    return;
+  }
   // Gather (not Forward): eval never scatters gradients, so the embedding
   // layers' batch-row caches stay untouched and concurrent calls with
   // distinct contexts share only immutable parameters.
@@ -233,6 +237,48 @@ void FixedArchModel::Predict(const Batch& batch, std::vector<float>* probs,
   AssembleForward(batch, ctx);
   probs->resize(batch.size);
   SigmoidForward(ctx->logits.data(), batch.size, probs->data());
+}
+
+void FixedArchModel::PredictSingleRow(const EncodedDataset& data, size_t row,
+                                      std::vector<float>* probs,
+                                      ForwardContext* ctx) const {
+  // Batch-1 serving fast path: gather every embedding block straight into
+  // the z row and compute interactions in place — no emb_out / cross_out /
+  // triple_out intermediates. Each block holds bitwise the same values the
+  // generic path would memcpy there, and the interaction kernels run on
+  // identical inputs in identical order, so the result is bit-identical to
+  // the generic path at batch size 1.
+  const size_t emb_cols = emb_.output_dim();
+  Tensor& z = ctx->z;
+  z.Resize({1, emb_cols + inter_dim_});
+  float* zr = z.row(0);
+  emb_.GatherRow(data, row, zr);
+  for (size_t p = 0; p < arch_.size(); ++p) {
+    switch (arch_[p]) {
+      case InterMethod::kMemorize:
+        std::memcpy(zr + emb_cols + block_offset_[p],
+                    cross_emb_->Row(data, row, mem_slot_[p]),
+                    s2_ * sizeof(float));
+        break;
+      case InterMethod::kFactorize: {
+        const auto [i, j] = cat_pairs_[p];
+        FactorizedForward(pair_fns_[p], s1_, zr + i * s1_, zr + j * s1_,
+                          zr + emb_cols + block_offset_[p]);
+        break;
+      }
+      case InterMethod::kNaive:
+        break;
+    }
+  }
+  if (triple_emb_) {
+    triple_emb_->GatherRow(
+        data, row, zr + emb_cols + inter_dim_ - triple_emb_->output_dim());
+  }
+  mlp_->Forward(z, &ctx->mlp_out, &ctx->mlp);
+  ctx->logits.resize(1);
+  ctx->logits[0] = ctx->mlp_out.at(0, 0);
+  probs->resize(1);
+  SigmoidForward(ctx->logits.data(), 1, probs->data());
 }
 
 void FixedArchModel::CollectState(std::vector<Tensor*>* out) {

@@ -67,6 +67,10 @@ class FixedArchModel : public CtrModel {
 
   const Architecture& arch() const { return arch_; }
 
+  /// Test hook: disable the fused batch-1 predict path so tests can
+  /// compare it against the generic path. On by default.
+  void set_fuse_single_row(bool on) { fuse_single_row_ = on; }
+
   /// Instances of the framework with uniform methods (paper Table III).
   static std::unique_ptr<FixedArchModel> MakeFnn(const EncodedDataset& data,
                                                  const HyperParams& hp);
@@ -79,6 +83,11 @@ class FixedArchModel : public CtrModel {
   /// Shared tail of the forward pass: assembles z from the gathered
   /// embeddings in `ctx`, runs the MLP, fills ctx->logits.
   void AssembleForward(const Batch& batch, ForwardContext* ctx) const;
+
+  /// Fused batch-1 predict: gathers embeddings straight into the z row and
+  /// computes interactions in place. Bit-identical to the generic path.
+  void PredictSingleRow(const EncodedDataset& data, size_t row,
+                        std::vector<float>* probs, ForwardContext* ctx) const;
 
   std::string name_;
   Architecture arch_;
@@ -100,6 +109,7 @@ class FixedArchModel : public CtrModel {
   std::vector<size_t> block_offset_;  // into z_ columns
   std::vector<size_t> mem_slot_;      // into cross_emb_ blocks
   size_t inter_dim_ = 0;              // total interaction columns
+  bool fuse_single_row_ = true;       // batch-1 fast path (test toggle)
 
   // Training-path caches: activations live in ctx_ so forward state has a
   // single home shared with the re-entrant Predict machinery. The prepared

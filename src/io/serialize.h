@@ -27,9 +27,11 @@ Status SaveTensors(const std::string& path,
                    const std::vector<const Tensor*>& tensors);
 
 /// Reads tensors from `path` into the given (pre-shaped) tensors.
-/// Fails on magic/version/count/shape mismatch without partial writes to
-/// the outputs preceding the failing entry being rolled back — treat a
-/// non-OK status as "model state undefined, reload or rebuild".
+/// The ENTIRE file is validated first — magic, version, tensor count,
+/// every shape, and the exact byte length — so a truncated, corrupt, or
+/// configuration-mismatched checkpoint fails with a clear message and the
+/// output tensors completely untouched. Safe to call on a live model: on
+/// error the previous weights remain intact.
 Status LoadTensors(const std::string& path,
                    const std::vector<Tensor*>& tensors);
 

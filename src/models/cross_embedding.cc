@@ -25,13 +25,16 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
 }
 
 void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
+  CHECK(batch.data == &data_);
   Gather(batch, out);
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
 void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
   OPTINTER_TRACE_SPAN("cross_gather");
-  CHECK(batch.data == &data_);
+  const EncodedDataset& data = *batch.data;
+  CHECK(data.has_cross());
+  CHECK_EQ(data.num_pairs(), data_.num_pairs());
   out->Resize({batch.size, output_dim()});
   auto gather = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
@@ -39,7 +42,7 @@ void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
       float* dst = out->row(k);
       for (size_t t = 0; t < pairs_.size(); ++t) {
         std::memcpy(dst + t * dim_,
-                    tables_[t]->Row(data_.cross(r, pairs_[t])),
+                    tables_[t]->Row(data.cross(r, pairs_[t])),
                     dim_ * sizeof(float));
       }
     }
@@ -50,6 +53,11 @@ void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
   } else {
     gather(0, batch.size);
   }
+}
+
+const float* CrossEmbedding::Row(const EncodedDataset& data, size_t row,
+                                 size_t t) const {
+  return tables_[t]->Row(data.cross(row, pairs_[t]));
 }
 
 void CrossEmbedding::Backward(const Tensor& d_out) {

@@ -34,8 +34,14 @@ class CrossEmbedding {
   void Forward(const Batch& batch, Tensor* out);
 
   /// Inference-only lookup: same output as Forward but touches no mutable
-  /// state, so concurrent calls on different batches are safe.
+  /// state, so concurrent calls on different batches are safe. The batch
+  /// may reference any dataset with the same pair layout as the
+  /// construction dataset (serving-arena batches qualify).
   void Gather(const Batch& batch, Tensor* out) const;
+
+  /// Embedding row for pair-block `t` of dataset row `row` — the fused
+  /// batch-1 serving path reads cross blocks through this.
+  const float* Row(const EncodedDataset& data, size_t row, size_t t) const;
 
   /// Scatters d_out into table gradients.
   void Backward(const Tensor& d_out);

@@ -35,13 +35,21 @@ FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
 }
 
 void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
+  // Training stays bound to the construction dataset: Backward re-reads
+  // ids for the cached rows through data_.
+  CHECK(batch.data == &data_);
   Gather(batch, out);
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
 void FeatureEmbedding::Gather(const Batch& batch, Tensor* out) const {
   OPTINTER_TRACE_SPAN("embedding_gather");
-  CHECK(batch.data == &data_);
+  // Inference may read any schema-compatible dataset (e.g. the serving
+  // layer's request arenas), not just the one the layer was built from;
+  // ids must come from the same encoder so the vocabularies line up.
+  const EncodedDataset& data = *batch.data;
+  CHECK_EQ(data.num_categorical(), cat_tables_.size());
+  CHECK_EQ(data.num_continuous(), cont_tables_.size());
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
   out->Resize({batch.size, output_dim()});
@@ -50,11 +58,11 @@ void FeatureEmbedding::Gather(const Batch& batch, Tensor* out) const {
       const size_t r = batch.rows[k];
       float* dst = out->row(k);
       for (size_t f = 0; f < num_cat; ++f) {
-        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data_.cat(r, f)),
+        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data.cat(r, f)),
                     dim_ * sizeof(float));
       }
       for (size_t f = 0; f < num_cont; ++f) {
-        const float v = data_.cont(r, f);
+        const float v = data.cont(r, f);
         const float* src = cont_tables_[f]->Row(0);
         float* d = dst + (num_cat + f) * dim_;
         for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
@@ -67,6 +75,24 @@ void FeatureEmbedding::Gather(const Batch& batch, Tensor* out) const {
     ParallelForChunks(0, batch.size, gather, /*min_chunk=*/64);
   } else {
     gather(0, batch.size);
+  }
+}
+
+void FeatureEmbedding::GatherRow(const EncodedDataset& data, size_t row,
+                                 float* dst) const {
+  const size_t num_cat = cat_tables_.size();
+  const size_t num_cont = cont_tables_.size();
+  CHECK_EQ(data.num_categorical(), num_cat);
+  CHECK_EQ(data.num_continuous(), num_cont);
+  for (size_t f = 0; f < num_cat; ++f) {
+    std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data.cat(row, f)),
+                dim_ * sizeof(float));
+  }
+  for (size_t f = 0; f < num_cont; ++f) {
+    const float v = data.cont(row, f);
+    const float* src = cont_tables_[f]->Row(0);
+    float* d = dst + (num_cat + f) * dim_;
+    for (size_t t = 0; t < dim_; ++t) d[t] = src[t] * v;
   }
 }
 

@@ -32,8 +32,16 @@ class FeatureEmbedding {
   void Forward(const Batch& batch, Tensor* out);
 
   /// Inference-only lookup: same output as Forward but touches no mutable
-  /// state, so concurrent calls on different batches are safe.
+  /// state, so concurrent calls on different batches are safe. The batch
+  /// may reference any dataset encoded with the same encoder as the
+  /// construction dataset (same field layout and vocabularies) — the
+  /// serving layer predicts from request arenas this way.
   void Gather(const Batch& batch, Tensor* out) const;
+
+  /// Single-row gather straight into `dst` (length output_dim()), the
+  /// fused batch-1 serving path: same values and op order as one row of
+  /// Gather, no intermediate tensor.
+  void GatherRow(const EncodedDataset& data, size_t row, float* dst) const;
 
   /// Scatters d_out (same shape as Forward's out) into table gradients.
   void Backward(const Tensor& d_out);

@@ -25,13 +25,16 @@ TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
 }
 
 void TripleEmbedding::Forward(const Batch& batch, Tensor* out) {
+  CHECK(batch.data == &data_);
   Gather(batch, out);
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
 void TripleEmbedding::Gather(const Batch& batch, Tensor* out) const {
   OPTINTER_TRACE_SPAN("triple_gather");
-  CHECK(batch.data == &data_);
+  const EncodedDataset& data = *batch.data;
+  CHECK(data.has_triples());
+  CHECK_EQ(data.num_triples(), data_.num_triples());
   out->Resize({batch.size, output_dim()});
   auto gather = [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
@@ -39,7 +42,7 @@ void TripleEmbedding::Gather(const Batch& batch, Tensor* out) const {
       float* dst = out->row(k);
       for (size_t t = 0; t < triples_.size(); ++t) {
         std::memcpy(dst + t * dim_,
-                    tables_[t]->Row(data_.triple(r, triples_[t])),
+                    tables_[t]->Row(data.triple(r, triples_[t])),
                     dim_ * sizeof(float));
       }
     }
@@ -49,6 +52,14 @@ void TripleEmbedding::Gather(const Batch& batch, Tensor* out) const {
     ParallelForChunks(0, batch.size, gather, /*min_chunk=*/64);
   } else {
     gather(0, batch.size);
+  }
+}
+
+void TripleEmbedding::GatherRow(const EncodedDataset& data, size_t row,
+                                float* dst) const {
+  for (size_t t = 0; t < triples_.size(); ++t) {
+    std::memcpy(dst + t * dim_, tables_[t]->Row(data.triple(row, triples_[t])),
+                dim_ * sizeof(float));
   }
 }
 

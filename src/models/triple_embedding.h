@@ -25,8 +25,12 @@ class TripleEmbedding {
   /// out: [B × (triples.size() * dim)].
   void Forward(const Batch& batch, Tensor* out);
   /// Inference-only lookup: touches no mutable state, so concurrent calls
-  /// on different batches are safe.
+  /// on different batches are safe. The batch may reference any dataset
+  /// with the same triple layout as the construction dataset.
   void Gather(const Batch& batch, Tensor* out) const;
+  /// Single-row gather into `dst` (length output_dim()) — the fused
+  /// batch-1 serving path. Same values and op order as one row of Gather.
+  void GatherRow(const EncodedDataset& data, size_t row, float* dst) const;
   void Backward(const Tensor& d_out);
   // Phase-split path (see prepared_batch.h / DESIGN.md); mirrors
   // Gather/Backward/Step bit for bit from prepared id lists.

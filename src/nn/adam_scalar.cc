@@ -1,0 +1,28 @@
+#include "nn/adam_scalar.h"
+
+#include <cmath>
+
+#if defined(OPTINTER_SIMD_SCALAR)
+
+namespace optinter {
+
+// Built with -fno-math-errno (set per-file in CMakeLists.txt): sqrtf has
+// no observable side effect here, so the loop is a clean vectorization
+// candidate at -O3. Same per-element op sequence as the lane/tail path.
+void AdamScalarBody(float* w, const float* g, float* m, float* v, float lr,
+                    float l2, float b1, float b2, float bc1, float bc2,
+                    float eps, size_t lo, size_t hi) {
+#pragma GCC ivdep
+  for (size_t i = lo; i < hi; ++i) {
+    const float gi = l2 * w[i] + g[i];
+    m[i] = b1 * m[i] + (1.0f - b1) * gi;
+    v[i] = b2 * v[i] + ((1.0f - b2) * gi) * gi;
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace optinter
+
+#endif  // OPTINTER_SIMD_SCALAR

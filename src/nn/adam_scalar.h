@@ -1,0 +1,30 @@
+#ifndef OPTINTER_NN_ADAM_SCALAR_H_
+#define OPTINTER_NN_ADAM_SCALAR_H_
+
+#include <cstddef>
+
+#include "tensor/simd.h"
+
+#if defined(OPTINTER_SIMD_SCALAR)
+
+namespace optinter {
+
+/// Scalar-backend dense Adam update over [lo, hi). With kLanes == 1 the
+/// generic lane loop in Adam::Step degenerates to one element per
+/// iteration through the VecF wrappers, and std::sqrt's errno side effect
+/// blocks GCC from auto-vectorizing it — a ~25% throughput loss against
+/// the old plain loop. This body lives in its own translation unit built
+/// with -fno-math-errno (see src/nn/CMakeLists.txt) so the compiler may
+/// vectorize the sqrt; every per-element operation and rounding matches
+/// the lane/tail path exactly (MulAddScalar is a*b+c on the scalar
+/// backend, sqrtf is correctly rounded with or without errno), so results
+/// stay bit-identical.
+void AdamScalarBody(float* w, const float* g, float* m, float* v, float lr,
+                    float l2, float b1, float b2, float bc1, float bc2,
+                    float eps, size_t lo, size_t hi);
+
+}  // namespace optinter
+
+#endif  // OPTINTER_SIMD_SCALAR
+
+#endif  // OPTINTER_NN_ADAM_SCALAR_H_

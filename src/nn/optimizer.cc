@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "nn/adam_scalar.h"
 #include "obs/trace.h"
 #include "tensor/simd.h"
 
@@ -16,6 +17,7 @@ namespace {
 constexpr size_t kParallelElems = 1u << 15;
 
 constexpr size_t kL = simd::kLanes;
+
 }  // namespace
 
 void Optimizer::ZeroGrad() {
@@ -92,6 +94,9 @@ void Adam::Step() {
     // rounded on every backend), so the update is bit-identical wherever
     // the chunk/group boundaries fall.
     auto body = [&](size_t lo, size_t hi) {
+#if defined(OPTINTER_SIMD_SCALAR)
+      AdamScalarBody(w, g, m, v, lr, l2, b1, b2, bc1, bc2, eps, lo, hi);
+#else
       const simd::VecF l2_v = simd::Set1(l2);
       const simd::VecF b1_v = simd::Set1(b1);
       const simd::VecF b2_v = simd::Set1(b2);
@@ -125,6 +130,7 @@ void Adam::Step() {
         const float v_hat = v[i] / bc2;
         w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
       }
+#endif  // OPTINTER_SIMD_SCALAR
     };
     if (p->size() >= kParallelElems) {
       ParallelForChunks(0, p->size(), body, /*min_chunk=*/4096);

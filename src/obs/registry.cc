@@ -88,6 +88,35 @@ void Histogram::Observe(double v) noexcept {
   }
 }
 
+double Histogram::Quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // bucket counts and linearly interpolate inside the covering bucket.
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      // Overflow bucket has no upper edge; report its lower edge (the
+      // largest finite bound) — a conservative floor for the quantile.
+      if (i == bounds_.size()) return bounds_.back();
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i < num_buckets(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);

@@ -97,6 +97,13 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within
+  /// the covering bucket — the serving layer reports p50/p99 latency this
+  /// way. 0 when empty; observations past the last bound report the last
+  /// bound (a conservative floor). Consistent only when writers are
+  /// quiescent.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:

@@ -1,0 +1,78 @@
+// Serving request representation and the per-flush request arena.
+//
+// A PredictRequest is one fully-encoded feature row — the output of the
+// deployment-time FittedEncoder, i.e. exactly the id space the deployed
+// model's embedding tables were built against. The serving layer never
+// sees raw feature strings; encoding happens at the edge (see
+// examples/train_save_serve.cpp) so the hot path is pure id lookups.
+//
+// A RequestArena is a reusable, schema-locked EncodedDataset holding the
+// rows of one micro-batch (or one batch-1 request). Appending validates
+// field counts and id ranges against the reference dataset's vocabularies
+// and returns a recoverable Status instead of tripping the CHECKs deep
+// inside EmbeddingTable::Row — a malformed request must never abort the
+// server. Buffers keep their capacity across Clear(), so a steady-state
+// serving loop performs no allocations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/batch.h"
+#include "data/dataset.h"
+
+namespace optinter {
+namespace serve {
+
+/// One encoded scoring request: ids/values in dataset column order.
+struct PredictRequest {
+  /// Encoded categorical ids, one per categorical field (0 = OOV).
+  std::vector<int32_t> cat_ids;
+  /// Normalized continuous values, one per continuous field.
+  std::vector<float> cont_values;
+  /// Encoded cross-product ids, one per categorical pair in canonical
+  /// order. Required when the reference dataset has cross features built
+  /// (models with memorized pairs read them); empty otherwise.
+  std::vector<int32_t> cross_ids;
+  /// Encoded triple cross ids, one per built triple. Usually empty.
+  std::vector<int32_t> triple_ids;
+};
+
+/// Extracts row `row` of `data` as a request — the bench/test path, and
+/// the template for what an encoder front-end must produce.
+PredictRequest RequestFromRow(const EncodedDataset& data, size_t row);
+
+/// Reusable micro-batch storage bound to a reference dataset's schema.
+///
+/// Not thread-safe; the serving layer owns one arena per flusher /
+/// batch-1 slot. The reference dataset must outlive the arena (only its
+/// schema and vocab sizes are copied; they are what Append validates
+/// against).
+class RequestArena {
+ public:
+  explicit RequestArena(const EncodedDataset& reference);
+
+  /// Drops all rows, keeping buffer capacity.
+  void Clear();
+
+  /// Validates and appends one request row. On error the arena is
+  /// unchanged and the status names the offending field.
+  Status Append(const PredictRequest& request);
+
+  /// View over every appended row, in append order.
+  Batch MakeBatch() const;
+
+  size_t size() const { return data_.num_rows; }
+  const EncodedDataset& data() const { return data_; }
+
+ private:
+  EncodedDataset data_;       // schema + vocabs from the reference
+  std::vector<size_t> rows_;  // identity row ids backing MakeBatch
+  bool expect_cross_ = false;
+  bool expect_triples_ = false;
+};
+
+}  // namespace serve
+}  // namespace optinter

@@ -1,0 +1,69 @@
+#include "serve/snapshot.h"
+
+#include "io/serialize.h"
+#include "obs/registry.h"
+
+namespace optinter {
+namespace serve {
+
+namespace {
+obs::Counter* SwapCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.swaps");
+  return c;
+}
+}  // namespace
+
+Status CheckServable(const CtrModel& model) {
+  if (!model.SupportsReentrantPredict()) {
+    return Status::FailedPrecondition(
+        model.Name() +
+        " does not implement the const re-entrant Predict(batch, probs, "
+        "ctx) overload (SupportsReentrantPredict() is false); the serving "
+        "layer requires it so concurrent requests can share one immutable "
+        "snapshot. Retrain/deploy a FixedArchModel, or implement the "
+        "overload.");
+  }
+  return Status::OK();
+}
+
+Status SnapshotSlot::Publish(std::shared_ptr<const CtrModel> model) {
+  if (model == nullptr) {
+    return Status::Invalid("cannot publish a null model");
+  }
+  Status st = CheckServable(*model);
+  if (!st.ok()) return st;
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  snap->version = generations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Release store: a reader that acquires the new pointer sees the fully
+  // constructed snapshot (and every weight the loader wrote before the
+  // Publish call).
+  current_.store(std::move(snap), std::memory_order_release);
+  SwapCounter()->Increment();
+  return Status::OK();
+}
+
+Status SwapFromCheckpoint(
+    SnapshotSlot* slot,
+    const std::function<std::unique_ptr<CtrModel>()>& factory,
+    const std::string& checkpoint_path) {
+  CHECK(slot != nullptr);
+  CHECK(factory != nullptr);
+  std::shared_ptr<CtrModel> fresh{factory()};
+  if (fresh == nullptr) {
+    return Status::Invalid("model factory returned null");
+  }
+  Status st = CheckServable(*fresh);
+  if (!st.ok()) return st;
+  // Load into the fresh (unpublished) buffer; the live snapshot is never
+  // written to. LoadModel validates the whole checkpoint before writing
+  // any tensor, so a bad file cannot leave `fresh` half-initialized
+  // either — it is simply discarded.
+  st = LoadModel(fresh.get(), checkpoint_path);
+  if (!st.ok()) return st;
+  return slot->Publish(std::move(fresh));
+}
+
+}  // namespace serve
+}  // namespace optinter

@@ -1,0 +1,91 @@
+// Lock-free model hot-swap for the serving layer.
+//
+// The live model is published as an immutable ModelSnapshot behind an
+// atomic shared_ptr (RCU idiom): readers Acquire() a reference-counted
+// pointer, predict against it, and drop it; a swap atomically exchanges
+// the pointer to a fully-built replacement. The two generations are
+// therefore double-buffered — the outgoing snapshot stays alive (and
+// keeps serving its in-flight requests) until the last reader releases
+// it, so every request sees one whole snapshot's weights: no torn reads,
+// no pause, no reader-side lock.
+//
+// Swap safety rules:
+//  * A snapshot's model is NEVER mutated after Publish. Hot-swapping a
+//    retrained checkpoint means building a FRESH model instance, loading
+//    the checkpoint into it (io/serialize validates the byte stream
+//    before touching any weight), and publishing that instance.
+//  * Only models with a const re-entrant Predict can be published;
+//    Publish rejects anything else up front with an actionable error
+//    instead of letting requests die on the CHECK inside
+//    CtrModel::Predict(batch, probs, ctx).
+//  * The model's backing objects (the EncodedDataset it was constructed
+//    against) must outlive the snapshot; bundle them into the deleter or
+//    keep them process-lifetime, as the examples do.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "models/model.h"
+
+namespace optinter {
+namespace serve {
+
+/// Actionable up-front guard: OK iff `model` implements the const
+/// re-entrant Predict overload (CtrModel::SupportsReentrantPredict).
+Status CheckServable(const CtrModel& model);
+
+/// One immutable published model generation.
+struct ModelSnapshot {
+  std::shared_ptr<const CtrModel> model;
+  /// Monotonic generation id (1 = first Publish).
+  uint64_t version = 0;
+};
+
+/// Atomic publication slot for the live snapshot.
+///
+/// Thread-safe: any number of Acquire()ing readers may run concurrently
+/// with Publish. Readers never block a swap and a swap never blocks
+/// readers — the exchange is a single atomic shared_ptr store.
+class SnapshotSlot {
+ public:
+  /// Publishes `model` as the new live snapshot, replacing any previous
+  /// one. Fails (leaving the previous snapshot live) when the model does
+  /// not support re-entrant Predict.
+  Status Publish(std::shared_ptr<const CtrModel> model);
+
+  /// The current snapshot, pinned for the caller's lifetime of the
+  /// returned pointer; nullptr before the first Publish.
+  std::shared_ptr<const ModelSnapshot> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Generation id of the live snapshot (0 before the first Publish).
+  uint64_t version() const {
+    auto snap = Acquire();
+    return snap ? snap->version : 0;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_{nullptr};
+  std::atomic<uint64_t> generations_{0};
+};
+
+/// Builds a fresh model via `factory`, restores `checkpoint_path` into it
+/// (full-file validation first — a truncated or mismatched checkpoint is
+/// rejected without publishing), and publishes it into `slot`. The
+/// previous snapshot keeps serving until its last in-flight request
+/// completes. On any failure the slot is untouched and the old model
+/// stays live.
+Status SwapFromCheckpoint(
+    SnapshotSlot* slot,
+    const std::function<std::unique_ptr<CtrModel>()>& factory,
+    const std::string& checkpoint_path);
+
+}  // namespace serve
+}  // namespace optinter

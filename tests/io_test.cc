@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/fixed_arch_model.h"
 #include "core/zoo.h"
@@ -68,6 +71,103 @@ TEST(SerializeTest, MissingFileIsIoError) {
   Tensor t({1});
   Status st = LoadTensors(TempPath("no_such_file.bin"), {&t});
   EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SerializeTest, TruncationAtAnyPointLeavesTargetsUntouched) {
+  Tensor a({4, 4});
+  Tensor b({8});
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = 100.0f + static_cast<float>(i);
+  const std::string path = TempPath("full.bin");
+  ASSERT_TRUE(SaveTensors(path, {&a, &b}).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  const std::string trunc_path = TempPath("trunc.bin");
+  // Cut inside the magic, the header, tensor 0's shape, tensor 0's data,
+  // and tensor 1's data (one byte short). Every cut must fail cleanly AND
+  // leave the destination tensors exactly as they were — no partial
+  // overwrite of live model weights before the error surfaces.
+  const size_t cuts[] = {2,  9,  13, 20, 30,
+                         bytes.size() / 2, bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    WriteFileBytes(trunc_path, bytes.substr(0, cut));
+    Tensor a2({4, 4});
+    Tensor b2({8});
+    for (size_t i = 0; i < a2.size(); ++i) a2[i] = -7.5f;
+    for (size_t i = 0; i < b2.size(); ++i) b2[i] = -7.5f;
+    Status st = LoadTensors(trunc_path, {&a2, &b2});
+    EXPECT_FALSE(st.ok()) << "cut at " << cut;
+    for (size_t i = 0; i < a2.size(); ++i) {
+      ASSERT_EQ(a2[i], -7.5f) << "cut at " << cut << " wrote tensor 0";
+    }
+    for (size_t i = 0; i < b2.size(); ++i) {
+      ASSERT_EQ(b2[i], -7.5f) << "cut at " << cut << " wrote tensor 1";
+    }
+  }
+}
+
+TEST(SerializeTest, TrailingGarbageRejected) {
+  Tensor a({3});
+  const std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(SaveTensors(path, {&a}).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes += "junk";
+  WriteFileBytes(path, bytes);
+  Tensor a2({3});
+  Status st = LoadTensors(path, {&a2});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("trailing"), std::string::npos);
+}
+
+TEST(SerializeTest, AbsurdShapeRejectedWithoutAllocation) {
+  // Hand-craft a header claiming a preposterous tensor: the loader must
+  // report a clean mismatch, not try to materialize the claimed dims.
+  const std::string path = TempPath("absurd.bin");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write("OPTI", 4);
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t count = 1;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const uint32_t ndim = 2;
+  out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+  const uint64_t huge = 1ull << 40;
+  out.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  out.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  out.close();
+  Tensor t({2, 2});
+  Status st = LoadTensors(path, {&t});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("mismatch"), std::string::npos);
+}
+
+TEST(SerializeTest, AbsurdDimCountRejected) {
+  const std::string path = TempPath("absurd_ndim.bin");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write("OPTI", 4);
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t count = 1;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const uint32_t ndim = 4000000000u;  // garbage stream read as a shape
+  out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+  out.close();
+  Tensor t({2});
+  Status st = LoadTensors(path, {&t});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("dimensions"), std::string::npos);
 }
 
 TEST(SerializeTest, ModelCheckpointRestoresPredictions) {

@@ -149,6 +149,27 @@ TEST(RegistryTest, HistogramBucketEdges) {
   EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0);
 }
 
+TEST(RegistryTest, HistogramQuantileInterpolates) {
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "test.quantile", {10.0, 20.0, 40.0});
+  h->Reset();
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // empty histogram
+  // 8 observations in (0, 10], 2 in (10, 20].
+  for (int i = 0; i < 8; ++i) h->Observe(5.0);
+  for (int i = 0; i < 2; ++i) h->Observe(15.0);
+  // p50: rank 5 of 8 in bucket (0, 10] → 10 * 5/8.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 10.0 * 5.0 / 8.0);
+  // p90: rank 9 lands on the first of 2 observations in (10, 20].
+  EXPECT_DOUBLE_EQ(h->Quantile(0.9), 10.0 + 10.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 20.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h->Quantile(-1.0), h->Quantile(0.0));
+  // Overflow-bucket observations report the last finite bound as a floor.
+  h->Reset();
+  h->Observe(1000.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 40.0);
+}
+
 TEST(RegistryTest, GaugeSetAndAdd) {
   obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge("test.gauge");
   g->Set(2.5);

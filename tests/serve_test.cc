@@ -1,0 +1,444 @@
+// Serving-layer tests: request validation, snapshot deploy/hot-swap,
+// batch-1 fused path, micro-batching, and the concurrent-clients-during-
+// swap workload (the TSan job runs this binary too — any torn read or
+// data race in the snapshot exchange shows up there).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/fixed_arch_model.h"
+#include "io/serialize.h"
+#include "obs/registry.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "test_data.h"
+
+namespace optinter {
+namespace {
+
+using serve::CheckServable;
+using serve::ModelSnapshot;
+using serve::PredictRequest;
+using serve::PredictServer;
+using serve::RequestArena;
+using serve::RequestFromRow;
+using serve::ServeOptions;
+using serve::SnapshotSlot;
+using serve::SwapFromCheckpoint;
+using testing::SharedTinyData;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+HyperParams TinyHp() {
+  HyperParams hp = DefaultHyperParams("tiny");
+  hp.seed = 77;
+  return hp;
+}
+
+/// Trains a fresh OptInter-M for `steps` steps on the head of the train
+/// split. Same hp/seed → identical construction, so checkpoints from any
+/// of these load into any other.
+std::unique_ptr<FixedArchModel> TrainedModel(int steps) {
+  const auto& p = SharedTinyData();
+  auto model = FixedArchModel::MakeOptInterM(p.data, TinyHp());
+  Batch b = testing::HeadBatch(p, 128);
+  for (int i = 0; i < steps; ++i) model->TrainStep(b);
+  return model;
+}
+
+/// A CtrModel WITHOUT the re-entrant Predict overload, as every model
+/// predating the re-entrancy contract looks to the serving layer.
+class NonReentrantModel : public CtrModel {
+ public:
+  std::string Name() const override { return "LegacyModel"; }
+  float TrainStep(const Batch&) override { return 0.0f; }
+  void Predict(const Batch& batch, std::vector<float>* probs) override {
+    probs->assign(batch.size, 0.5f);
+  }
+  size_t ParamCount() const override { return 0; }
+};
+
+TEST(RequestArenaTest, RoundTripsRow) {
+  const auto& p = SharedTinyData();
+  RequestArena arena(p.data);
+  const size_t row = p.splits.train[3];
+  ASSERT_TRUE(arena.Append(RequestFromRow(p.data, row)).ok());
+  EXPECT_EQ(arena.size(), 1u);
+  const Batch b = arena.MakeBatch();
+  ASSERT_EQ(b.size, 1u);
+  for (size_t f = 0; f < p.data.num_categorical(); ++f) {
+    EXPECT_EQ(b.data->cat(0, f), p.data.cat(row, f));
+  }
+  for (size_t f = 0; f < p.data.num_continuous(); ++f) {
+    EXPECT_EQ(b.data->cont(0, f), p.data.cont(row, f));
+  }
+  for (size_t pr = 0; pr < p.data.num_pairs(); ++pr) {
+    EXPECT_EQ(b.data->cross(0, pr), p.data.cross(row, pr));
+  }
+}
+
+TEST(RequestArenaTest, RejectsFieldCountMismatch) {
+  const auto& p = SharedTinyData();
+  RequestArena arena(p.data);
+  PredictRequest req = RequestFromRow(p.data, p.splits.train[0]);
+  req.cat_ids.pop_back();
+  Status st = arena.Append(req);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(arena.size(), 0u);  // arena unchanged on rejection
+
+  req = RequestFromRow(p.data, p.splits.train[0]);
+  req.cross_ids.clear();
+  EXPECT_EQ(arena.Append(req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestArenaTest, RejectsOutOfVocabIds) {
+  const auto& p = SharedTinyData();
+  RequestArena arena(p.data);
+  PredictRequest req = RequestFromRow(p.data, p.splits.train[0]);
+  req.cat_ids[1] = static_cast<int32_t>(p.data.cat_vocab_sizes[1]);
+  Status st = arena.Append(req);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  // The message names the offending field so the caller can fix its
+  // encoder, not just "bad request".
+  EXPECT_NE(st.message().find("field 1"), std::string::npos);
+  EXPECT_EQ(arena.size(), 0u);
+
+  req = RequestFromRow(p.data, p.splits.train[0]);
+  req.cross_ids[0] = -1;
+  EXPECT_EQ(arena.Append(req).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotTest, RejectsNonReentrantModelUpFront) {
+  auto legacy = std::make_shared<const NonReentrantModel>();
+  Status st = CheckServable(*legacy);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("re-entrant"), std::string::npos);
+
+  SnapshotSlot slot;
+  EXPECT_EQ(slot.Publish(legacy).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(slot.Acquire(), nullptr);
+  EXPECT_EQ(slot.version(), 0u);
+}
+
+TEST(SnapshotTest, PublishBumpsVersionAndPinsOldSnapshot) {
+  SnapshotSlot slot;
+  std::shared_ptr<const CtrModel> a = TrainedModel(1);
+  std::shared_ptr<const CtrModel> b = TrainedModel(2);
+  ASSERT_TRUE(slot.Publish(a).ok());
+  EXPECT_EQ(slot.version(), 1u);
+  std::shared_ptr<const ModelSnapshot> pinned = slot.Acquire();
+  ASSERT_TRUE(slot.Publish(b).ok());
+  EXPECT_EQ(slot.version(), 2u);
+  // The pinned generation stays whole and alive across the swap.
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(pinned->model.get(), a.get());
+  EXPECT_EQ(slot.Acquire()->model.get(), b.get());
+}
+
+TEST(SnapshotTest, SwapFromBadCheckpointKeepsOldModelLive) {
+  const auto& p = SharedTinyData();
+  SnapshotSlot slot;
+  std::shared_ptr<const CtrModel> a = TrainedModel(1);
+  ASSERT_TRUE(slot.Publish(a).ok());
+
+  auto factory = [&]() -> std::unique_ptr<CtrModel> {
+    return FixedArchModel::MakeOptInterM(p.data, TinyHp());
+  };
+  Status st = SwapFromCheckpoint(&slot, factory,
+                                 TempPath("no_such_checkpoint.bin"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(slot.version(), 1u);
+  EXPECT_EQ(slot.Acquire()->model.get(), a.get());
+}
+
+TEST(FusedSingleRowTest, BitwiseMatchesGenericPath) {
+  const auto& p = SharedTinyData();
+  auto model = TrainedModel(5);
+  ForwardContext ctx_fused, ctx_generic;
+  std::vector<float> fused, generic;
+  for (size_t k = 0; k < 32; ++k) {
+    const size_t row = p.splits.test[k];
+    Batch b;
+    b.data = &p.data;
+    b.rows = &row;
+    b.size = 1;
+    model->set_fuse_single_row(true);
+    const CtrModel& cm = *model;
+    cm.Predict(b, &fused, &ctx_fused);
+    model->set_fuse_single_row(false);
+    cm.Predict(b, &generic, &ctx_generic);
+    model->set_fuse_single_row(true);
+    ASSERT_EQ(fused.size(), 1u);
+    // Bit-identical, not just close: the fused path must be a pure
+    // reordering of memory traffic, never of arithmetic.
+    EXPECT_EQ(fused[0], generic[0]) << "row " << row;
+  }
+}
+
+TEST(PredictServerTest, RejectsBeforeDeployAndBadRequests) {
+  const auto& p = SharedTinyData();
+  PredictServer server(p.data);
+  PredictRequest req = RequestFromRow(p.data, p.splits.train[0]);
+  EXPECT_EQ(server.PredictNow(req).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.Submit(req).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(server.Deploy(TrainedModel(1)).ok());
+  req.cat_ids[0] = -5;
+  EXPECT_EQ(server.PredictNow(req).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(server.Submit(req).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PredictServerTest, DeployRejectsNonReentrantModel) {
+  const auto& p = SharedTinyData();
+  PredictServer server(p.data);
+  Status st = server.Deploy(std::make_shared<const NonReentrantModel>());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.DeployedVersion(), 0u);
+}
+
+TEST(PredictServerTest, PredictNowMatchesDirectPredictBitwise) {
+  const auto& p = SharedTinyData();
+  auto model = TrainedModel(5);
+  const FixedArchModel* raw = model.get();
+  PredictServer server(p.data);
+  ASSERT_TRUE(server.Deploy(std::move(model)).ok());
+  ForwardContext ctx;
+  std::vector<float> direct;
+  for (size_t k = 0; k < 32; ++k) {
+    const size_t row = p.splits.test[k];
+    Batch b;
+    b.data = &p.data;
+    b.rows = &row;
+    b.size = 1;
+    static_cast<const CtrModel*>(raw)->Predict(b, &direct, &ctx);
+    Result<float> served = server.PredictNow(RequestFromRow(p.data, row));
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(*served, direct[0]) << "row " << row;
+  }
+}
+
+TEST(PredictServerTest, SubmitCoalescesAndMatchesBatchPredict) {
+  const auto& p = SharedTinyData();
+  auto model = TrainedModel(5);
+  const FixedArchModel* raw = model.get();
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.flush_deadline_us = 2000;
+  PredictServer server(p.data, opts);
+  ASSERT_TRUE(server.Deploy(std::move(model)).ok());
+
+  constexpr size_t kN = 48;
+  std::vector<std::future<float>> futures;
+  for (size_t k = 0; k < kN; ++k) {
+    auto fut = server.Submit(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    futures.push_back(std::move(*fut));
+  }
+  server.Drain();
+  EXPECT_EQ(server.pending(), 0u);
+
+  Batch b;
+  b.data = &p.data;
+  b.rows = p.splits.test.data();
+  b.size = kN;
+  ForwardContext ctx;
+  std::vector<float> direct;
+  static_cast<const CtrModel*>(raw)->Predict(b, &direct, &ctx);
+  for (size_t k = 0; k < kN; ++k) {
+    // Micro-batch boundaries differ from the reference batch, so equality
+    // holds only to the batching-invariance tolerance (see
+    // EvaluateBatchingInvariant in train_test).
+    EXPECT_NEAR(futures[k].get(), direct[k], 1e-6) << "row " << k;
+  }
+}
+
+TEST(PredictServerTest, DeadlineFlushesPartialBatch) {
+  const auto& p = SharedTinyData();
+  ServeOptions opts;
+  opts.max_batch = 1024;  // never fills; only the deadline can flush
+  opts.flush_deadline_us = 500;
+  PredictServer server(p.data, opts);
+  ASSERT_TRUE(server.Deploy(TrainedModel(1)).ok());
+  auto fut = server.Submit(RequestFromRow(p.data, p.splits.train[0]));
+  ASSERT_TRUE(fut.ok());
+  EXPECT_EQ(fut->wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  server.Drain();
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(PredictServerTest, BackpressureRejectsWhenQueueFull) {
+  const auto& p = SharedTinyData();
+  ServeOptions opts;
+  opts.max_batch = 1024;
+  opts.flush_deadline_us = 200000;  // hold the queue long enough to fill
+  opts.max_pending = 4;
+  PredictServer server(p.data, opts);
+  ASSERT_TRUE(server.Deploy(TrainedModel(1)).ok());
+  std::vector<std::future<float>> futures;
+  bool saw_reject = false;
+  for (size_t k = 0; k < 64; ++k) {
+    auto fut = server.Submit(RequestFromRow(p.data, p.splits.train[0]));
+    if (fut.ok()) {
+      futures.push_back(std::move(*fut));
+    } else {
+      EXPECT_EQ(fut.status().code(), StatusCode::kFailedPrecondition);
+      saw_reject = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+  server.Drain();
+}
+
+TEST(PredictServerTest, CheckpointRoundTripServesIdenticalProbabilities) {
+  const auto& p = SharedTinyData();
+  const std::string ckpt = TempPath("serve_roundtrip.ckpt");
+  auto model = TrainedModel(8);
+  ASSERT_TRUE(SaveModel(model.get(), ckpt).ok());
+
+  PredictServer server(p.data);
+  ASSERT_TRUE(server.Deploy(std::move(model)).ok());
+  EXPECT_EQ(server.DeployedVersion(), 1u);
+  std::vector<float> before;
+  for (size_t k = 0; k < 16; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    before.push_back(*r);
+  }
+  // Hot-swap to a FRESH model restored from the same checkpoint: the
+  // serialize → reload → serve round trip must be bitwise lossless.
+  ASSERT_TRUE(server
+                  .DeployCheckpoint(
+                      [&]() -> std::unique_ptr<CtrModel> {
+                        return FixedArchModel::MakeOptInterM(p.data,
+                                                             TinyHp());
+                      },
+                      ckpt)
+                  .ok());
+  EXPECT_EQ(server.DeployedVersion(), 2u);
+  for (size_t k = 0; k < 16; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, before[k]) << "row " << k;
+  }
+}
+
+// The hot-swap contract under fire: clients hammer PredictNow and Submit
+// while another thread swaps between two checkpoints. Every returned
+// probability must EXACTLY equal one whole generation's answer for that
+// row — any blend of generations (torn read) fails the membership check,
+// and TSan checks the same workload for data races in CI.
+TEST(PredictServerTest, ConcurrentClientsSeeOnlyWholeSnapshots) {
+  const auto& p = SharedTinyData();
+  const std::string ckpt_a = TempPath("swap_a.ckpt");
+  const std::string ckpt_b = TempPath("swap_b.ckpt");
+  {
+    auto a = TrainedModel(3);
+    ASSERT_TRUE(SaveModel(a.get(), ckpt_a).ok());
+    auto b = TrainedModel(12);
+    ASSERT_TRUE(SaveModel(b.get(), ckpt_b).ok());
+  }
+  auto factory = [&]() -> std::unique_ptr<CtrModel> {
+    return FixedArchModel::MakeOptInterM(p.data, TinyHp());
+  };
+
+  constexpr size_t kRows = 24;
+  // max_batch 1 keeps every flush at batch size 1, so Submit results are
+  // bitwise comparable to the per-generation references below.
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.flush_deadline_us = 0;
+  PredictServer server(p.data, opts);
+  ASSERT_TRUE(server.DeployCheckpoint(factory, ckpt_a).ok());
+  std::vector<float> pa(kRows), pb(kRows);
+  for (size_t k = 0; k < kRows; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    pa[k] = *r;
+  }
+  ASSERT_TRUE(server.DeployCheckpoint(factory, ckpt_b).ok());
+  for (size_t k = 0; k < kRows; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    pb[k] = *r;
+  }
+  // The two generations must actually disagree somewhere, or the
+  // membership check below would be vacuous.
+  bool differs = false;
+  for (size_t k = 0; k < kRows; ++k) differs |= pa[k] != pb[k];
+  ASSERT_TRUE(differs);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  auto client = [&](bool use_submit) {
+    for (int iter = 0; !stop.load(std::memory_order_relaxed); ++iter) {
+      const size_t k = static_cast<size_t>(iter) % kRows;
+      const PredictRequest req = RequestFromRow(p.data, p.splits.test[k]);
+      float prob;
+      if (use_submit) {
+        auto fut = server.Submit(req);
+        if (!fut.ok()) continue;  // backpressure is allowed, tearing isn't
+        prob = fut->get();
+      } else {
+        auto r = server.PredictNow(req);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        prob = *r;
+      }
+      if (prob != pa[k] && prob != pb[k]) errors.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> clients;
+  clients.emplace_back(client, false);
+  clients.emplace_back(client, false);
+  clients.emplace_back(client, true);
+  int swaps_done = 0;
+  for (int s = 0; s < 10; ++s) {
+    Status st =
+        server.DeployCheckpoint(factory, s % 2 == 0 ? ckpt_b : ckpt_a);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    swaps_done += st.ok() ? 1 : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  server.Drain();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(swaps_done, 10);
+  EXPECT_GE(server.DeployedVersion(), 12u);
+}
+
+TEST(ServeMetricsTest, LatencyHistogramFeedsQuantiles) {
+  const auto& p = SharedTinyData();
+  PredictServer server(p.data);
+  ASSERT_TRUE(server.Deploy(TrainedModel(1)).ok());
+  for (size_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(
+        server.PredictNow(RequestFromRow(p.data, p.splits.train[k])).ok());
+  }
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.latency_us", {10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+                           10000, 20000, 50000, 100000});
+  EXPECT_GE(h->count(), 8u);
+  const double p50 = h->Quantile(0.5);
+  const double p99 = h->Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+}  // namespace
+}  // namespace optinter
