@@ -69,6 +69,9 @@ int main(int argc, char** argv) {
   flags.AddInt("swap_every_ms", 250,
                "hot-swap interval during load (0 = no swapping)");
   flags.AddInt("train_steps", 30, "warm-up training steps per checkpoint");
+  flags.AddInt("metrics_port", -1,
+               "serve /metrics over HTTP during the run (-1 = off, "
+               "0 = ephemeral, >0 = that port on loopback)");
   int exit_code = 0;
   if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
 
@@ -120,7 +123,12 @@ int main(int argc, char** argv) {
     sopts.max_batch = static_cast<size_t>(flags.GetInt("max_batch"));
     sopts.flush_deadline_us =
         static_cast<uint64_t>(flags.GetInt("deadline_us"));
+    sopts.metrics_port = static_cast<int>(flags.GetInt("metrics_port"));
     serve::PredictServer server(p.data, sopts);
+    if (server.metrics_port() >= 0) {
+      std::printf("metrics exporter on http://127.0.0.1:%d/metrics\n",
+                  server.metrics_port());
+    }
     if (Status st = server.DeployCheckpoint(factory, path_a); !st.ok()) {
       std::fprintf(stderr, "deploy: %s\n", st.ToString().c_str());
       return 1;

@@ -12,6 +12,7 @@
 #include "core/search_model.h"
 #include "metrics/mutual_information.h"
 #include "obs/run_report.h"
+#include "obs/timeline.h"
 #include "synth/prepare.h"
 
 using namespace optinter;
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   flags.AddString("report", "",
                   "write a JSON run report (search dynamics + metrics + "
                   "span profile) to this path");
+  flags.AddInt("alpha_sample_every", 0,
+               "sample argmax-architecture flips every N train steps "
+               "(0 = off); flips land in the report's search_dynamics and "
+               "in the OPTINTER_OBS_TIMELINE trace");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) return st.code() == StatusCode::kFailedPrecondition ? 0 : 1;
 
@@ -62,6 +67,10 @@ int main(int argc, char** argv) {
   SearchModel model(p.data, hp, UpdateMode::kJoint);
   Batcher batcher(&p.data, p.splits.train, hp.batch_size, hp.seed);
   obs::SearchDynamics dynamics;
+  dynamics.sample_every =
+      static_cast<size_t>(flags.GetInt("alpha_sample_every"));
+  size_t global_step = 0;
+  Architecture sampled_arch;
   Architecture prev_arch;
   std::printf("search on %s: %zu pairs, tau %g -> %g over %zu epochs\n",
               p.config.name.c_str(), p.data.num_pairs(),
@@ -82,6 +91,31 @@ int main(int argc, char** argv) {
       if (b.size == 0) break;
       loss_sum += model.TrainStep(b);
       ++batches;
+      ++global_step;
+      if (dynamics.sample_every > 0 &&
+          global_step % dynamics.sample_every == 0) {
+        const Architecture cur = model.ExtractArchitecture();
+        if (!sampled_arch.empty()) {
+          for (size_t q = 0; q < cur.size(); ++q) {
+            if (cur[q] == sampled_arch[q]) continue;
+            obs::AlphaFlipEvent ev;
+            ev.epoch = epoch;
+            ev.step = global_step;
+            ev.pair = q;
+            ev.from = static_cast<int>(sampled_arch[q]);
+            ev.to = static_cast<int>(cur[q]);
+            if (obs::Timeline::Enabled()) {
+              char detail[obs::Timeline::kDetailCapacity];
+              std::snprintf(detail, sizeof(detail), "pair=%zu %s->%s", q,
+                            obs::AlphaMethodName(ev.from),
+                            obs::AlphaMethodName(ev.to));
+              obs::Timeline::RecordInstant("alpha_flip", detail);
+            }
+            dynamics.flip_events.push_back(ev);
+          }
+        }
+        sampled_arch = cur;
+      }
     }
     std::printf("epoch %zu (tau %.2f): train loss %.4f\n", epoch,
                 model.temperature(), loss_sum / batches);
@@ -102,6 +136,10 @@ int main(int argc, char** argv) {
   Architecture arch = model.ExtractArchitecture();
   std::printf("\nfinal architecture: %s\n",
               ArchCountsToString(CountArchitecture(arch)).c_str());
+  if (dynamics.sample_every > 0) {
+    std::printf("within-epoch argmax flips (sampled every %zu steps): %zu\n",
+                dynamics.sample_every, dynamics.flip_events.size());
+  }
 
   // Recall vs planted ground truth.
   size_t mem_total = 0, mem_hit = 0, noise_total = 0, noise_not_mem = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 
@@ -9,6 +10,7 @@
 #include "metrics/mutual_information.h"
 #include "core/autofis.h"
 #include "core/fixed_arch_model.h"
+#include "obs/timeline.h"
 #include "train/pipeline_executor.h"
 
 namespace optinter {
@@ -71,7 +73,44 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
                             model.SupportsPhasedTrainStep();
   std::unique_ptr<PipelinedTrainExecutor> executor;
   if (use_pipeline) executor = std::make_unique<PipelinedTrainExecutor>(&model);
+  // Within-epoch α sampling: every K steps, diff the argmax architecture
+  // against the previous sample and record flips. Runs at step quiescent
+  // points (on_step on the pipelined path, between steps on the serial
+  // one), so it observes the same α state a checkpoint would.
+  result.dynamics.sample_every = options.alpha_sample_every;
+  size_t global_step = 0;
+  size_t current_epoch = 0;
+  Architecture sampled_arch;
+  auto sample_alpha = [&] {
+    ++global_step;
+    if (options.alpha_sample_every == 0 ||
+        global_step % options.alpha_sample_every != 0) {
+      return;
+    }
+    const Architecture cur = model.ExtractArchitecture();
+    if (!sampled_arch.empty()) {
+      for (size_t p = 0; p < cur.size(); ++p) {
+        if (cur[p] == sampled_arch[p]) continue;
+        obs::AlphaFlipEvent ev;
+        ev.epoch = current_epoch;
+        ev.step = global_step;
+        ev.pair = p;
+        ev.from = static_cast<int>(sampled_arch[p]);
+        ev.to = static_cast<int>(cur[p]);
+        if (obs::Timeline::Enabled()) {
+          char detail[obs::Timeline::kDetailCapacity];
+          std::snprintf(detail, sizeof(detail), "pair=%zu %s->%s", p,
+                        obs::AlphaMethodName(ev.from),
+                        obs::AlphaMethodName(ev.to));
+          obs::Timeline::RecordInstant("alpha_flip", detail);
+        }
+        result.dynamics.flip_events.push_back(ev);
+      }
+    }
+    sampled_arch = cur;
+  };
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    current_epoch = epoch;
     if (options.anneal_temperature) {
       const float frac =
           epochs > 1 ? static_cast<float>(epoch) /
@@ -88,7 +127,7 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
     size_t rows_seen = 0;
     if (use_pipeline) {
       const PipelinedTrainExecutor::EpochStats stats =
-          executor->RunEpoch(&train_batcher);
+          executor->RunEpoch(&train_batcher, sample_alpha);
       loss_sum = stats.loss_sum;
       batches = stats.batches;
       rows_seen = stats.rows;
@@ -107,6 +146,7 @@ SearchResult RunSearchStage(const EncodedDataset& data, const Splits& splits,
           }
           model.ArchStep(vb);
         }
+        sample_alpha();
       }
     }
     EpochTelemetry et;

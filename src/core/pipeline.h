@@ -27,6 +27,13 @@ struct SearchOptions {
   /// Bi-level mode always runs serially: every train step interleaves an
   /// ArchStep on a validation batch, so there is no prepare to overlap.
   bool pipeline = true;
+  /// Sample the argmax architecture every this many train steps and record
+  /// per-pair flips between consecutive samples in
+  /// SearchResult::dynamics.flip_events (and as timeline instant events
+  /// when OPTINTER_OBS_TIMELINE is set). 0 = off (default): the per-epoch
+  /// snapshots alone cannot show oscillation inside an epoch. Samples run
+  /// at step quiescent points, so they never perturb training math.
+  size_t alpha_sample_every = 0;
 };
 
 /// Outcome of the search stage.

@@ -1,0 +1,277 @@
+#include "obs/counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace optinter {
+namespace obs {
+
+uint64_t ThreadCpuNow() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+std::mutex& StatusMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+// Guarded by StatusMutex.
+CounterStatus& MutableStatus() {
+  static CounterStatus* s = new CounterStatus();
+  return *s;
+}
+
+void RecordHardwareActive(const char* provider_name) {
+  std::lock_guard<std::mutex> lock(StatusMutex());
+  CounterStatus& s = MutableStatus();
+  s.hardware = true;
+  s.provider = provider_name;
+}
+
+void RecordDegradation(const char* provider_name, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(StatusMutex());
+  CounterStatus& s = MutableStatus();
+  s.provider = provider_name;
+  if (s.degradation_reason.empty()) s.degradation_reason = reason;
+}
+
+#if defined(__linux__)
+
+// Default provider: one perf_event_open group per thread — cycles is the
+// group leader so all three counters are read with a single read(2).
+// Followers that fail to open (common for LLC misses inside VMs) are
+// skipped individually; only a failed leader disables the thread.
+class PerfCounterProvider : public CounterProvider {
+ public:
+  const char* name() const override { return "perf"; }
+
+  bool StartThread(std::string* reason) override {
+    ThreadFds& fds = Fds();
+    if (fds.leader >= 0) return true;
+    fds.leader = OpenEvent(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fds.leader < 0) {
+      if (reason != nullptr) {
+        *reason = std::string("perf_event_open(cycles): ") +
+                  std::strerror(errno);
+      }
+      return false;
+    }
+    fds.n_values = 1;
+    fds.instructions_index = -1;
+    fds.llc_index = -1;
+    int fd = OpenEvent(PERF_COUNT_HW_INSTRUCTIONS, fds.leader);
+    if (fd >= 0) {
+      fds.instructions = fd;
+      fds.instructions_index = fds.n_values++;
+    }
+    fd = OpenEvent(PERF_COUNT_HW_CACHE_MISSES, fds.leader);
+    if (fd >= 0) {
+      fds.llc = fd;
+      fds.llc_index = fds.n_values++;
+    }
+    ioctl(fds.leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds.leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  HwCounters Read() override {
+    HwCounters out;
+    const ThreadFds& fds = Fds();
+    if (fds.leader < 0) return out;
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+    uint64_t buf[1 + kMaxEvents] = {0};
+    const ssize_t want =
+        static_cast<ssize_t>((1 + fds.n_values) * sizeof(uint64_t));
+    if (read(fds.leader, buf, static_cast<size_t>(want)) != want) return out;
+    out.cycles = buf[1];
+    if (fds.instructions_index > 0) {
+      out.instructions = buf[1 + fds.instructions_index];
+    }
+    if (fds.llc_index > 0) out.llc_misses = buf[1 + fds.llc_index];
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxEvents = 3;
+
+  struct ThreadFds {
+    int leader = -1;
+    int instructions = -1;
+    int llc = -1;
+    int n_values = 0;
+    int instructions_index = -1;
+    int llc_index = -1;
+
+    ~ThreadFds() {
+      if (llc >= 0) close(llc);
+      if (instructions >= 0) close(instructions);
+      if (leader >= 0) close(leader);
+    }
+  };
+
+  static ThreadFds& Fds() {
+    thread_local ThreadFds fds;
+    return fds;
+  }
+
+  static int OpenEvent(uint64_t config, int group_fd) {
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    // Read() parses the group layout {nr, values[nr]} off the leader, so
+    // every event in the group must report PERF_FORMAT_GROUP.
+    attr.read_format = PERF_FORMAT_GROUP;
+    // User-space only: works under perf_event_paranoid <= 2 (the usual
+    // non-root ceiling) and matches what we want to attribute to kernels.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.disabled = group_fd < 0 ? 1 : 0;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, group_fd,
+                                    /*flags=*/0));
+  }
+};
+
+#else  // !__linux__
+
+class PerfCounterProvider : public CounterProvider {
+ public:
+  const char* name() const override { return "perf"; }
+  bool StartThread(std::string* reason) override {
+    if (reason != nullptr) *reason = "perf_event_open: not a Linux host";
+    return false;
+  }
+  HwCounters Read() override { return {}; }
+};
+
+#endif  // __linux__
+
+bool EnvDisablesHw() {
+  const char* v = std::getenv("OPTINTER_OBS_HW");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+// Generation counter: SetCounterProvider bumps it so threads that cached
+// a started/failed verdict against the previous provider re-resolve.
+std::atomic<uint64_t> g_provider_generation{1};
+std::atomic<CounterProvider*> g_provider_override{nullptr};
+
+CounterProvider* ActiveProvider() {
+  CounterProvider* installed =
+      g_provider_override.load(std::memory_order_acquire);
+  if (installed != nullptr) return installed;
+  if (EnvDisablesHw()) return nullptr;
+  static PerfCounterProvider* perf = new PerfCounterProvider();
+  return perf;
+}
+
+struct ThreadCounterSession {
+  uint64_t generation = 0;
+  CounterProvider* provider = nullptr;  // null = unavailable this thread
+};
+
+ThreadCounterSession& Session() {
+  thread_local ThreadCounterSession session;
+  return session;
+}
+
+// Resolves (and caches) the provider for this thread under the current
+// generation.
+CounterProvider* ResolveThreadProvider() {
+  ThreadCounterSession& session = Session();
+  const uint64_t gen = g_provider_generation.load(std::memory_order_acquire);
+  if (session.generation == gen) return session.provider;
+  session.generation = gen;
+  session.provider = nullptr;
+  CounterProvider* provider = ActiveProvider();
+  if (provider == nullptr) {
+    RecordDegradation("none", "hardware counters disabled (OPTINTER_OBS_HW)");
+    return nullptr;
+  }
+  std::string reason;
+  if (!provider->StartThread(&reason)) {
+    RecordDegradation(provider->name(), reason);
+    return nullptr;
+  }
+  RecordHardwareActive(provider->name());
+  session.provider = provider;
+  return provider;
+}
+
+// CPU-time availability, probed once via clock_getres (a zero ThreadCpuNow
+// reading is legitimate at thread start, so probing the value would lie).
+bool CpuTimeAvailable() {
+  static const bool available = [] {
+    bool ok = false;
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    struct timespec ts;
+    ok = clock_getres(CLOCK_THREAD_CPUTIME_ID, &ts) == 0;
+#endif
+    std::lock_guard<std::mutex> lock(StatusMutex());
+    MutableStatus().cpu_time = ok;
+    return ok;
+  }();
+  return available;
+}
+
+}  // namespace
+
+CounterStatus CountersStatus() {
+  CpuTimeAvailable();
+  std::lock_guard<std::mutex> lock(StatusMutex());
+  CounterStatus s = MutableStatus();
+  if (s.provider.empty()) s.provider = "unresolved";
+  return s;
+}
+
+void SetCounterProvider(CounterProvider* provider) {
+  g_provider_override.store(provider, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(StatusMutex());
+    CounterStatus& s = MutableStatus();
+    s.hardware = false;
+    s.provider.clear();
+    s.degradation_reason.clear();
+  }
+  g_provider_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace internal {
+
+bool ReadThreadCounters(HwCounters* out) {
+  CounterProvider* provider = ResolveThreadProvider();
+  if (provider == nullptr) return false;
+  *out = provider->Read();
+  return true;
+}
+
+bool ThreadCountersActive() { return ResolveThreadProvider() != nullptr; }
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,107 @@
+// Per-thread CPU time and hardware performance counters feeding the
+// trace spans (obs/trace.h).
+//
+// Two sources, layered by availability:
+//
+//  * CPU time: CLOCK_THREAD_CPUTIME_ID via ThreadCpuNow(). Available on
+//    every Linux/POSIX host this repo targets; when the clock is missing
+//    the call returns 0 and spans simply record zero CPU time.
+//
+//  * Hardware counters (cycles, retired instructions, LLC misses) via a
+//    pluggable CounterProvider. The default provider uses
+//    perf_event_open(2) with one counter group per thread. Containers and
+//    locked-down hosts commonly refuse the syscall (EPERM under
+//    perf_event_paranoid >= 3, ENOSYS under seccomp); the first failure is
+//    recorded ONCE in the process-wide CounterStatus — including errno
+//    text — and every span on that thread degrades to CPU-time-only.
+//    Degradation is per-thread and silent after the first record; it
+//    never aborts or logs per span.
+//
+// Tests install a fake provider with SetCounterProvider so the span
+// plumbing is exercised even where perf_event_open is refused.
+//
+// This library sits below src/common, so nothing here may include
+// common/ headers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace optinter {
+namespace obs {
+
+/// One hardware-counter reading: monotonic totals for the calling thread
+/// since its provider started. Fields the provider could not open stay 0.
+struct HwCounters {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+};
+
+/// Pluggable per-thread hardware-counter source. All methods are called
+/// on the thread being measured; implementations keep per-thread state
+/// internally (thread_local file descriptors for the perf provider).
+class CounterProvider {
+ public:
+  virtual ~CounterProvider() = default;
+
+  /// Short provider id recorded in CounterStatus ("perf", "fake", ...).
+  virtual const char* name() const = 0;
+
+  /// Called once per thread before its first Read(). Returns false (with
+  /// a human-readable reason in `*reason` when non-null) when counters
+  /// are unavailable on this thread; the thread then records CPU time
+  /// only.
+  virtual bool StartThread(std::string* reason) = 0;
+
+  /// Current totals for the calling thread. Only called after a
+  /// successful StartThread() on the same thread.
+  virtual HwCounters Read() = 0;
+};
+
+/// Thread CPU time in nanoseconds (CLOCK_THREAD_CPUTIME_ID); 0 when the
+/// clock is unsupported.
+uint64_t ThreadCpuNow();
+
+/// Process-wide record of what the counter layer could deliver, written
+/// once and embedded in every span-profile JSON (Tracer::ToJson) so a
+/// report always says WHY hardware columns are missing.
+struct CounterStatus {
+  /// CLOCK_THREAD_CPUTIME_ID readable on this host.
+  bool cpu_time = false;
+  /// At least one thread is reading hardware counters.
+  bool hardware = false;
+  /// Provider name ("perf" by default, "none" when disabled via
+  /// OPTINTER_OBS_HW=0).
+  std::string provider;
+  /// First per-thread failure reason (errno text); empty while no thread
+  /// has failed to start.
+  std::string degradation_reason;
+};
+
+/// Snapshot of the current status. Thread-safe.
+CounterStatus CountersStatus();
+
+/// Installs `provider` (not owned; must outlive all instrumented spans)
+/// in place of the default perf provider, resetting the per-thread
+/// started state and the recorded status. Pass nullptr to restore the
+/// default. Test hook — call only while instrumented threads are
+/// quiescent.
+void SetCounterProvider(CounterProvider* provider);
+
+namespace internal {
+
+/// Per-thread counter session resolved on first use: caches whether the
+/// active provider started successfully on this thread. Returns true and
+/// fills `*out` when hardware counters were read.
+bool ReadThreadCounters(HwCounters* out);
+
+/// True when the active provider is live on this thread (cheap check
+/// after first use).
+bool ThreadCountersActive();
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,226 @@
+#include "obs/http_exporter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#error "HttpExporter requires a POSIX socket layer"
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "obs/prometheus.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+
+namespace optinter {
+namespace obs {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kAcceptPollMs = 100;
+
+std::string DefaultVarz() {
+  RunReport report("varz");
+  report.CaptureMetrics();
+  report.CaptureSpans();
+  return report.ToJson().Serialize(/*indent=*/2);
+}
+
+std::string StatusText(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+#if defined(MSG_NOSIGNAL)
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+bool HttpExporter::Start(std::string* error) {
+  if (running()) return true;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad bind address " + options_.host;
+    close(fd);
+    return false;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind " + options_.host + ":" +
+               std::to_string(options_.port) + ": " + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  if (listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("listen: ") + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  listener_ = std::thread([this] { ListenLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpExporter::SetVarzProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(varz_mutex_);
+  varz_provider_ = std::move(provider);
+}
+
+int HttpExporter::HandleRoute(const std::string& path, std::string* body,
+                              std::string* content_type) {
+  // Strip any query string: scrapers sometimes append cache busters.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    *body = RenderPrometheusText();
+    return 200;
+  }
+  if (route == "/healthz") {
+    *content_type = "text/plain; charset=utf-8";
+    *body = "ok\n";
+    return 200;
+  }
+  if (route == "/varz") {
+    *content_type = "application/json; charset=utf-8";
+    std::function<std::string()> provider;
+    {
+      std::lock_guard<std::mutex> lock(varz_mutex_);
+      provider = varz_provider_;
+    }
+    *body = provider ? provider() : DefaultVarz();
+    return 200;
+  }
+  *content_type = "text/plain; charset=utf-8";
+  *body = "not found: " + route + "\n";
+  return 404;
+}
+
+void HttpExporter::ListenLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    ServeConnection(client);
+    close(client);
+  }
+}
+
+void HttpExporter::ServeConnection(int client_fd) {
+  // A stuck client must not wedge the exporter: bound both directions.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string line = request.substr(0, line_end);
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  const std::string method = line.substr(0, sp1);
+  const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  int code;
+  if (method != "GET" && method != "HEAD") {
+    code = 405;
+    body = "method not allowed\n";
+  } else {
+    code = HandleRoute(path, &body, &content_type);
+  }
+
+  std::string response = "HTTP/1.1 " + std::to_string(code) + " " +
+                         StatusText(code) +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") response += body;
+  SendAll(client_fd, response);
+}
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,0 +1,97 @@
+// Dependency-free blocking HTTP exporter: one listener thread serving
+// live observability over plain POSIX sockets (no third-party code, same
+// spirit as the hand-rolled JSON layer).
+//
+// Endpoints:
+//   GET /metrics  Prometheus text exposition of MetricsRegistry::Global()
+//                 (obs/prometheus.h) — scrapeable by Prometheus or curl
+//                 while a bench / training run / PredictServer is live.
+//   GET /healthz  "ok\n" (liveness probe).
+//   GET /varz     JSON RunReport-style snapshot: fresh CaptureMetrics +
+//                 CaptureSpans by default, or whatever the installed varz
+//                 provider returns.
+//
+// Design constraints: requests are handled serially on the listener
+// thread (a scrape every few seconds from one or two clients — no need
+// for a connection pool), reads/writes carry socket timeouts so a stuck
+// client cannot wedge the exporter, and Stop() joins the thread promptly
+// (the accept loop polls with a short timeout). Metric snapshots taken
+// while workers run are approximate-by-design (relaxed counters, live
+// span merge) — fine for a live scrape; exact profiles still come from
+// the quiescent-point RunReport writes.
+//
+// This library sits below src/common, so nothing here may include
+// common/ headers (hence bool + error-string returns instead of Status).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace optinter {
+namespace obs {
+
+struct HttpExporterOptions {
+  /// Interface to bind. Default loopback: the exporter serves internal
+  /// telemetry and must be opted into wider exposure explicitly.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (read it back from
+  /// port() after Start).
+  int port = 0;
+};
+
+/// One exporter instance = one listening socket + one thread. Create,
+/// Start(), scrape, Stop() (or let the destructor stop it).
+class HttpExporter {
+ public:
+  explicit HttpExporter(HttpExporterOptions options = {});
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds + listens + spawns the listener thread. Returns false with a
+  /// reason in `*error` (when non-null) on failure; the exporter is then
+  /// inert and Start may be retried with different options.
+  bool Start(std::string* error = nullptr);
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Port actually bound (resolves port 0); 0 before a successful Start.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Installs the /varz body producer (must return a JSON document).
+  /// Called on the listener thread, so it must be thread-safe against the
+  /// rest of the process. Default: a fresh RunReport snapshot with
+  /// metrics + spans captured at scrape time.
+  void SetVarzProvider(std::function<std::string()> provider);
+
+  /// Handles one already-parsed request path and fills body/content type.
+  /// Returns the HTTP status code. Exposed for unit tests (exercises the
+  /// routing without sockets).
+  int HandleRoute(const std::string& path, std::string* body,
+                  std::string* content_type);
+
+ private:
+  void ListenLoop();
+  void ServeConnection(int client_fd);
+
+  HttpExporterOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread listener_;
+  std::mutex varz_mutex_;
+  std::function<std::string()> varz_provider_;
+};
+
+}  // namespace obs
+}  // namespace optinter

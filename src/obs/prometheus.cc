@@ -1,0 +1,156 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/registry.h"
+
+namespace optinter {
+namespace obs {
+namespace {
+
+// Prometheus sample values are floats; render integral values without a
+// fractional part (bucket counts read as integers) and everything else
+// with enough digits to round-trip a scrape comparison.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+double NumberOf(const JsonValue& v) {
+  return v.is_number() ? v.number() : 0.0;
+}
+
+void AppendHeader(std::string* out, const std::string& sanitized,
+                  const std::string& original, const char* type) {
+  out->append("# HELP ");
+  out->append(sanitized);
+  out->append(" source metric \"");
+  // HELP text uses the label-value escapes minus the quote rule; escaping
+  // quotes too is harmless and keeps one escaper.
+  out->append(PrometheusEscapeLabelValue(original));
+  out->append("\"\n# TYPE ");
+  out->append(sanitized);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusSanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const JsonValue& metrics_snapshot) {
+  std::string out;
+  if (const JsonValue* counters = metrics_snapshot.Find("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      const std::string sanitized = PrometheusSanitizeName(name);
+      AppendHeader(&out, sanitized, name, "counter");
+      out.append(sanitized);
+      out.push_back(' ');
+      out.append(FormatNumber(NumberOf(value)));
+      out.push_back('\n');
+    }
+  }
+  if (const JsonValue* gauges = metrics_snapshot.Find("gauges")) {
+    for (const auto& [name, value] : gauges->members()) {
+      const std::string sanitized = PrometheusSanitizeName(name);
+      AppendHeader(&out, sanitized, name, "gauge");
+      out.append(sanitized);
+      out.push_back(' ');
+      out.append(FormatNumber(NumberOf(value)));
+      out.push_back('\n');
+    }
+  }
+  if (const JsonValue* histograms = metrics_snapshot.Find("histograms")) {
+    for (const auto& [name, hist] : histograms->members()) {
+      const JsonValue* bounds = hist.Find("upper_bounds");
+      const JsonValue* buckets = hist.Find("bucket_counts");
+      if (bounds == nullptr || buckets == nullptr ||
+          bounds->type() != JsonValue::Type::kArray ||
+          buckets->type() != JsonValue::Type::kArray) {
+        continue;
+      }
+      const std::string sanitized = PrometheusSanitizeName(name);
+      AppendHeader(&out, sanitized, name, "histogram");
+      // Registry buckets are per-interval counts (bounds.size() finite
+      // buckets + one overflow slot); Prometheus buckets are cumulative.
+      double cumulative = 0.0;
+      for (size_t i = 0; i < bounds->size() && i < buckets->size(); ++i) {
+        cumulative += NumberOf(buckets->at(i));
+        out.append(sanitized);
+        out.append("_bucket{le=\"");
+        out.append(FormatNumber(NumberOf(bounds->at(i))));
+        out.append("\"} ");
+        out.append(FormatNumber(cumulative));
+        out.push_back('\n');
+      }
+      if (buckets->size() > bounds->size()) {
+        cumulative += NumberOf(buckets->at(buckets->size() - 1));
+      }
+      out.append(sanitized);
+      out.append("_bucket{le=\"+Inf\"} ");
+      out.append(FormatNumber(cumulative));
+      out.push_back('\n');
+      const JsonValue* sum = hist.Find("sum");
+      const JsonValue* count = hist.Find("count");
+      out.append(sanitized);
+      out.append("_sum ");
+      out.append(FormatNumber(sum != nullptr ? NumberOf(*sum) : 0.0));
+      out.push_back('\n');
+      out.append(sanitized);
+      out.append("_count ");
+      out.append(
+          FormatNumber(count != nullptr ? NumberOf(*count) : cumulative));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  return RenderPrometheusText(MetricsRegistry::Global().ToJson());
+}
+
+}  // namespace obs
+}  // namespace optinter

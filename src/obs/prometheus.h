@@ -1,0 +1,53 @@
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry — the body the HTTP exporter serves at /metrics.
+//
+// Renders from a MetricsRegistry::ToJson() snapshot, so the encoder needs
+// no privileged access to the registry and is trivially unit-testable
+// against hand-built snapshots. Mapping:
+//
+//   counters    → `# TYPE <name> counter` + one sample, value as integer
+//   gauges      → `# TYPE <name> gauge` + one sample
+//   histograms  → `# TYPE <name> histogram` + CUMULATIVE `_bucket{le=...}`
+//                 samples (the registry stores per-bucket counts; the
+//                 encoder accumulates), a final `le="+Inf"` bucket equal
+//                 to `_count`, then `_sum` and `_count`
+//
+// Metric names are sanitized to the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* — the repo's dotted names ("serve.latency_us")
+// become underscored ("serve_latency_us"), with the original recorded in
+// the `# HELP` line. Label values are escaped per the spec (backslash,
+// double-quote, newline).
+//
+// This library sits below src/common, so nothing here may include
+// common/ headers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace optinter {
+namespace obs {
+
+/// `name` mapped onto the Prometheus metric-name grammar: every character
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a '_'
+/// prefix. Empty input renders as "_".
+std::string PrometheusSanitizeName(std::string_view name);
+
+/// `value` escaped for use inside a label-value string literal
+/// (backslash, double-quote and newline escapes).
+std::string PrometheusEscapeLabelValue(std::string_view value);
+
+/// Renders a MetricsRegistry::ToJson()-shaped snapshot (object with
+/// "counters", "gauges", "histograms") as text exposition. Unknown or
+/// malformed sections are skipped, never fatal — the scrape endpoint must
+/// not take the process down.
+std::string RenderPrometheusText(const JsonValue& metrics_snapshot);
+
+/// Convenience: snapshot MetricsRegistry::Global() and render it.
+std::string RenderPrometheusText();
+
+}  // namespace obs
+}  // namespace optinter

@@ -1,5 +1,6 @@
 #include "obs/run_report.h"
 
+#include <cstdio>
 #include <fstream>
 
 namespace optinter {
@@ -43,15 +44,29 @@ JsonValue RunReport::ToJson() const {
 }
 
 bool RunReport::WriteFile(const std::string& path, std::string* error) const {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
+  // Write-then-rename: WriteEvery rewrites the same path periodically, so
+  // truncating in place would let anything tailing the report read torn
+  // JSON. rename(2) is atomic within a filesystem, so readers see either
+  // the previous complete report or the new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out << ToJson().Serialize(/*indent=*/2) << "\n";
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write to " + tmp + " failed";
+      return false;
+    }
   }
-  out << ToJson().Serialize(/*indent=*/2) << "\n";
-  out.flush();
-  if (!out) {
-    if (error != nullptr) *error = "write to " + path + " failed";
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + " failed";
+    }
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

@@ -24,6 +24,29 @@ JsonValue SearchEpochDynamicsToJson(const SearchEpochDynamics& d) {
   return out;
 }
 
+const char* AlphaMethodName(int method) {
+  switch (method) {
+    case 0:
+      return "memorize";
+    case 1:
+      return "factorize";
+    case 2:
+      return "naive";
+    default:
+      return "unknown";
+  }
+}
+
+JsonValue AlphaFlipEventToJson(const AlphaFlipEvent& e) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("epoch", JsonValue::Uint(e.epoch));
+  out.Set("step", JsonValue::Uint(e.step));
+  out.Set("pair", JsonValue::Uint(e.pair));
+  out.Set("from", JsonValue::Str(AlphaMethodName(e.from)));
+  out.Set("to", JsonValue::Str(AlphaMethodName(e.to)));
+  return out;
+}
+
 JsonValue SearchDynamicsToJson(const SearchDynamics& d) {
   JsonValue epochs = JsonValue::MakeArray();
   for (const SearchEpochDynamics& e : d.epochs) {
@@ -31,6 +54,14 @@ JsonValue SearchDynamicsToJson(const SearchDynamics& d) {
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("epochs", std::move(epochs));
+  if (d.sample_every > 0) {
+    out.Set("alpha_sample_every", JsonValue::Uint(d.sample_every));
+    JsonValue flips = JsonValue::MakeArray();
+    for (const AlphaFlipEvent& e : d.flip_events) {
+      flips.Push(AlphaFlipEventToJson(e));
+    }
+    out.Set("flip_events", std::move(flips));
+  }
   return out;
 }
 

@@ -36,12 +36,37 @@ struct SearchEpochDynamics {
   size_t argmax_flips = 0;
 };
 
-/// Full search run: one record per epoch.
+/// One within-epoch argmax flip: pair `pair` changed its argmax method
+/// between two consecutive α samples (taken every K train steps when the
+/// search driver enables sampling). Methods use the fixed OptInter index
+/// order {0: memorize, 1: factorize, 2: naive} — obs sits below
+/// src/models, so the enum itself is not available here.
+struct AlphaFlipEvent {
+  size_t epoch = 0;
+  /// Global train-step index (across epochs) at which the flip was seen.
+  size_t step = 0;
+  size_t pair = 0;
+  int from = 0;
+  int to = 0;
+};
+
+/// Name for an AlphaFlipEvent method index ("memorize" / "factorize" /
+/// "naive"; "unknown" out of range).
+const char* AlphaMethodName(int method);
+
+/// Full search run: one record per epoch, plus optional within-epoch
+/// argmax-flip samples.
 struct SearchDynamics {
   std::vector<SearchEpochDynamics> epochs;
+  /// Empty unless within-epoch α sampling was enabled
+  /// (SearchOptions::alpha_sample_every > 0).
+  std::vector<AlphaFlipEvent> flip_events;
+  /// Sampling stride that produced flip_events (0 = sampling off).
+  size_t sample_every = 0;
 };
 
 JsonValue SearchEpochDynamicsToJson(const SearchEpochDynamics& d);
+JsonValue AlphaFlipEventToJson(const AlphaFlipEvent& e);
 JsonValue SearchDynamicsToJson(const SearchDynamics& d);
 
 }  // namespace obs

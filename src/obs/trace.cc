@@ -26,6 +26,10 @@ struct SpanNode {
   const char* name;
   SpanNode* parent;
   std::atomic<uint64_t> ns{0};
+  std::atomic<uint64_t> cpu_ns{0};
+  std::atomic<uint64_t> cycles{0};
+  std::atomic<uint64_t> instructions{0};
+  std::atomic<uint64_t> llc_misses{0};
   std::atomic<uint64_t> count{0};
   std::vector<std::unique_ptr<SpanNode>> children;
 };
@@ -75,6 +79,10 @@ SpanNode* FindOrCreateChild(SpanNode* parent, const char* name) {
 
 void MergeInto(const SpanNode& node, SpanProfile* out) {
   out->total_ns += node.ns.load(std::memory_order_relaxed);
+  out->cpu_ns += node.cpu_ns.load(std::memory_order_relaxed);
+  out->cycles += node.cycles.load(std::memory_order_relaxed);
+  out->instructions += node.instructions.load(std::memory_order_relaxed);
+  out->llc_misses += node.llc_misses.load(std::memory_order_relaxed);
   out->count += node.count.load(std::memory_order_relaxed);
   for (const auto& child : node.children) {
     SpanProfile* slot = nullptr;
@@ -103,6 +111,10 @@ void SortProfile(SpanProfile* p) {
 
 void ResetNode(SpanNode* node) {
   node->ns.store(0, std::memory_order_relaxed);
+  node->cpu_ns.store(0, std::memory_order_relaxed);
+  node->cycles.store(0, std::memory_order_relaxed);
+  node->instructions.store(0, std::memory_order_relaxed);
+  node->llc_misses.store(0, std::memory_order_relaxed);
   node->count.store(0, std::memory_order_relaxed);
   for (auto& child : node->children) ResetNode(child.get());
 }
@@ -116,8 +128,21 @@ SpanNode* EnterSpan(const char* name) {
   return node;
 }
 
-void ExitSpan(SpanNode* node, uint64_t elapsed_ns) {
+void ExitSpan(SpanNode* node, uint64_t elapsed_ns, uint64_t cpu_ns,
+              const HwCounters& hw_delta) {
   node->ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  node->cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  if (hw_delta.cycles != 0) {
+    node->cycles.fetch_add(hw_delta.cycles, std::memory_order_relaxed);
+  }
+  if (hw_delta.instructions != 0) {
+    node->instructions.fetch_add(hw_delta.instructions,
+                                 std::memory_order_relaxed);
+  }
+  if (hw_delta.llc_misses != 0) {
+    node->llc_misses.fetch_add(hw_delta.llc_misses,
+                               std::memory_order_relaxed);
+  }
   node->count.fetch_add(1, std::memory_order_relaxed);
   GetThreadBuffer()->current = node->parent;
 }
@@ -133,12 +158,20 @@ SpanProfile Tracer::Collect() {
       internal::MergeInto(tb->root, &root);
     }
   }
-  // The per-thread roots carry no timing of their own; the run total is
-  // the sum of top-level spans.
+  // The per-thread roots carry no timing of their own; the run totals are
+  // the sums of top-level spans.
   root.total_ns = 0;
+  root.cpu_ns = 0;
+  root.cycles = 0;
+  root.instructions = 0;
+  root.llc_misses = 0;
   root.count = 0;
   for (const SpanProfile& child : root.children) {
     root.total_ns += child.total_ns;
+    root.cpu_ns += child.cpu_ns;
+    root.cycles += child.cycles;
+    root.instructions += child.instructions;
+    root.llc_misses += child.llc_misses;
     root.count += child.count;
   }
   internal::SortProfile(&root);
@@ -156,7 +189,22 @@ JsonValue Tracer::ToJson(const SpanProfile& profile) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("name", JsonValue::Str(profile.name));
   out.Set("ns", JsonValue::Uint(profile.total_ns));
+  out.Set("cpu_ns", JsonValue::Uint(profile.cpu_ns));
+  out.Set("cycles", JsonValue::Uint(profile.cycles));
+  out.Set("instructions", JsonValue::Uint(profile.instructions));
+  out.Set("llc_misses", JsonValue::Uint(profile.llc_misses));
   out.Set("count", JsonValue::Uint(profile.count));
+  if (profile.name == "run") {
+    // Recorded once per profile: what the counter layer could deliver and
+    // why hardware columns are zero when it could not.
+    const CounterStatus status = CountersStatus();
+    JsonValue cs = JsonValue::MakeObject();
+    cs.Set("cpu_time", JsonValue::Bool(status.cpu_time));
+    cs.Set("hardware", JsonValue::Bool(status.hardware));
+    cs.Set("provider", JsonValue::Str(status.provider));
+    cs.Set("degradation_reason", JsonValue::Str(status.degradation_reason));
+    out.Set("counter_status", std::move(cs));
+  }
   if (!profile.children.empty()) {
     JsonValue children = JsonValue::MakeArray();
     for (const SpanProfile& child : profile.children) {

@@ -1,4 +1,5 @@
-// Scoped wall-clock trace spans with per-thread buffers.
+// Scoped trace spans with per-thread buffers: wall clock, thread CPU
+// time, and (where the kernel permits perf_event_open) hardware counters.
 //
 //   void GemmTN(...) {
 //     OPTINTER_TRACE_SPAN("gemm_tn");
@@ -7,19 +8,28 @@
 //
 // Each thread owns a private span tree keyed by the nesting path of span
 // names: entering a span walks to (or creates) the child node of the
-// current node and records elapsed nanoseconds + call count on exit. No
-// per-event allocation or logging — a span is two steady_clock reads plus
-// two relaxed atomic adds on an already-resolved node, so kernels can be
-// instrumented without measurable overhead, and pool workers never contend
-// with each other.
+// current node and records elapsed wall nanoseconds, thread CPU
+// nanoseconds (CLOCK_THREAD_CPUTIME_ID), hardware-counter deltas
+// (cycles / instructions / LLC misses via obs/counters.h — degrading
+// per-thread to CPU-time-only when perf_event_open is refused), and a
+// call count on exit. No per-event allocation or logging, and pool
+// workers never contend with each other. When OPTINTER_OBS_TIMELINE is
+// set, every span enter/exit additionally lands in the timeline ring
+// (obs/timeline.h) for Perfetto export.
 //
 // Tracer::Collect() merges all threads' trees by span name into one
 // deterministic profile (children sorted by name). Parallel kernels open
 // their span on the *calling* thread around the fan-out + wait, so kernel
 // timings nest under the caller's epoch/step spans and sum to wall-clock.
+// CPU time is per-thread, so for a parallel region the calling thread's
+// cpu_ns can be far below wall ns — the gap is time spent blocked on the
+// pool.
 //
-// Kill switches: the runtime switch is obs::Enabled() (see registry.h);
-// compiling with -DOPTINTER_DISABLE_OBS removes the macro entirely.
+// Kill switches: the runtime switch is obs::Enabled() (see registry.h) —
+// a disabled span stays a single relaxed atomic load, no clock or counter
+// reads; compiling with -DOPTINTER_DISABLE_OBS removes the macro
+// entirely. Hardware counters alone can be disabled with
+// OPTINTER_OBS_HW=0.
 //
 // This library sits below src/common, so nothing here may include common/
 // headers.
@@ -31,8 +41,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 
 namespace optinter {
 namespace obs {
@@ -40,7 +52,8 @@ namespace obs {
 namespace internal {
 struct SpanNode;
 SpanNode* EnterSpan(const char* name);
-void ExitSpan(SpanNode* node, uint64_t elapsed_ns);
+void ExitSpan(SpanNode* node, uint64_t elapsed_ns, uint64_t cpu_ns,
+              const HwCounters& hw_delta);
 }  // namespace internal
 
 /// One node of the merged span profile returned by Tracer::Collect().
@@ -49,19 +62,29 @@ struct SpanProfile {
   /// Total wall-clock nanoseconds spent inside this span (including
   /// children, since children run within the parent's scope).
   uint64_t total_ns = 0;
+  /// Thread CPU nanoseconds of the span's OWN thread (including children
+  /// that ran on the same thread; excludes pool workers' time, which is
+  /// attributed to the spans they open).
+  uint64_t cpu_ns = 0;
+  /// Hardware-counter deltas (0 when the counter was unavailable on the
+  /// recording threads — see Tracer::ToJson's "counter_status").
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
   uint64_t count = 0;
   std::vector<SpanProfile> children;  // sorted by name
 
   double total_seconds() const {
     return static_cast<double>(total_ns) * 1e-9;
   }
+  double cpu_seconds() const { return static_cast<double>(cpu_ns) * 1e-9; }
 };
 
 /// Global access to the merged trace profile.
 class Tracer {
  public:
   /// Merges every thread's span tree into one profile rooted at "run".
-  /// The root's total_ns is the sum of its children. Deterministic
+  /// The root's totals are the sum of its children. Deterministic
   /// (children sorted by name) given the same recorded spans. Call when
   /// instrumented threads are quiescent (e.g. after ThreadPool::Wait) for
   /// an exact snapshot.
@@ -71,7 +94,11 @@ class Tracer {
   /// are kept). Must not race with open spans.
   static void Reset();
 
-  /// JSON form: {"name", "ns", "count", "children": [...]}.
+  /// JSON form: {"name", "ns", "cpu_ns", "cycles", "instructions",
+  /// "llc_misses", "count", "children": [...]}. The "run" root
+  /// additionally carries "counter_status" (obs/counters.h): whether CPU
+  /// time and hardware counters were available, the provider, and the
+  /// first degradation reason when they were not.
   static JsonValue ToJson(const SpanProfile& profile);
 };
 
@@ -83,18 +110,34 @@ class TraceSpan {
       node_ = nullptr;
       return;
     }
+    name_ = name;
     node_ = internal::EnterSpan(name);
+    if (Timeline::Enabled()) Timeline::RecordBegin(name);
+    hw_active_ = internal::ReadThreadCounters(&hw_start_);
+    cpu_start_ = ThreadCpuNow();
     start_ = std::chrono::steady_clock::now();
   }
 
   ~TraceSpan() {
     if (node_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const uint64_t cpu_ns = ThreadCpuNow() - cpu_start_;
+    HwCounters delta;
+    if (hw_active_) {
+      HwCounters end;
+      if (internal::ReadThreadCounters(&end)) {
+        delta.cycles = end.cycles - hw_start_.cycles;
+        delta.instructions = end.instructions - hw_start_.instructions;
+        delta.llc_misses = end.llc_misses - hw_start_.llc_misses;
+      }
+    }
     internal::ExitSpan(
         node_,
         static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
+                .count()),
+        cpu_ns, delta);
+    if (Timeline::Enabled()) Timeline::RecordEnd(name_);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -102,7 +145,11 @@ class TraceSpan {
 
  private:
   internal::SpanNode* node_;
+  const char* name_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  uint64_t cpu_start_ = 0;
+  HwCounters hw_start_;
+  bool hw_active_ = false;
 };
 
 }  // namespace obs

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -61,6 +62,19 @@ PredictServer::PredictServer(const EncodedDataset& reference,
       options_(options),
       flush_arena_(reference) {
   CHECK_GT(options_.max_batch, 0u);
+  if (options_.metrics_port >= 0) {
+    obs::HttpExporterOptions exporter_options;
+    exporter_options.port = options_.metrics_port;
+    metrics_exporter_ =
+        std::make_unique<obs::HttpExporter>(std::move(exporter_options));
+    std::string error;
+    if (!metrics_exporter_->Start(&error)) {
+      // Telemetry must never take down serving: log and carry on without
+      // the scrape endpoint.
+      LOG_WARNING() << "metrics exporter disabled: " << error;
+      metrics_exporter_.reset();
+    }
+  }
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
@@ -77,6 +91,11 @@ PredictServer::~PredictServer() {
   for (PendingRequest& p : queue_) {
     p.promise.set_value(std::numeric_limits<float>::quiet_NaN());
   }
+  if (metrics_exporter_ != nullptr) metrics_exporter_->Stop();
+}
+
+int PredictServer::metrics_port() const {
+  return metrics_exporter_ != nullptr ? metrics_exporter_->port() : -1;
 }
 
 Status PredictServer::Deploy(std::shared_ptr<const CtrModel> model) {

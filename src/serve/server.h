@@ -47,6 +47,7 @@
 
 #include "common/status.h"
 #include "models/forward_context.h"
+#include "obs/http_exporter.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"
 
@@ -64,6 +65,12 @@ struct ServeOptions {
   /// Reject Submit when this many requests are already pending
   /// (backpressure instead of unbounded queue growth). 0 = unbounded.
   size_t max_pending = 4096;
+  /// Live scrape endpoint (obs/http_exporter.h): -1 = no exporter
+  /// (default), 0 = bind an ephemeral port (read it back from
+  /// PredictServer::metrics_port()), >0 = bind that port on loopback.
+  /// Serves /metrics (Prometheus text), /healthz, and /varz (RunReport
+  /// JSON snapshot) for the server's lifetime.
+  int metrics_port = -1;
 };
 
 /// A deployed model serving requests. Thread-safe.
@@ -110,6 +117,10 @@ class PredictServer {
 
   size_t pending() const;
 
+  /// Bound /metrics port when ServeOptions::metrics_port >= 0 and the
+  /// exporter started; -1 otherwise.
+  int metrics_port() const;
+
  private:
   struct PendingRequest {
     PredictRequest request;
@@ -150,6 +161,7 @@ class PredictServer {
   std::mutex batch1_mutex_;
   std::vector<std::unique_ptr<Batch1Slot>> batch1_pool_;
 
+  std::unique_ptr<obs::HttpExporter> metrics_exporter_;
   std::thread flusher_;
 };
 

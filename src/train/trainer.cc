@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "metrics/metrics.h"
+#include "obs/http_exporter.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -129,6 +130,23 @@ TrainSummary TrainModel(CtrModel* model, const EncodedDataset& data,
                         const Splits& splits, const TrainOptions& options) {
   CHECK(!splits.train.empty());
   Stopwatch timer;
+  // Optional live scrape endpoint for the duration of the run. Failure to
+  // bind must never abort training.
+  std::unique_ptr<obs::HttpExporter> metrics_exporter;
+  if (options.metrics_port >= 0) {
+    obs::HttpExporterOptions exporter_options;
+    exporter_options.port = options.metrics_port;
+    metrics_exporter =
+        std::make_unique<obs::HttpExporter>(std::move(exporter_options));
+    std::string error;
+    if (!metrics_exporter->Start(&error)) {
+      LOG_WARNING() << "metrics exporter disabled: " << error;
+      metrics_exporter.reset();
+    } else if (options.verbose) {
+      LOG_INFO() << "metrics exporter on 127.0.0.1:"
+                 << metrics_exporter->port();
+    }
+  }
   TrainSummary summary;
   TrainTelemetry& telemetry = summary.telemetry;
   Batcher batcher(&data, splits.train, options.batch_size, options.seed);

@@ -53,6 +53,10 @@ struct TrainOptions {
   /// on the serial path, and after every epoch) so long runs flush
   /// progress without waiting for the final write. Not owned.
   obs::RunReport* report = nullptr;
+  /// Live scrape endpoint for the duration of the TrainModel call
+  /// (obs/http_exporter.h): -1 = none (default), 0 = ephemeral port,
+  /// >0 = that port on loopback. Serves /metrics, /healthz, and /varz.
+  int metrics_port = -1;
 };
 
 /// AUC + log loss of one evaluation pass.

@@ -14,10 +14,13 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/counters.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/search_dynamics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "synth/prepare.h"
 #include "train/trainer.h"
@@ -168,6 +171,29 @@ TEST(RegistryTest, HistogramQuantileInterpolates) {
   h->Reset();
   h->Observe(1000.0);
   EXPECT_DOUBLE_EQ(h->Quantile(0.5), 40.0);
+}
+
+TEST(RegistryTest, HistogramQuantileEdgeCases) {
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "test.quantile_edges", {10.0, 20.0});
+  // Empty histogram: every quantile is 0.
+  h->Reset();
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 0.0);
+  // q=0 reports the lower edge of the first non-empty bucket; q=1 its
+  // upper edge when all mass sits in one finite bucket.
+  h->Observe(15.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 20.0);
+  // All mass in the overflow bucket: every quantile is floored at the
+  // largest finite bound (the overflow bucket has no upper edge).
+  h->Reset();
+  for (int i = 0; i < 5; ++i) h->Observe(1e6);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 20.0);
+  EXPECT_EQ(h->count(), 5u);
 }
 
 TEST(RegistryTest, GaugeSetAndAdd) {
@@ -428,6 +454,463 @@ TEST(SearchDynamicsTest, PopulatedByShortSearchRun) {
   // Flips are counted only from the second epoch on.
   EXPECT_EQ(result.dynamics.epochs[0].argmax_flips, 0u);
   EXPECT_LE(result.dynamics.epochs[1].argmax_flips, num_pairs);
+}
+
+TEST(SearchDynamicsTest, AlphaFlipEventsSerialize) {
+  obs::SearchDynamics dyn;
+  dyn.sample_every = 16;
+  obs::AlphaFlipEvent ev;
+  ev.epoch = 1;
+  ev.step = 48;
+  ev.pair = 3;
+  ev.from = 0;  // memorize
+  ev.to = 2;    // naive
+  dyn.flip_events.push_back(ev);
+  const obs::JsonValue j = obs::SearchDynamicsToJson(dyn);
+  EXPECT_EQ(j.Find("alpha_sample_every")->int_value(), 16);
+  const obs::JsonValue* flips = j.Find("flip_events");
+  ASSERT_NE(flips, nullptr);
+  ASSERT_EQ(flips->size(), 1u);
+  const obs::JsonValue& f = flips->at(0);
+  EXPECT_EQ(f.Find("epoch")->int_value(), 1);
+  EXPECT_EQ(f.Find("step")->int_value(), 48);
+  EXPECT_EQ(f.Find("pair")->int_value(), 3);
+  EXPECT_EQ(f.Find("from")->string_value(), "memorize");
+  EXPECT_EQ(f.Find("to")->string_value(), "naive");
+  // Sampling off: neither key appears (per-epoch-only reports unchanged).
+  obs::SearchDynamics off;
+  const obs::JsonValue j_off = obs::SearchDynamicsToJson(off);
+  EXPECT_EQ(j_off.Find("alpha_sample_every"), nullptr);
+  EXPECT_EQ(j_off.Find("flip_events"), nullptr);
+}
+
+TEST(SearchDynamicsTest, WithinEpochSamplingRecordsValidFlips) {
+  auto prepared = PrepareProfile("tiny", PrepareOptions());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  HyperParams hp = DefaultHyperParams("tiny");
+  SearchOptions sopts;
+  sopts.search_epochs = 2;
+  sopts.alpha_sample_every = 3;
+  const SearchResult result =
+      RunSearchStage(prepared->data, prepared->splits, hp, sopts);
+  EXPECT_EQ(result.dynamics.sample_every, 3u);
+  // Early search epochs at high temperature flip constantly; an empty
+  // event list here would mean sampling never ran.
+  EXPECT_FALSE(result.dynamics.flip_events.empty());
+  const size_t num_pairs = prepared->data.num_pairs();
+  for (const obs::AlphaFlipEvent& ev : result.dynamics.flip_events) {
+    EXPECT_LT(ev.epoch, sopts.search_epochs);
+    EXPECT_GT(ev.step, 0u);
+    EXPECT_EQ(ev.step % sopts.alpha_sample_every, 0u);
+    EXPECT_LT(ev.pair, num_pairs);
+    EXPECT_GE(ev.from, 0);
+    EXPECT_LE(ev.from, 2);
+    EXPECT_GE(ev.to, 0);
+    EXPECT_LE(ev.to, 2);
+    EXPECT_NE(ev.from, ev.to);
+  }
+  // Sampling must not change the search outcome: the same run without
+  // sampling lands on the same architecture (observation-only contract).
+  SearchOptions plain = sopts;
+  plain.alpha_sample_every = 0;
+  const SearchResult baseline =
+      RunSearchStage(prepared->data, prepared->splits, hp, plain);
+  EXPECT_EQ(baseline.arch, result.arch);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// One parsed Prometheus sample line: `name{labels} value`.
+struct PromSample {
+  std::string name;
+  std::string labels;  // raw text between the braces ("" when absent)
+  double value = 0.0;
+};
+
+/// Minimal exposition-format parser: validates the line grammar the
+/// encoder must produce and returns the samples. Fails the test on any
+/// line that is neither a comment nor a well-formed sample.
+std::vector<PromSample> ParsePrometheusText(const std::string& text) {
+  std::vector<PromSample> samples;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << "bad comment line: " << line;
+      continue;
+    }
+    PromSample s;
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos || name_end == 0) {
+      ADD_FAILURE() << "bad sample line: " << line;
+      continue;
+    }
+    s.name = line.substr(0, name_end);
+    // Metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(s.name[0])) ||
+                s.name[0] == '_' || s.name[0] == ':')
+        << s.name;
+    for (const char c : s.name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad char in metric name: " << s.name;
+    }
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        ADD_FAILURE() << "unclosed labels: " << line;
+        continue;
+      }
+      s.labels = line.substr(name_end + 1, close - name_end - 1);
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      ADD_FAILURE() << "missing value: " << line;
+      continue;
+    }
+    const std::string value_text = line.substr(value_start + 1);
+    if (value_text == "+Inf") {
+      s.value = std::numeric_limits<double>::infinity();
+    } else {
+      s.value = std::stod(value_text);
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+const PromSample* FindSample(const std::vector<PromSample>& samples,
+                             const std::string& name,
+                             const std::string& labels = "") {
+  for (const PromSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+TEST(PrometheusTest, SanitizeName) {
+  EXPECT_EQ(obs::PrometheusSanitizeName("serve.latency_us"),
+            "serve_latency_us");
+  EXPECT_EQ(obs::PrometheusSanitizeName("train.rows"), "train_rows");
+  EXPECT_EQ(obs::PrometheusSanitizeName("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::PrometheusSanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(obs::PrometheusSanitizeName(""), "_");
+  EXPECT_EQ(obs::PrometheusSanitizeName("already_ok:name"),
+            "already_ok:name");
+}
+
+TEST(PrometheusTest, EscapeLabelValue) {
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("say \"hi\""),
+            "say \\\"hi\\\"");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("line\nbreak"),
+            "line\\nbreak");
+}
+
+TEST(PrometheusTest, RenderFromHandBuiltSnapshot) {
+  obs::JsonValue snapshot = obs::JsonValue::MakeObject();
+  obs::JsonValue counters = obs::JsonValue::MakeObject();
+  counters.Set("serve.requests", obs::JsonValue::Uint(42));
+  snapshot.Set("counters", std::move(counters));
+  obs::JsonValue gauges = obs::JsonValue::MakeObject();
+  gauges.Set("queue.depth", obs::JsonValue::Double(3.5));
+  snapshot.Set("gauges", std::move(gauges));
+  obs::JsonValue hist = obs::JsonValue::MakeObject();
+  obs::JsonValue bounds = obs::JsonValue::MakeArray();
+  bounds.Push(obs::JsonValue::Double(10.0));
+  bounds.Push(obs::JsonValue::Double(20.0));
+  hist.Set("upper_bounds", std::move(bounds));
+  obs::JsonValue buckets = obs::JsonValue::MakeArray();
+  buckets.Push(obs::JsonValue::Uint(3));  // (0, 10]
+  buckets.Push(obs::JsonValue::Uint(2));  // (10, 20]
+  buckets.Push(obs::JsonValue::Uint(1));  // overflow
+  hist.Set("bucket_counts", std::move(buckets));
+  hist.Set("sum", obs::JsonValue::Double(123.5));
+  hist.Set("count", obs::JsonValue::Uint(6));
+  obs::JsonValue hists = obs::JsonValue::MakeObject();
+  hists.Set("serve.latency_us", std::move(hist));
+  snapshot.Set("histograms", std::move(hists));
+
+  const std::string text = obs::RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_us histogram"),
+            std::string::npos);
+
+  const std::vector<PromSample> samples = ParsePrometheusText(text);
+  const PromSample* requests = FindSample(samples, "serve_requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(requests->value, 42.0);
+  const PromSample* depth = FindSample(samples, "queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 3.5);
+
+  // Buckets are cumulative, monotone, and +Inf equals _count (the
+  // overflow bucket folded in).
+  const PromSample* b10 =
+      FindSample(samples, "serve_latency_us_bucket", "le=\"10\"");
+  const PromSample* b20 =
+      FindSample(samples, "serve_latency_us_bucket", "le=\"20\"");
+  const PromSample* binf =
+      FindSample(samples, "serve_latency_us_bucket", "le=\"+Inf\"");
+  ASSERT_NE(b10, nullptr);
+  ASSERT_NE(b20, nullptr);
+  ASSERT_NE(binf, nullptr);
+  EXPECT_DOUBLE_EQ(b10->value, 3.0);
+  EXPECT_DOUBLE_EQ(b20->value, 5.0);
+  EXPECT_DOUBLE_EQ(binf->value, 6.0);
+  EXPECT_LE(b10->value, b20->value);
+  EXPECT_LE(b20->value, binf->value);
+  const PromSample* count = FindSample(samples, "serve_latency_us_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, binf->value);
+  const PromSample* sum = FindSample(samples, "serve_latency_us_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 123.5);
+}
+
+TEST(PrometheusTest, RenderGlobalRegistrySnapshotParses) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("test.prom_counter")->Reset();
+  reg.GetCounter("test.prom_counter")->Add(7);
+  obs::Histogram* h = reg.GetHistogram("test.prom_hist", {1.0, 2.0});
+  h->Reset();
+  h->Observe(0.5);
+  h->Observe(5.0);  // overflow
+  const std::string text = obs::RenderPrometheusText();
+  const std::vector<PromSample> samples = ParsePrometheusText(text);
+  const PromSample* c = FindSample(samples, "test_prom_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 7.0);
+  const PromSample* binf =
+      FindSample(samples, "test_prom_hist_bucket", "le=\"+Inf\"");
+  ASSERT_NE(binf, nullptr);
+  EXPECT_DOUBLE_EQ(binf->value, 2.0);
+  // Cumulative buckets never decrease across any rendered histogram.
+  std::string current;
+  double last = 0.0;
+  for (const PromSample& s : samples) {
+    if (s.name.size() < 7 ||
+        s.name.compare(s.name.size() - 7, 7, "_bucket") != 0) {
+      continue;
+    }
+    if (s.name != current) {
+      current = s.name;
+      last = 0.0;
+    }
+    EXPECT_GE(s.value, last) << s.name << "{" << s.labels << "}";
+    last = s.value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter-enriched spans
+// ---------------------------------------------------------------------------
+
+/// Deterministic fake hardware-counter source.
+class FakeCounterProvider : public obs::CounterProvider {
+ public:
+  const char* name() const override { return "fake"; }
+  bool StartThread(std::string*) override { return true; }
+  obs::HwCounters Read() override {
+    obs::HwCounters c;
+    c.cycles = reads_ * 1000;
+    c.instructions = reads_ * 2000;
+    c.llc_misses = reads_ * 10;
+    ++reads_;
+    return c;
+  }
+
+ private:
+  uint64_t reads_ = 1;
+};
+
+/// Provider that always refuses, with a recognizable reason.
+class RefusingCounterProvider : public obs::CounterProvider {
+ public:
+  const char* name() const override { return "refuser"; }
+  bool StartThread(std::string* reason) override {
+    if (reason != nullptr) *reason = "refused for test";
+    return false;
+  }
+  obs::HwCounters Read() override { return {}; }
+};
+
+TEST(CountersTest, SpanProfileRecordsCpuTime) {
+  obs::Tracer::Reset();
+  {
+    OPTINTER_TRACE_SPAN("cpu_probe");
+    // Burn enough CPU that CLOCK_THREAD_CPUTIME_ID ticks.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2000000; ++i) x = x * 1.0000001 + 1e-9;
+  }
+  const obs::SpanProfile profile = obs::Tracer::Collect();
+  const obs::SpanProfile* s = FindChild(profile, "cpu_probe");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->total_ns, 0u);
+  if (obs::CountersStatus().cpu_time) {
+    EXPECT_GT(s->cpu_ns, 0u);
+    EXPECT_LE(s->cpu_seconds(), s->total_seconds() * 1.5 + 0.01);
+  }
+}
+
+TEST(CountersTest, FakeProviderFeedsHardwareColumns) {
+  FakeCounterProvider fake;
+  obs::SetCounterProvider(&fake);
+  obs::Tracer::Reset();
+  {
+    OPTINTER_TRACE_SPAN("hw_probe");
+  }
+  const obs::SpanProfile profile = obs::Tracer::Collect();
+  obs::SetCounterProvider(nullptr);
+  const obs::SpanProfile* s = FindChild(profile, "hw_probe");
+  ASSERT_NE(s, nullptr);
+  // Fake deltas: one Read at span entry, one at exit.
+  EXPECT_EQ(s->cycles, 1000u);
+  EXPECT_EQ(s->instructions, 2000u);
+  EXPECT_EQ(s->llc_misses, 10u);
+}
+
+TEST(CountersTest, StatusReportsProviderAndDegradation) {
+  RefusingCounterProvider refuser;
+  obs::SetCounterProvider(&refuser);
+  obs::Tracer::Reset();
+  {
+    OPTINTER_TRACE_SPAN("degraded_probe");
+  }
+  const obs::CounterStatus status = obs::CountersStatus();
+  EXPECT_EQ(status.provider, "refuser");
+  EXPECT_FALSE(status.hardware);
+  EXPECT_EQ(status.degradation_reason, "refused for test");
+
+  // The profile JSON carries the per-span columns and the run-level
+  // counter status, so a report always says why hardware columns are 0.
+  const obs::JsonValue j = obs::Tracer::ToJson(obs::Tracer::Collect());
+  obs::SetCounterProvider(nullptr);
+  ASSERT_NE(j.Find("counter_status"), nullptr);
+  const obs::JsonValue& cs = *j.Find("counter_status");
+  EXPECT_EQ(cs.Find("provider")->string_value(), "refuser");
+  EXPECT_FALSE(cs.Find("hardware")->bool_value());
+  EXPECT_EQ(cs.Find("degradation_reason")->string_value(),
+            "refused for test");
+  ASSERT_GT(j.Find("children")->size(), 0u);
+  const obs::JsonValue& child = j.Find("children")->at(0);
+  ASSERT_NE(child.Find("cpu_ns"), nullptr);
+  ASSERT_NE(child.Find("cycles"), nullptr);
+  ASSERT_NE(child.Find("instructions"), nullptr);
+  ASSERT_NE(child.Find("llc_misses"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline (Chrome trace-event export)
+// ---------------------------------------------------------------------------
+
+/// RAII guard so a failed ASSERT cannot leave the timeline enabled for
+/// later tests.
+struct TimelineGuard {
+  explicit TimelineGuard(const std::string& path, size_t capacity) {
+    obs::Timeline::EnableForTest(path, capacity);
+  }
+  ~TimelineGuard() { obs::Timeline::DisableForTest(); }
+};
+
+TEST(TimelineTest, RendersValidChromeTraceJson) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "optinter_timeline.json")
+          .string();
+  TimelineGuard guard(path, 1024);
+  {
+    OPTINTER_TRACE_SPAN("tl_outer");
+    {
+      OPTINTER_TRACE_SPAN("tl_inner");
+    }
+    obs::Timeline::RecordInstant("tl_marker", "k=v");
+  }
+  const std::string json = obs::Timeline::RenderJson();
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(json, &doc, &error)) << error;
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  size_t begins = 0, ends = 0, instants = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue& e = events->at(i);
+    const std::string& ph = e.Find("ph")->string_value();
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    if (ph == "M") continue;  // thread-name metadata
+    ASSERT_NE(e.Find("ts"), nullptr);
+    const std::string& name = e.Find("name")->string_value();
+    if (ph == "B" && (name == "tl_outer" || name == "tl_inner")) ++begins;
+    if (ph == "E" && (name == "tl_outer" || name == "tl_inner")) ++ends;
+    if (ph == "i" && name == "tl_marker") {
+      ++instants;
+      EXPECT_EQ(e.Find("s")->string_value(), "t");
+      EXPECT_EQ(e.Find("args")->Find("detail")->string_value(), "k=v");
+    }
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_EQ(instants, 1u);
+  // Events come out sorted by timestamp (Perfetto requirement).
+  double last_ts = -1.0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue* ts = events->at(i).Find("ts");
+    if (ts == nullptr) continue;
+    EXPECT_GE(ts->number(), last_ts);
+    last_ts = ts->number();
+  }
+
+  // FlushTo writes the same document to disk, atomically.
+  ASSERT_TRUE(obs::Timeline::FlushTo(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue from_disk;
+  ASSERT_TRUE(obs::JsonValue::Parse(buffer.str(), &from_disk, &error))
+      << error;
+  ASSERT_NE(from_disk.Find("traceEvents"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(TimelineTest, RingDropsOldestAndCountsDrops) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "optinter_timeline2.json")
+          .string();
+  TimelineGuard guard(path, 8);
+  for (int i = 0; i < 20; ++i) {
+    obs::Timeline::RecordInstant("drop_probe");
+  }
+  EXPECT_EQ(obs::Timeline::DroppedEvents(), 12u);
+  const std::string json = obs::Timeline::RenderJson();
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(json, &doc, &error)) << error;
+  // The ring kept only the newest `capacity` events...
+  size_t kept = 0;
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  for (size_t i = 0; i < events->size(); ++i) {
+    if (events->at(i).Find("name")->string_value() == "drop_probe") ++kept;
+  }
+  EXPECT_EQ(kept, 8u);
+  // ...and the export says how many were lost.
+  EXPECT_EQ(doc.Find("otherData")->Find("dropped_events")->number(), 12.0);
+}
+
+TEST(TimelineTest, DisabledRecordingIsInert) {
+  obs::Timeline::DisableForTest();
+  EXPECT_FALSE(obs::Timeline::Enabled());
+  obs::Timeline::RecordInstant("ignored");
+  std::string error;
+  EXPECT_FALSE(obs::Timeline::Flush(&error));  // no path configured
 }
 
 // ---------------------------------------------------------------------------
