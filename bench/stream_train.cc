@@ -1,0 +1,200 @@
+// Out-of-core streaming acceptance harness: encodes a synthetic profile
+// into a shard directory (hash-trick encoder by default), trains an FNN
+// end-to-end through StreamingReader, and reports encode + train
+// throughput, hash-collision counters, and peak RSS against the
+// materialized dataset size. With --parity (default on) it then
+// materializes the shards and re-runs the identical schedule through the
+// in-RAM control arm — every metric must match the streamed run bitwise,
+// and the process exits non-zero if any differs.
+//
+// The ISSUE's 50M-row Criteo-profile run (criteo_like is 60k rows):
+//
+//   bench_stream_train --rows_scale=834 --order=window --parity=false
+//       --dir=/data/criteo50m --report=stream_train.json
+//
+// --order=window keeps the training working set near --window-blocks
+// shards, so RSS stays far below the dataset size; --order=global is the
+// bitwise twin of in-RAM TrainModel but touches every shard per epoch.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/fixed_arch_model.h"
+#include "data/stream_encode.h"
+#include "data/stream_reader.h"
+#include "obs/registry.h"
+#include "synth/profiles.h"
+#include "synth/stream_source.h"
+#include "train/stream_trainer.h"
+
+using namespace optinter;
+using namespace optinter::bench;
+
+namespace {
+
+/// Peak resident set (VmHWM) in bytes, from /proc/self/status.
+size_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+size_t DatasetPayloadBytes(const ShardManifest& manifest) {
+  size_t total = 0;
+  for (const ShardInfo& s : manifest.shards) total += s.payload_bytes;
+  return total;
+}
+
+std::string HashExtra(const StreamEncodeStats& stats) {
+  const uint64_t rows = stats.cat_hash.hashed_rows + stats.cat_hash.hot_rows;
+  const double rate =
+      rows > 0 ? static_cast<double>(stats.cat_hash.collision_rows) /
+                     static_cast<double>(rows)
+               : 0.0;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%llu hot, %llu bucketed, %llu collisions (%.3f%%)",
+                static_cast<unsigned long long>(stats.cat_hash.hot_rows),
+                static_cast<unsigned long long>(stats.cat_hash.hashed_rows),
+                static_cast<unsigned long long>(
+                    stats.cat_hash.collision_rows),
+                100.0 * rate);
+  return buf;
+}
+
+bool BitwiseEqual(const TrainSummary& a, const TrainSummary& b) {
+  return a.epochs_run == b.epochs_run &&
+         a.epoch_train_losses == b.epoch_train_losses &&
+         a.epoch_val_aucs == b.epoch_val_aucs &&
+         a.final_val.auc == b.final_val.auc &&
+         a.final_val.logloss == b.final_val.logloss &&
+         a.final_test.auc == b.final_test.auc &&
+         a.final_test.logloss == b.final_test.logloss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddString("dir", "/tmp/optinter_stream_bench",
+                  "shard directory (created/overwritten)");
+  flags.AddString("profile", "criteo_like", "synthetic profile to encode");
+  flags.AddString("order", "window",
+                  "train-epoch row order: window or global");
+  flags.AddBool("hashed", true, "hash-trick encoder (vs exact vocab)");
+  flags.AddInt("rows-per-shard", 1 << 17, "rows per shard file");
+  flags.AddInt("prefetch", 2, "batches prefetched ahead of training");
+  flags.AddInt("window-blocks", 8, "shards per shuffle window");
+  flags.AddInt("max-resident", 32, "reader's resident-shard bound");
+  flags.AddBool("parity", true,
+                "materialize and re-run in RAM; fail on any bitwise "
+                "metric difference");
+  int exit_code = 0;
+  if (!ParseOrExit(&flags, argc, argv, &exit_code)) return exit_code;
+  BenchReport report("stream_train", flags);
+
+  const std::string dir = flags.GetString("dir");
+  const std::string profile = flags.GetString("profile");
+  auto fail = [&](const Status& st) {
+    std::fprintf(stderr, "stream_train: %s\n", st.ToString().c_str());
+    return 1;
+  };
+
+  // --- Encode the profile into shards (streamed; O(1) rows in RAM). ---
+  auto config = GetProfile(profile);
+  if (!config.ok()) return fail(config.status());
+  ScaleRows(&*config, flags.GetDouble("rows_scale"));
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return fail(Status::IoError("cannot create '" + dir + "'"));
+  }
+  StreamEncodeOptions eopts;
+  eopts.rows_per_shard = static_cast<size_t>(flags.GetInt("rows-per-shard"));
+  eopts.hashed = flags.GetBool("hashed");
+  Stopwatch encode_timer;
+  SynthRowSource rows(*config);
+  auto stats = StreamEncodeToShards(&rows, dir, eopts);
+  if (!stats.ok()) return fail(stats.status());
+  const double encode_s = encode_timer.Elapsed();
+
+  auto reader_or = StreamingReader::Open(
+      dir, {.max_resident_shards =
+                static_cast<size_t>(flags.GetInt("max-resident"))});
+  if (!reader_or.ok()) return fail(reader_or.status());
+  StreamingReader& reader = **reader_or;
+  const size_t dataset_bytes = DatasetPayloadBytes(reader.manifest());
+
+  report.Section("Streamed training: " + profile);
+  std::printf("encoded %zu rows (%s on disk) in %.1fs (%.0f rows/s)\n",
+              reader.num_rows(), HumanCount(dataset_bytes).c_str(), encode_s,
+              static_cast<double>(reader.num_rows()) / encode_s);
+
+  // --- Streamed arm. ---
+  HyperParams hp = DefaultHyperParams(profile);
+  ApplyOverrides(flags, &hp);
+  StreamTrainOptions sopts;
+  sopts.epochs = hp.epochs;
+  sopts.batch_size = hp.batch_size;
+  sopts.seed = hp.seed;
+  sopts.patience = hp.early_stop_patience;
+  sopts.verbose = flags.GetBool("verbose");
+  sopts.order = flags.GetString("order") == "global"
+                    ? StreamingBatcher::Order::kGlobalShuffle
+                    : StreamingBatcher::Order::kWindowShuffle;
+  sopts.prefetch_batches = static_cast<size_t>(flags.GetInt("prefetch"));
+  sopts.window_blocks = static_cast<size_t>(flags.GetInt("window-blocks"));
+  // Pin the shuffle block size so the in-RAM arm reproduces it exactly.
+  sopts.block_rows = reader.manifest().rows_per_shard;
+
+  auto fnn = FixedArchModel::MakeFnn(reader.meta(), hp);
+  auto streamed = TrainModelStreamed(fnn.get(), &reader, sopts);
+  if (!streamed.ok()) return fail(streamed.status());
+
+  // Peak RSS before anything materializes the dataset in RAM.
+  const size_t peak_rss = PeakRssBytes();
+  char rss_extra[160];
+  std::snprintf(rss_extra, sizeof(rss_extra),
+                "peak RSS %s = %.1f%% of %s dataset",
+                HumanCount(peak_rss).c_str(),
+                dataset_bytes > 0 ? 100.0 * static_cast<double>(peak_rss) /
+                                        static_cast<double>(dataset_bytes)
+                                  : 0.0,
+                HumanCount(dataset_bytes).c_str());
+  report.AddRow("FNN/streamed", streamed->final_test.auc,
+                streamed->final_test.logloss, fnn->ParamCount(),
+                streamed->telemetry, rss_extra);
+  report.AddRow("hash-encoder", 0.0, 0.0, 0, HashExtra(*stats));
+
+  // --- In-RAM control arm (bitwise parity). ---
+  if (flags.GetBool("parity")) {
+    auto materialized = reader.Materialize();
+    if (!materialized.ok()) return fail(materialized.status());
+    auto fnn2 = FixedArchModel::MakeFnn(*materialized, hp);
+    auto in_ram = TrainModelStreamed(fnn2.get(), *materialized, sopts);
+    if (!in_ram.ok()) return fail(in_ram.status());
+    const bool match = BitwiseEqual(*streamed, *in_ram);
+    report.AddRow("FNN/in-RAM", in_ram->final_test.auc,
+                  in_ram->final_test.logloss, fnn2->ParamCount(),
+                  in_ram->telemetry,
+                  match ? "bitwise MATCH vs streamed"
+                        : "bitwise MISMATCH vs streamed");
+    if (!match) {
+      std::fprintf(stderr,
+                   "stream_train: streamed and in-RAM runs diverged\n");
+      return 1;
+    }
+  }
+  return report.Finish();
+}

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -63,6 +64,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Stored data failed an integrity check (bad magic/CRC/length): the
+  /// bytes on disk are wrong, as opposed to a well-formed-but-invalid
+  /// request (kInvalidArgument).
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -122,7 +129,14 @@ class Result {
   } while (false)
 
 /// Unwraps a Result<T> into `lhs`, propagating errors to the caller.
-#define OPTINTER_ASSIGN_OR_RETURN(lhs, rexpr)   \
-  auto _res_##__LINE__ = (rexpr);               \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value()
+/// The temporary's name goes through a second expansion so __LINE__
+/// resolves, letting several uses share one scope.
+#define OPTINTER_CONCAT_IMPL_(a, b) a##b
+#define OPTINTER_CONCAT_(a, b) OPTINTER_CONCAT_IMPL_(a, b)
+#define OPTINTER_ASSIGN_OR_RETURN_IMPL_(res, lhs, rexpr) \
+  auto res = (rexpr);                                    \
+  if (!res.ok()) return res.status();                    \
+  lhs = std::move(res).value()
+#define OPTINTER_ASSIGN_OR_RETURN(lhs, rexpr) \
+  OPTINTER_ASSIGN_OR_RETURN_IMPL_(            \
+      OPTINTER_CONCAT_(_res_, __LINE__), lhs, rexpr)

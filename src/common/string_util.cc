@@ -41,6 +41,12 @@ std::string_view Trim(std::string_view s) {
   return s.substr(b, e - b);
 }
 
+std::string_view StripLineEnding(std::string_view s) {
+  if (!s.empty() && s.back() == '\n') s.remove_suffix(1);
+  if (!s.empty() && s.back() == '\r') s.remove_suffix(1);
+  return s;
+}
+
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }

@@ -18,6 +18,13 @@ std::string Join(const std::vector<std::string>& parts,
 /// Strips ASCII whitespace from both ends.
 std::string_view Trim(std::string_view s);
 
+/// Removes one trailing line ending ("\r\n", "\n", or "\r") and nothing
+/// else. Unlike Trim, interior-significant whitespace (tabs/spaces that
+/// are field delimiters or empty trailing fields) survives — the loaders
+/// use this so CRLF files parse identically to LF files without eating
+/// delimiter-adjacent empty cells.
+std::string_view StripLineEnding(std::string_view s);
+
 /// True when `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 

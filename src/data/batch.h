@@ -45,9 +45,31 @@ std::vector<size_t> DownsampleNegatives(const EncodedDataset& data,
 /// p' = p / (p + (1 - p) / keep_rate).
 float RecalibrateProbability(float p, double keep_rate);
 
+/// Abstract mini-batch producer. Batcher (below, in-RAM) and
+/// StreamingBatcher (stream_reader.h, out-of-core) implement it; the
+/// pipeline executor and trainers consume it.
+///
+/// Contract: StartEpoch() begins an epoch; Next() yields batches until an
+/// empty one (size == 0) ends the epoch. The most recent batch — its
+/// row-id array and the dataset payload it points into — stays valid
+/// until the following Next()/StartEpoch() call on the same source, after
+/// which its backing buffers may be reused. (The pipeline executor
+/// honours this: a batch's PrepareBatch copies everything it needs and is
+/// always joined before the executor asks for the next batch.)
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  virtual void StartEpoch() = 0;
+  /// Returns the next batch; Batch.size == 0 signals epoch end.
+  virtual Batch Next() = 0;
+  /// Rows per full epoch.
+  virtual size_t num_rows() const = 0;
+};
+
 /// Yields shuffled mini-batches over a fixed index set, reshuffling each
 /// epoch.
-class Batcher {
+class Batcher : public BatchSource {
  public:
   Batcher(const EncodedDataset* data, std::vector<size_t> indices,
           size_t batch_size, uint64_t seed)
@@ -57,13 +79,13 @@ class Batcher {
   }
 
   /// Starts a new epoch (reshuffles).
-  void StartEpoch() {
+  void StartEpoch() override {
     rng_.Shuffle(&indices_);
     cursor_ = 0;
   }
 
   /// Returns the next batch; Batch.size == 0 signals epoch end.
-  Batch Next() {
+  Batch Next() override {
     Batch b;
     b.data = data_;
     if (cursor_ >= indices_.size()) return b;
@@ -73,7 +95,7 @@ class Batcher {
     return b;
   }
 
-  size_t num_rows() const { return indices_.size(); }
+  size_t num_rows() const override { return indices_.size(); }
 
  private:
   const EncodedDataset* data_;

@@ -30,7 +30,12 @@ Result<RawDataset> LoadCsvDataset(const std::string& path,
   if (!std::getline(in, line)) {
     return Status::Invalid("'" + path + "' is empty");
   }
-  const auto header = Split(Trim(line), options.delimiter);
+  // Strip only the line ending, never delimiter-significant whitespace: a
+  // whole-line Trim on a tab- or space-delimited file silently removes
+  // leading/trailing EMPTY cells (Criteo-style TSV rows with missing last
+  // fields), shifting or rejecting otherwise-valid rows. Individual cells
+  // are still trimmed below.
+  const auto header = Split(StripLineEnding(line), options.delimiter);
 
   auto column_of = [&](const std::string& name) -> int {
     for (size_t c = 0; c < header.size(); ++c) {
@@ -61,9 +66,16 @@ Result<RawDataset> LoadCsvDataset(const std::string& path,
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
-    std::string_view trimmed = Trim(line);
-    if (trimmed.empty()) continue;
-    const auto cells = Split(trimmed, options.delimiter);
+    std::string_view stripped = StripLineEnding(line);
+    // Skip blank separator lines: empty, or all-whitespace with no
+    // delimiter in sight (a whitespace-delimited line consisting only of
+    // delimiters is a row of empty cells, not a blank line).
+    if (stripped.empty()) continue;
+    if (stripped.find(options.delimiter) == std::string_view::npos &&
+        Trim(stripped).empty()) {
+      continue;
+    }
+    const auto cells = Split(stripped, options.delimiter);
     if (cells.size() != header.size()) {
       return Status::Invalid(StrFormat(
           "line %zu has %zu cells, header has %zu", line_number,

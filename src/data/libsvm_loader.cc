@@ -64,10 +64,15 @@ Result<RawDataset> LoadLibsvmDataset(
 
     char* end = nullptr;
     const double label = std::strtod(tokens[0].c_str(), &end);
-    if (end == tokens[0].c_str()) {
+    // The whole token must parse: a partially-consumed label means an
+    // unexpected delimiter glued the label to its features (e.g. a
+    // tab-separated file split on ' ' yields one token "1\t5:2"), and the
+    // old lenient parse silently dropped every feature on the line.
+    if (end == tokens[0].c_str() || *end != '\0') {
       return Status::Invalid(
-          StrFormat("line %zu: bad label '%s'", line_number,
-                    tokens[0].c_str()));
+          StrFormat("line %zu: bad label '%s' (token not fully numeric; "
+                    "tab-delimited file loaded as space-delimited?)",
+                    line_number, tokens[0].c_str()));
     }
     raw.labels.push_back(label > 0.5 ? 1.0f : 0.0f);
 
@@ -85,10 +90,25 @@ Result<RawDataset> LoadLibsvmDataset(
             "line %zu: token '%s' is not index:value", line_number,
             tokens[t].c_str()));
       }
-      const size_t index =
-          static_cast<size_t>(std::strtoull(tokens[t].c_str(), nullptr, 10));
+      // Strict index:value parse — both halves must consume their span
+      // exactly. strtoull on a non-numeric index returns 0 without error,
+      // which previously aliased garbage tokens onto feature index 0.
+      char* idx_end = nullptr;
+      const size_t index = static_cast<size_t>(
+          std::strtoull(tokens[t].c_str(), &idx_end, 10));
+      if (idx_end != tokens[t].c_str() + colon) {
+        return Status::Invalid(StrFormat(
+            "line %zu: token '%s' has a non-numeric index", line_number,
+            tokens[t].c_str()));
+      }
+      char* val_end = nullptr;
       const double value =
-          std::strtod(tokens[t].c_str() + colon + 1, nullptr);
+          std::strtod(tokens[t].c_str() + colon + 1, &val_end);
+      if (val_end == tokens[t].c_str() + colon + 1 || *val_end != '\0') {
+        return Status::Invalid(StrFormat(
+            "line %zu: token '%s' has a non-numeric value", line_number,
+            tokens[t].c_str()));
+      }
       const int f = field_of(index);
       if (f < 0) {
         return Status::OutOfRange(StrFormat(

@@ -11,7 +11,9 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
                                std::vector<size_t> pairs, size_t dim,
                                float lr, float l2, Rng* rng)
     : data_(data), pairs_(std::move(pairs)), dim_(dim) {
-  CHECK(data.has_cross()) << "call BuildCrossFeatures first";
+  // Metadata-only datasets (streaming: vocab sizes without row payload)
+  // are fine here; only the per-batch datasets need actual cross ids.
+  CHECK(!data.cross_vocab_sizes.empty()) << "call BuildCrossFeatures first";
   CHECK_GT(dim, 0u);
   tables_.reserve(pairs_.size());
   for (size_t p : pairs_) {
@@ -25,8 +27,10 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
 }
 
 void CrossEmbedding::Forward(const Batch& batch, Tensor* out) {
-  CHECK(batch.data == &data_);
+  // Any compatibly-encoded dataset is accepted (Gather checks layout);
+  // it must stay valid through Backward, which re-reads ids from it.
   Gather(batch, out);
+  batch_data_ = batch.data;
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
@@ -71,7 +75,7 @@ void CrossEmbedding::Backward(const Tensor& d_out) {
   auto scatter_bucket = [&](size_t t, size_t shard) {
     EmbeddingTable& table = *tables_[t];
     for (size_t k = 0; k < rows; ++k) {
-      const int32_t id = data_.cross(batch_rows_[k], pairs_[t]);
+      const int32_t id = batch_data_->cross(batch_rows_[k], pairs_[t]);
       if (EmbeddingTable::ShardOf(id) != shard) continue;
       table.AccumulateGradInShard(shard, id, d_out.row(k) + t * dim_);
     }
@@ -93,12 +97,16 @@ void CrossEmbedding::Backward(const Tensor& d_out) {
 void CrossEmbedding::Prepare(const Batch& batch, IdDedupScratch* dedup,
                              std::vector<PreparedTable>* tables) const {
   OPTINTER_TRACE_SPAN("cross_prepare");
-  CHECK(batch.data == &data_);
+  // Copies everything downstream phases need; the batch's dataset (which
+  // may be a recycled streaming buffer) is not retained.
+  const EncodedDataset& data = *batch.data;
+  CHECK(data.has_cross());
+  CHECK_EQ(data.num_pairs(), data_.num_pairs());
   tables->resize(pairs_.size());
   for (size_t t = 0; t < pairs_.size(); ++t) {
     PrepareTableIds(
         batch.size,
-        [&](size_t k) { return data_.cross(batch.rows[k], pairs_[t]); },
+        [&](size_t k) { return data.cross(batch.rows[k], pairs_[t]); },
         dedup, &(*tables)[t]);
   }
 }

@@ -77,6 +77,9 @@ class CrossEmbedding {
   std::vector<size_t> pairs_;
   size_t dim_;
   std::vector<std::unique_ptr<EmbeddingTable>> tables_;
+  // Cached batch (dataset + rows) for the backward scatter; the dataset a
+  // Forward batch references must stay valid until Backward runs.
+  const EncodedDataset* batch_data_ = nullptr;
   std::vector<size_t> batch_rows_;
 };
 

@@ -35,10 +35,12 @@ FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
 }
 
 void FeatureEmbedding::Forward(const Batch& batch, Tensor* out) {
-  // Training stays bound to the construction dataset: Backward re-reads
-  // ids for the cached rows through data_.
-  CHECK(batch.data == &data_);
+  // Backward re-reads ids for the cached rows through the batch's dataset,
+  // which must therefore stay valid through the whole train step. Any
+  // dataset encoded compatibly with the construction one is accepted
+  // (batch-local streaming buffers included); Gather checks the layout.
   Gather(batch, out);
+  batch_data_ = batch.data;
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
@@ -113,7 +115,7 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
     if (f < num_cat) {
       EmbeddingTable& table = *cat_tables_[f];
       for (size_t k = 0; k < rows; ++k) {
-        const int32_t id = data_.cat(batch_rows_[k], f);
+        const int32_t id = batch_data_->cat(batch_rows_[k], f);
         if (EmbeddingTable::ShardOf(id) != shard) continue;
         table.AccumulateGradInShard(shard, id, d_out.row(k) + f * dim_);
       }
@@ -124,7 +126,7 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
       EmbeddingTable& table = *cont_tables_[fc];
       scratch->resize(dim_);
       for (size_t k = 0; k < rows; ++k) {
-        const float v = data_.cont(batch_rows_[k], fc);
+        const float v = batch_data_->cont(batch_rows_[k], fc);
         const float* gf = d_out.row(k) + f * dim_;
         for (size_t t = 0; t < dim_; ++t) (*scratch)[t] = gf[t] * v;
         table.AccumulateGradInShard(shard, 0, scratch->data());
@@ -149,20 +151,25 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
 
 void FeatureEmbedding::Prepare(const Batch& batch, PreparedBatch* prep) const {
   OPTINTER_TRACE_SPAN("embedding_prepare");
-  CHECK(batch.data == &data_);
+  // Prepared buffers copy everything the step needs, so the batch may
+  // point at any compatibly-encoded dataset — including a streaming
+  // batcher's reusable buffer that is recycled right after this call.
+  const EncodedDataset& data = *batch.data;
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
+  CHECK_EQ(data.num_categorical(), num_cat);
+  CHECK_EQ(data.num_continuous(), num_cont);
   prep->cat.resize(num_cat);
   for (size_t f = 0; f < num_cat; ++f) {
     PrepareTableIds(
-        batch.size, [&](size_t k) { return data_.cat(batch.rows[k], f); },
+        batch.size, [&](size_t k) { return data.cat(batch.rows[k], f); },
         &prep->dedup, &prep->cat[f]);
   }
   prep->cont.clear();
   for (size_t k = 0; k < batch.size; ++k) {
     const size_t r = batch.rows[k];
     for (size_t f = 0; f < num_cont; ++f) {
-      prep->cont.push_back(data_.cont(r, f));
+      prep->cont.push_back(data.cont(r, f));
     }
   }
 }
@@ -170,7 +177,9 @@ void FeatureEmbedding::Prepare(const Batch& batch, PreparedBatch* prep) const {
 void FeatureEmbedding::ForwardPrepared(const PreparedBatch& prep,
                                        Tensor* out) {
   OPTINTER_TRACE_SPAN("embedding_gather");
-  CHECK(prep.data == &data_);
+  // prep is self-contained (ids, slots, cont values all copied); prep.data
+  // may already be stale — e.g. a recycled streaming buffer — and is
+  // deliberately not dereferenced here.
   const size_t num_cat = cat_tables_.size();
   const size_t num_cont = cont_tables_.size();
   CHECK_EQ(prep.cat.size(), num_cat);

@@ -91,7 +91,9 @@ class FeatureEmbedding {
   size_t dim_;
   std::vector<std::unique_ptr<EmbeddingTable>> cat_tables_;
   std::vector<std::unique_ptr<EmbeddingTable>> cont_tables_;
-  // Cached batch rows for the backward scatter.
+  // Cached batch (dataset + rows) for the backward scatter. The dataset a
+  // Forward batch references must stay valid until Backward runs.
+  const EncodedDataset* batch_data_ = nullptr;
   std::vector<size_t> batch_rows_;
 };
 

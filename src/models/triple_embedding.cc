@@ -11,7 +11,10 @@ TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
                                  std::vector<size_t> triples, size_t dim,
                                  float lr, float l2, Rng* rng)
     : data_(data), triples_(std::move(triples)), dim_(dim) {
-  CHECK(data.has_triples()) << "call BuildTripleCrossFeatures first";
+  // Metadata-only datasets (streaming: vocab sizes without row payload)
+  // are fine here; only the per-batch datasets need actual triple ids.
+  CHECK(!data.triple_vocab_sizes.empty())
+      << "call BuildTripleCrossFeatures first";
   CHECK_GT(dim, 0u);
   tables_.reserve(triples_.size());
   for (size_t t : triples_) {
@@ -25,8 +28,10 @@ TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
 }
 
 void TripleEmbedding::Forward(const Batch& batch, Tensor* out) {
-  CHECK(batch.data == &data_);
+  // Any compatibly-encoded dataset is accepted (Gather checks layout);
+  // it must stay valid through Backward, which re-reads ids from it.
   Gather(batch, out);
+  batch_data_ = batch.data;
   batch_rows_.assign(batch.rows, batch.rows + batch.size);
 }
 
@@ -74,7 +79,7 @@ void TripleEmbedding::Backward(const Tensor& d_out) {
   auto scatter_bucket = [&](size_t t, size_t shard) {
     EmbeddingTable& table = *tables_[t];
     for (size_t k = 0; k < rows; ++k) {
-      const int32_t id = data_.triple(batch_rows_[k], triples_[t]);
+      const int32_t id = batch_data_->triple(batch_rows_[k], triples_[t]);
       if (EmbeddingTable::ShardOf(id) != shard) continue;
       table.AccumulateGradInShard(shard, id, d_out.row(k) + t * dim_);
     }
@@ -96,12 +101,16 @@ void TripleEmbedding::Backward(const Tensor& d_out) {
 void TripleEmbedding::Prepare(const Batch& batch, IdDedupScratch* dedup,
                               std::vector<PreparedTable>* tables) const {
   OPTINTER_TRACE_SPAN("triple_prepare");
-  CHECK(batch.data == &data_);
+  // Copies everything downstream phases need; the batch's dataset (which
+  // may be a recycled streaming buffer) is not retained.
+  const EncodedDataset& data = *batch.data;
+  CHECK(data.has_triples());
+  CHECK_EQ(data.num_triples(), data_.num_triples());
   tables->resize(triples_.size());
   for (size_t t = 0; t < triples_.size(); ++t) {
     PrepareTableIds(
         batch.size,
-        [&](size_t k) { return data_.triple(batch.rows[k], triples_[t]); },
+        [&](size_t k) { return data.triple(batch.rows[k], triples_[t]); },
         dedup, &(*tables)[t]);
   }
 }

@@ -95,7 +95,10 @@ double TripleEffect(const SynthConfig& cfg, const std::array<size_t, 3>& t,
 
 }  // namespace
 
-RawDataset GenerateSynthetic(const SynthConfig& config) {
+namespace synth_internal {
+
+RowStream::RowStream(const SynthConfig& config)
+    : config_(&config), rng_(config.seed) {
   CHECK_GE(config.num_categorical(), 2u);
   CHECK_GT(config.num_rows, 0u);
   for (const auto& [i, j] : config.memorize_pairs) {
@@ -111,7 +114,90 @@ RawDataset GenerateSynthetic(const SynthConfig& config) {
     CHECK_LT(t[1], t[2]);
     CHECK_LT(t[2], config.num_categorical());
   }
+  // Precompute zipf CDF tables per field for fast popularity-skewed draws.
+  const size_t num_cat = config.num_categorical();
+  cdfs_.resize(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) {
+    const size_t v = config.cardinalities[f];
+    CHECK_GT(v, 1u);
+    cdfs_[f].resize(v);
+    double total = 0.0;
+    for (size_t k = 0; k < v; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1),
+                              config.zipf_exponent);
+      cdfs_[f][k] = total;
+    }
+    for (size_t k = 0; k < v; ++k) cdfs_[f][k] /= total;
+  }
+  ConsumeSetupDraws();
+}
 
+void RowStream::ConsumeSetupDraws() {
+  // Random value permutation offset per field so "popular" raw ids are not
+  // always the small integers (exercises vocab ordering independence).
+  const size_t num_cat = config_->num_categorical();
+  perm_salt_.resize(num_cat);
+  for (size_t f = 0; f < num_cat; ++f) perm_salt_[f] = rng_.NextUint64();
+
+  cont_weights_.resize(config_->num_continuous);
+  for (size_t f = 0; f < config_->num_continuous; ++f) {
+    cont_weights_[f] = rng_.Gaussian(0.0, config_->cont_scale);
+  }
+}
+
+void RowStream::Restart() {
+  // A fresh Rng also clears the Gaussian pair cache, which is part of the
+  // draw-order contract.
+  rng_ = Rng(config_->seed);
+  ConsumeSetupDraws();
+}
+
+double RowStream::NextRow(int64_t* cat, float* cont) {
+  const SynthConfig& config = *config_;
+  double logit = 0.0;
+  for (size_t f = 0; f < config.num_categorical(); ++f) {
+    const auto& cdf = cdfs_[f];
+    const double u = rng_.Uniform();
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    // Permute rank -> raw value deterministically within the field domain.
+    const int64_t value = static_cast<int64_t>(
+        (rank * 0x9e3779b97f4a7c15ULL + perm_salt_[f]) %
+        config.cardinalities[f]);
+    cat[f] = value;
+    logit += UnaryEffect(config, f, value);
+  }
+  for (size_t f = 0; f < config.num_continuous; ++f) {
+    const double u = rng_.Uniform();
+    cont[f] = static_cast<float>(std::exp(3.0 * u));  // skewed raw scale
+    logit += cont_weights_[f] * u;
+  }
+  double pair_sum = 0.0;
+  double group_a = 0.0;  // alternate planted terms between two groups
+  double group_b = 0.0;
+  size_t planted_idx = 0;
+  for (const auto& [i, j] : config.memorize_pairs) {
+    const double t = MemorizeEffect(config, i, j, cat[i], cat[j]);
+    pair_sum += t;
+    ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
+  }
+  for (const auto& [i, j] : config.factorize_pairs) {
+    const double t = FactorizeEffect(config, i, j, cat[i], cat[j]);
+    pair_sum += t;
+    ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
+  }
+  logit += pair_sum +
+           config.synergy_scale * std::tanh(group_a) * std::tanh(group_b);
+  for (const auto& t : config.memorize_triples) {
+    logit += TripleEffect(config, t, cat[t[0]], cat[t[1]], cat[t[2]]);
+  }
+  logit += rng_.Gaussian(0.0, config.noise_scale);
+  return logit;
+}
+
+}  // namespace synth_internal
+
+RawDataset GenerateSynthetic(const SynthConfig& config) {
   const size_t num_cat = config.num_categorical();
   const size_t num_cont = config.num_continuous;
 
@@ -130,78 +216,12 @@ RawDataset GenerateSynthetic(const SynthConfig& config) {
   raw.cont_values.resize(config.num_rows * num_cont);
   raw.labels.resize(config.num_rows);
 
-  Rng rng(config.seed);
-
-  // Precompute zipf CDF tables per field for fast popularity-skewed draws.
-  std::vector<std::vector<double>> cdfs(num_cat);
-  for (size_t f = 0; f < num_cat; ++f) {
-    const size_t v = config.cardinalities[f];
-    CHECK_GT(v, 1u);
-    cdfs[f].resize(v);
-    double total = 0.0;
-    for (size_t k = 0; k < v; ++k) {
-      total += 1.0 / std::pow(static_cast<double>(k + 1),
-                              config.zipf_exponent);
-      cdfs[f][k] = total;
-    }
-    for (size_t k = 0; k < v; ++k) cdfs[f][k] /= total;
-  }
-  // Random value permutation offset per field so "popular" raw ids are not
-  // always the small integers (exercises vocab ordering independence).
-  std::vector<uint64_t> perm_salt(num_cat);
-  for (size_t f = 0; f < num_cat; ++f) perm_salt[f] = rng.NextUint64();
-
-  std::vector<double> cont_weights(num_cont);
-  for (size_t f = 0; f < num_cont; ++f) {
-    cont_weights[f] = rng.Gaussian(0.0, config.cont_scale);
-  }
-
   // First pass: draw features and raw (uncalibrated) logits.
+  synth_internal::RowStream stream(config);
   std::vector<double> logits(config.num_rows);
   for (size_t r = 0; r < config.num_rows; ++r) {
-    double logit = 0.0;
-    for (size_t f = 0; f < num_cat; ++f) {
-      const auto& cdf = cdfs[f];
-      const double u = rng.Uniform();
-      const size_t rank = static_cast<size_t>(
-          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-      // Permute rank -> raw value deterministically within the field domain.
-      const int64_t value = static_cast<int64_t>(
-          (rank * 0x9e3779b97f4a7c15ULL + perm_salt[f]) %
-          config.cardinalities[f]);
-      raw.cat_values[r * num_cat + f] = value;
-      logit += UnaryEffect(config, f, value);
-    }
-    for (size_t f = 0; f < num_cont; ++f) {
-      const double u = rng.Uniform();
-      raw.cont_values[r * num_cont + f] =
-          static_cast<float>(std::exp(3.0 * u));  // skewed raw scale
-      logit += cont_weights[f] * u;
-    }
-    double pair_sum = 0.0;
-    double group_a = 0.0;  // alternate planted terms between two groups
-    double group_b = 0.0;
-    size_t planted_idx = 0;
-    for (const auto& [i, j] : config.memorize_pairs) {
-      const double t =
-          MemorizeEffect(config, i, j, raw.cat(r, i), raw.cat(r, j));
-      pair_sum += t;
-      ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
-    }
-    for (const auto& [i, j] : config.factorize_pairs) {
-      const double t =
-          FactorizeEffect(config, i, j, raw.cat(r, i), raw.cat(r, j));
-      pair_sum += t;
-      ((planted_idx++ % 2 == 0) ? group_a : group_b) += t;
-    }
-    logit += pair_sum + config.synergy_scale * std::tanh(group_a) *
-                            std::tanh(group_b);
-    for (const auto& t : config.memorize_triples) {
-      logit += TripleEffect(config, t, raw.cat(r, t[0]), raw.cat(r, t[1]),
-                            raw.cat(r, t[2]));
-    }
-    logit += rng.Gaussian(0.0, config.noise_scale);
-    logits[r] = logit;
+    logits[r] = stream.NextRow(raw.cat_values.data() + r * num_cat,
+                               raw.cont_values.data() + r * num_cont);
   }
 
   // Calibrate a global bias so the mean click probability matches the
@@ -222,6 +242,8 @@ RawDataset GenerateSynthetic(const SynthConfig& config) {
   }
   const double bias = 0.5 * (lo + hi);
 
+  // The label pass continues the same RNG stream the rows came from.
+  Rng& rng = stream.rng();
   for (size_t r = 0; r < config.num_rows; ++r) {
     const double p = 1.0 / (1.0 + std::exp(-(logits[r] + bias)));
     raw.labels[r] = rng.Bernoulli(p) ? 1.0f : 0.0f;

@@ -97,6 +97,39 @@ namespace synth_internal {
 /// tests (distributional checks).
 double HashGaussian(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
                     uint64_t d);
+
+/// Row-at-a-time view of the generator's RNG stream. GenerateSynthetic is
+/// implemented on top of this, and the streaming encoder uses it to
+/// produce rows without materializing the dataset: the draw order is part
+/// of the generator's determinism contract, so a RowStream replay is
+/// bit-identical to the in-RAM pass at the same seed.
+///
+/// `config` must outlive the stream.
+class RowStream {
+ public:
+  explicit RowStream(const SynthConfig& config);
+
+  /// Draws the next row: fills `cat` (num_categorical values) and `cont`
+  /// (num_continuous raw values) and returns the row's uncalibrated logit,
+  /// planted noise included.
+  double NextRow(int64_t* cat, float* cont);
+
+  /// Rewinds to row 0; the feature/logit stream replays bit-identically.
+  void Restart();
+
+  /// The underlying stream, positioned after the rows drawn so far. The
+  /// label pass continues drawing from it (Bernoulli per row).
+  Rng& rng() { return rng_; }
+
+ private:
+  void ConsumeSetupDraws();
+
+  const SynthConfig* config_;
+  Rng rng_;
+  std::vector<std::vector<double>> cdfs_;
+  std::vector<uint64_t> perm_salt_;
+  std::vector<double> cont_weights_;
+};
 }  // namespace synth_internal
 
 }  // namespace optinter

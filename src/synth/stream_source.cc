@@ -1,0 +1,82 @@
+#include "synth/stream_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace optinter {
+
+namespace {
+
+DatasetSchema SynthSchema(const SynthConfig& config) {
+  // Field naming must match GenerateSynthetic so both paths produce
+  // interchangeable datasets.
+  std::vector<FieldSpec> fields;
+  fields.reserve(config.num_categorical() + config.num_continuous);
+  for (size_t f = 0; f < config.num_categorical(); ++f) {
+    fields.push_back({"cat" + std::to_string(f), FieldType::kCategorical});
+  }
+  for (size_t f = 0; f < config.num_continuous; ++f) {
+    fields.push_back({"cont" + std::to_string(f), FieldType::kContinuous});
+  }
+  return DatasetSchema(std::move(fields));
+}
+
+}  // namespace
+
+SynthRowSource::SynthRowSource(const SynthConfig& config)
+    : config_(config), schema_(SynthSchema(config)), stream_(config_) {
+  const size_t n = config_.num_rows;
+  std::vector<int64_t> cat(config_.num_categorical());
+  std::vector<float> cont(std::max<size_t>(config_.num_continuous, 1));
+  std::vector<double> logits(n);
+  for (size_t r = 0; r < n; ++r) {
+    logits[r] = stream_.NextRow(cat.data(), cont.data());
+  }
+
+  // Same bias bisection as GenerateSynthetic.
+  double lo = -30.0, hi = 30.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double mean = 0.0;
+    for (double z : logits) {
+      mean += 1.0 / (1.0 + std::exp(-(z + mid)));
+    }
+    mean /= static_cast<double>(n);
+    if (mean < config_.target_pos_ratio) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double bias = 0.5 * (lo + hi);
+
+  // Label draws continue the feature stream's RNG, exactly as in
+  // GenerateSynthetic.
+  label_bits_.assign((n + 7) / 8, 0);
+  Rng& rng = stream_.rng();
+  for (size_t r = 0; r < n; ++r) {
+    const double p = 1.0 / (1.0 + std::exp(-(logits[r] + bias)));
+    if (rng.Bernoulli(p)) label_bits_[r / 8] |= uint8_t{1} << (r % 8);
+  }
+
+  stream_.Restart();
+}
+
+Status SynthRowSource::Restart() {
+  stream_.Restart();
+  next_ = 0;
+  return Status::OK();
+}
+
+Status SynthRowSource::NextRow(int64_t* cat, float* cont, float* label) {
+  if (next_ >= config_.num_rows) {
+    return Status::OutOfRange("synthetic row source exhausted");
+  }
+  stream_.NextRow(cat, cont);
+  *label = (label_bits_[next_ / 8] >> (next_ % 8)) & 1 ? 1.0f : 0.0f;
+  ++next_;
+  return Status::OK();
+}
+
+}  // namespace optinter

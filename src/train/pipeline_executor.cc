@@ -47,9 +47,9 @@ PipelinedTrainExecutor::PipelinedTrainExecutor(CtrModel* model)
 }
 
 PipelinedTrainExecutor::EpochStats PipelinedTrainExecutor::RunEpoch(
-    Batcher* batcher, const std::function<void()>& on_step) {
+    BatchSource* source, const std::function<void()>& on_step) {
   EpochStats stats;
-  Batch batch = batcher->Next();
+  Batch batch = source->Next();
   if (batch.size == 0) return stats;
 
   ThreadPool& pool = ThreadPool::Global();
@@ -64,7 +64,7 @@ PipelinedTrainExecutor::EpochStats PipelinedTrainExecutor::RunEpoch(
     // Launch batch t+1's prepare before computing batch t. The TaskGroup
     // doubles as the join latch; at most one prefetch is ever in flight.
     TaskGroup prefetch;
-    Batch next = batcher->Next();
+    Batch next = source->Next();
     const bool has_next = next.size != 0;
     if (has_next) {
       // Weight-dependent prepares must observe batch t's update, so the

@@ -89,13 +89,14 @@ class PipelinedTrainExecutor {
     size_t rows = 0;
   };
 
-  /// Runs one epoch over `batcher` (the caller StartEpoch()s it first).
+  /// Runs one epoch over `source` (the caller StartEpoch()s it first);
+  /// works with any BatchSource — in-RAM Batcher or StreamingBatcher.
   /// `on_step`, when set, fires after every step at a quiescent point (the
   /// step's prefetch joined, no executor work in flight) — safe for
   /// Tracer::Collect-based periodic reporting. Returns with no work in
   /// flight; outstanding Batch views are dropped, so the caller may
   /// StartEpoch() again immediately.
-  EpochStats RunEpoch(Batcher* batcher,
+  EpochStats RunEpoch(BatchSource* source,
                       const std::function<void()>& on_step = {});
 
   /// Completed ApplyGrads count over the executor's lifetime.

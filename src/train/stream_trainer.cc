@@ -1,0 +1,305 @@
+#include "train/stream_trainer.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "metrics/metrics.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "train/pipeline_executor.h"
+
+namespace optinter {
+
+namespace {
+
+obs::Counter* TrainRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("train.rows");
+  return c;
+}
+
+obs::Counter* EvalRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("eval.rows");
+  return c;
+}
+
+}  // namespace
+
+Result<EvalMetrics> EvaluateModelStreamed(CtrModel* model,
+                                          StreamingReader* reader,
+                                          size_t begin, size_t end,
+                                          size_t batch_size) {
+  OPTINTER_TRACE_SPAN("evaluate");
+  CHECK_LT(begin, end);
+  CHECK_GT(batch_size, 0u);
+  const size_t n = end - begin;
+  EvalRowsCounter()->Add(n);
+
+  StreamingBatcher::Options bo;
+  bo.batch_size = batch_size;
+  bo.order = StreamingBatcher::Order::kSequential;
+  StreamingBatcher source(reader, begin, end, bo);
+
+  std::vector<float> all_probs;
+  std::vector<float> all_labels;
+  all_probs.reserve(n);
+  all_labels.reserve(n);
+  std::vector<float> probs;  // per-batch scratch
+  source.StartEpoch();
+  for (;;) {
+    Batch b = source.Next();
+    if (b.size == 0) break;
+    // Serial, in-range order: the same batch grid and prediction order as
+    // EvaluateModel's serial path over the materialized rows, so the
+    // stitched metrics are bit-identical to the in-RAM evaluation.
+    model->Predict(b, &probs);
+    all_probs.insert(all_probs.end(), probs.begin(), probs.begin() + b.size);
+    for (size_t k = 0; k < b.size; ++k) all_labels.push_back(b.label(k));
+  }
+  OPTINTER_RETURN_NOT_OK(source.status());
+  CHECK_EQ(all_probs.size(), n);
+
+  EvalMetrics m;
+  m.auc = Auc(all_probs, all_labels);
+  m.logloss = LogLoss(all_probs, all_labels);
+  return m;
+}
+
+namespace {
+
+/// Contiguous split boundaries over `n` rows.
+struct StreamSplits {
+  size_t train_end = 0;
+  size_t val_end = 0;
+};
+
+StreamSplits ComputeSplits(size_t n, const StreamTrainOptions& options) {
+  CHECK_GT(options.train_frac, 0.0);
+  CHECK_LE(options.train_frac + options.val_frac, 1.0);
+  StreamSplits s;
+  s.train_end = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n) * options.train_frac));
+  s.val_end = std::min(
+      n, s.train_end + static_cast<size_t>(
+                           static_cast<double>(n) * options.val_frac));
+  return s;
+}
+
+StreamingBatcher::Options BatcherOptions(const StreamTrainOptions& options) {
+  StreamingBatcher::Options bo;
+  bo.batch_size = options.batch_size;
+  bo.order = options.order;
+  bo.seed = options.seed;
+  bo.prefetch_batches = options.prefetch_batches;
+  bo.window_blocks = options.window_blocks;
+  bo.block_rows = options.block_rows;
+  return bo;
+}
+
+/// The shared epoch loop: TrainModel's structure over a StreamingBatcher
+/// (reader- or RAM-backed) with pluggable evaluation closures (null when
+/// the corresponding range is empty). Both public entry points route
+/// through here, so the two arms of a parity run execute the same code.
+Result<TrainSummary> RunStreamedLoop(
+    CtrModel* model, StreamingBatcher* batcher,
+    const std::function<Result<EvalMetrics>()>& eval_val,
+    const std::function<Result<EvalMetrics>()>& eval_test,
+    const StreamTrainOptions& options) {
+  Stopwatch timer;
+  TrainSummary summary;
+  TrainTelemetry& telemetry = summary.telemetry;
+  const bool has_val = static_cast<bool>(eval_val);
+  const bool has_test = static_cast<bool>(eval_test);
+
+  double best_val_score = -1e300;
+  size_t stale_epochs = 0;
+  std::vector<Tensor*> state;
+  model->CollectState(&state);
+  std::vector<Tensor> best_state;
+  bool have_snapshot = false;
+  const bool use_pipeline =
+      options.pipeline && model->SupportsPhasedTrainStep();
+  std::unique_ptr<PipelinedTrainExecutor> executor;
+  if (use_pipeline) executor = std::make_unique<PipelinedTrainExecutor>(model);
+  auto tick_report = [&] {
+    if (options.report != nullptr) options.report->MaybeWriteEvery();
+  };
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Stopwatch epoch_timer;
+    batcher->StartEpoch();
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    size_t rows_seen = 0;
+    {
+      OPTINTER_TRACE_SPAN("train_epoch");
+      if (use_pipeline) {
+        const PipelinedTrainExecutor::EpochStats stats =
+            executor->RunEpoch(batcher, tick_report);
+        loss_sum = stats.loss_sum;
+        batches = stats.batches;
+        rows_seen = stats.rows;
+      } else {
+        for (;;) {
+          Batch b = batcher->Next();
+          if (b.size == 0) break;
+          {
+            OPTINTER_TRACE_SPAN("train_step");
+            loss_sum += model->TrainStep(b);
+          }
+          rows_seen += b.size;
+          ++batches;
+          tick_report();
+        }
+      }
+    }
+    // An empty batch ends the epoch both at exhaustion and on a data
+    // error; only the status tells them apart. Fail the run rather than
+    // report metrics from a silently shortened epoch.
+    OPTINTER_RETURN_NOT_OK(batcher->status());
+    TrainRowsCounter()->Add(rows_seen);
+    const double mean_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    summary.epoch_train_losses.push_back(mean_loss);
+    ++summary.epochs_run;
+
+    EpochTelemetry et;
+    et.epoch = epoch;
+    et.train_seconds = epoch_timer.Elapsed();
+    et.train_rows_per_sec =
+        et.train_seconds > 0.0
+            ? static_cast<double>(rows_seen) / et.train_seconds
+            : 0.0;
+    et.mean_train_loss = mean_loss;
+    telemetry.train_seconds_total += et.train_seconds;
+
+    bool stop = false;
+    if (has_val) {
+      Stopwatch eval_timer;
+      OPTINTER_ASSIGN_OR_RETURN(const EvalMetrics val, eval_val());
+      et.eval_seconds = eval_timer.Elapsed();
+      telemetry.eval_seconds_total += et.eval_seconds;
+      summary.epoch_val_aucs.push_back(val.auc);
+      summary.final_val = val;
+      const double score = options.stop_metric == StopMetric::kAuc
+                               ? val.auc
+                               : -val.logloss;
+      if (ScoreImproved(score, best_val_score, options.stop_metric)) {
+        best_val_score = score;
+        stale_epochs = 0;
+        et.improved = true;
+        telemetry.best_epoch = epoch;
+        if (!state.empty()) {
+          best_state.resize(state.size());
+          for (size_t i = 0; i < state.size(); ++i) {
+            best_state[i] = *state[i];
+          }
+          have_snapshot = true;
+        }
+      } else if (options.patience > 0 && ++stale_epochs >= options.patience) {
+        telemetry.early_stopped = true;
+        stop = true;
+      }
+      if (options.verbose) {
+        LOG_INFO() << model->Name() << " epoch " << epoch
+                   << " loss=" << mean_loss << " val_auc=" << val.auc
+                   << " val_logloss=" << val.logloss << " train_s="
+                   << et.train_seconds << " eval_s=" << et.eval_seconds
+                   << " rows/s=" << et.train_rows_per_sec
+                   << (et.improved ? " [improved]" : " [stale]");
+        if (stop) {
+          LOG_INFO() << model->Name() << " early stop at epoch " << epoch;
+        }
+      }
+    } else if (options.verbose) {
+      LOG_INFO() << model->Name() << " epoch " << epoch
+                 << " loss=" << mean_loss << " train_s=" << et.train_seconds
+                 << " rows/s=" << et.train_rows_per_sec;
+    }
+    telemetry.epochs.push_back(et);
+    tick_report();
+    if (stop) break;
+  }
+  if (have_snapshot) {
+    for (size_t i = 0; i < state.size(); ++i) {
+      *state[i] = std::move(best_state[i]);
+    }
+    telemetry.restored_best_snapshot = true;
+    if (has_val) {
+      Stopwatch eval_timer;
+      OPTINTER_ASSIGN_OR_RETURN(summary.final_val, eval_val());
+      telemetry.eval_seconds_total += eval_timer.Elapsed();
+    }
+  }
+  if (has_test) {
+    Stopwatch eval_timer;
+    OPTINTER_ASSIGN_OR_RETURN(summary.final_test, eval_test());
+    telemetry.eval_seconds_total += eval_timer.Elapsed();
+  }
+  if (telemetry.train_seconds_total > 0.0) {
+    double rows_total = 0.0;
+    for (const EpochTelemetry& et : telemetry.epochs) {
+      rows_total += et.train_rows_per_sec * et.train_seconds;
+    }
+    telemetry.train_rows_per_sec =
+        rows_total / telemetry.train_seconds_total;
+  }
+  summary.seconds = timer.Elapsed();
+  return summary;
+}
+
+}  // namespace
+
+Result<TrainSummary> TrainModelStreamed(CtrModel* model,
+                                        StreamingReader* reader,
+                                        const StreamTrainOptions& options) {
+  const size_t n = reader->num_rows();
+  const StreamSplits s = ComputeSplits(n, options);
+  StreamingBatcher batcher(reader, 0, s.train_end, BatcherOptions(options));
+  std::function<Result<EvalMetrics>()> eval_val;
+  std::function<Result<EvalMetrics>()> eval_test;
+  if (s.val_end > s.train_end) {
+    eval_val = [=] {
+      return EvaluateModelStreamed(model, reader, s.train_end, s.val_end,
+                                   options.eval_batch_size);
+    };
+  }
+  if (n > s.val_end) {
+    eval_test = [=] {
+      return EvaluateModelStreamed(model, reader, s.val_end, n,
+                                   options.eval_batch_size);
+    };
+  }
+  return RunStreamedLoop(model, &batcher, eval_val, eval_test, options);
+}
+
+Result<TrainSummary> TrainModelStreamed(CtrModel* model,
+                                        const EncodedDataset& data,
+                                        const StreamTrainOptions& options) {
+  const size_t n = data.num_rows;
+  const StreamSplits s = ComputeSplits(n, options);
+  StreamingBatcher batcher(&data, 0, s.train_end, BatcherOptions(options));
+  // Evaluation over contiguous in-RAM rows with the same batch grid and
+  // metric math as the streamed evaluation — bit-identical results.
+  auto eval_range = [&data, model, &options](size_t begin, size_t end) {
+    return [=, &data]() -> Result<EvalMetrics> {
+      std::vector<size_t> rows(end - begin);
+      for (size_t i = 0; i < rows.size(); ++i) rows[i] = begin + i;
+      EvalOptions eo;
+      eo.batch_size = options.eval_batch_size;
+      return EvaluateModel(model, data, rows, eo);
+    };
+  };
+  std::function<Result<EvalMetrics>()> eval_val;
+  std::function<Result<EvalMetrics>()> eval_test;
+  if (s.val_end > s.train_end) eval_val = eval_range(s.train_end, s.val_end);
+  if (n > s.val_end) eval_test = eval_range(s.val_end, n);
+  return RunStreamedLoop(model, &batcher, eval_val, eval_test, options);
+}
+
+}  // namespace optinter

@@ -1,0 +1,81 @@
+// Out-of-core training: TrainModel's epoch loop driven by streamed
+// batches from a sharded on-disk dataset (data/stream_reader.h) instead
+// of an in-RAM EncodedDataset.
+//
+// Splits are contiguous row ranges of the shard directory: train =
+// [0, train_frac*N), val = the next val_frac*N rows, test = the rest.
+// This matches the streaming encoder's convention (stream_encode.h fits
+// vocabularies on the train prefix), and makes the in-RAM control arm
+// trivial: TrainModel over the materialized dataset with the same
+// contiguous index ranges and the same seed is bit-identical to
+// TrainModelStreamed with Order::kGlobalShuffle — both paths produce the
+// same epoch row order (see stream_reader.h) and run the same executor,
+// kernels and evaluation grid. concurrency_test.cc pins this.
+//
+// Errors: a shard that fails validation mid-epoch (corruption, missing
+// file) surfaces as the returned Status — never as a partial batch or a
+// silently shortened epoch.
+
+#pragma once
+
+#include "data/stream_reader.h"
+#include "train/trainer.h"
+
+namespace optinter {
+
+/// Options for TrainModelStreamed.
+struct StreamTrainOptions {
+  size_t epochs = 3;
+  size_t batch_size = 512;
+  uint64_t seed = 1;
+  /// Stop after this many epochs without validation improvement
+  /// (0 disables early stopping; requires a non-empty val range).
+  size_t patience = 1;
+  StopMetric stop_metric = StopMetric::kLogLoss;
+  bool verbose = false;
+  /// Same role as TrainOptions::pipeline.
+  bool pipeline = true;
+  /// Contiguous split fractions over the shard directory's rows. test is
+  /// the remainder; val (and test) may be empty.
+  double train_frac = 0.7;
+  double val_frac = 0.15;
+  /// Train-epoch row order. kGlobalShuffle is bit-identical to in-RAM
+  /// TrainModel but touches every shard each epoch; kWindowShuffle keeps
+  /// the working set near `window_blocks` shards (bounded RSS).
+  StreamingBatcher::Order order = StreamingBatcher::Order::kGlobalShuffle;
+  size_t prefetch_batches = 2;
+  size_t window_blocks = 8;
+  size_t block_rows = 0;  // 0 = the manifest's rows_per_shard
+  size_t eval_batch_size = 2048;
+  /// Optional report ticked at quiescent points (see TrainOptions).
+  obs::RunReport* report = nullptr;
+};
+
+/// Sequential streamed evaluation over global rows [begin, end):
+/// bit-identical metrics to EvaluateModel over the same rows of the
+/// materialized dataset with the same batch size (same batch grid, same
+/// serial prediction order).
+Result<EvalMetrics> EvaluateModelStreamed(CtrModel* model,
+                                          StreamingReader* reader,
+                                          size_t begin, size_t end,
+                                          size_t batch_size = 2048);
+
+/// Trains `model` (constructed against reader->meta()) on the streamed
+/// train range with per-epoch validation, early stopping and a final
+/// test evaluation — the streamed counterpart of TrainModel.
+Result<TrainSummary> TrainModelStreamed(CtrModel* model,
+                                        StreamingReader* reader,
+                                        const StreamTrainOptions& options);
+
+/// In-RAM control arm: the same epoch/eval structure and the same order
+/// generation (StreamingBatcher's ram backend) over a materialized
+/// dataset. With equal options — for Order::kWindowShuffle set
+/// options.block_rows to the shard dir's rows_per_shard — this is
+/// bitwise-identical to TrainModelStreamed over the shard directory,
+/// which isolates the streaming data path in parity runs
+/// (bench/stream_train.cc).
+Result<TrainSummary> TrainModelStreamed(CtrModel* model,
+                                        const EncodedDataset& data,
+                                        const StreamTrainOptions& options);
+
+}  // namespace optinter

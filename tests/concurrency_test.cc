@@ -25,10 +25,17 @@
 #include "models/feature_embedding.h"
 #include "models/forward_context.h"
 #include "nn/layers.h"
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "data/shard_format.h"
+#include "data/stream_reader.h"
 #include "nn/optimizer.h"
 #include "tensor/kernels.h"
 #include "test_data.h"
 #include "train/pipeline_executor.h"
+#include "train/stream_trainer.h"
 #include "train/trainer.h"
 
 namespace optinter {
@@ -792,6 +799,158 @@ TEST(DeterminismTest, LinearForwardBiasAddBitIdenticalAcrossThreadCounts) {
     ASSERT_EQ(y.size(), ref.size());
     EXPECT_EQ(std::memcmp(y.data(), ref.data(), y.size() * sizeof(float)), 0)
         << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streamed training determinism: the out-of-core path must be bitwise
+// identical to in-RAM training at every thread count and prefetch depth.
+// ---------------------------------------------------------------------------
+
+// The shared tiny dataset written once as a shard directory.
+const std::string& TinyShardDir() {
+  // Per-process path: ctest runs each TEST as its own process, and a shared
+  // directory would let one process remove_all() shards another has mmapped.
+  static const std::string* dir = [] {
+    auto* d = new std::string(::testing::TempDir() + "/concurrency_shards." +
+                              std::to_string(::getpid()));
+    std::filesystem::remove_all(*d);
+    std::filesystem::create_directories(*d);
+    CHECK_OK(WriteShardedDataset(SharedTinyData().data, *d, 512));
+    return d;
+  }();
+  return *dir;
+}
+
+// Contiguous 0.7/0.15/0.15 splits — the streaming trainer's convention.
+Splits ContiguousSplits(size_t n) {
+  const size_t train_end =
+      std::max<size_t>(1, static_cast<size_t>(n * 0.7));
+  const size_t val_end =
+      std::min(n, train_end + static_cast<size_t>(n * 0.15));
+  Splits s;
+  for (size_t r = 0; r < train_end; ++r) s.train.push_back(r);
+  for (size_t r = train_end; r < val_end; ++r) s.val.push_back(r);
+  for (size_t r = val_end; r < n; ++r) s.test.push_back(r);
+  return s;
+}
+
+void ExpectSummariesBitIdentical(const TrainSummary& got,
+                                 const TrainSummary& ref) {
+  EXPECT_EQ(got.epochs_run, ref.epochs_run);
+  EXPECT_EQ(got.epoch_train_losses, ref.epoch_train_losses);
+  EXPECT_EQ(got.epoch_val_aucs, ref.epoch_val_aucs);
+  EXPECT_EQ(got.final_val.auc, ref.final_val.auc);
+  EXPECT_EQ(got.final_val.logloss, ref.final_val.logloss);
+  EXPECT_EQ(got.final_test.auc, ref.final_test.auc);
+  EXPECT_EQ(got.final_test.logloss, ref.final_test.logloss);
+}
+
+// Streamed training with kGlobalShuffle vs the ordinary in-RAM TrainModel
+// over the same contiguous splits: identical epoch order, identical
+// metrics and weights, at 1/2/8 threads and every prefetch depth.
+TEST(DeterminismTest, StreamedTrainMatchesInRamTrainModelAcrossThreads) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  const Architecture arch = MixedArch(p.data.num_pairs());
+
+  ThreadPool::SetGlobalThreads(1);
+  FixedArchModel ref_model(p.data, arch, TinyHp(), "ref");
+  TrainOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = 512;
+  topts.seed = 123;
+  topts.patience = 1;
+  const TrainSummary ref = TrainModel(&ref_model, p.data,
+                                      ContiguousSplits(p.data.num_rows),
+                                      topts);
+  const std::vector<float> ref_snap =
+      SnapshotModel(&ref_model, HeadBatch(p, 256));
+
+  auto reader = StreamingReader::Open(TinyShardDir());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (const size_t threads : {1u, 2u, 8u}) {
+    for (const size_t prefetch : {1u, 2u, 4u}) {
+      ThreadPool::SetGlobalThreads(threads);
+      FixedArchModel model((*reader)->meta(), arch, TinyHp(), "streamed");
+      StreamTrainOptions so;
+      so.epochs = 2;
+      so.batch_size = 512;
+      so.seed = 123;
+      so.patience = 1;
+      so.order = StreamingBatcher::Order::kGlobalShuffle;
+      so.prefetch_batches = prefetch;
+      auto got = TrainModelStreamed(&model, reader->get(), so);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSummariesBitIdentical(*got, ref);
+      ExpectBitIdentical(SnapshotModel(&model, HeadBatch(p, 256)), ref_snap,
+                         threads);
+    }
+  }
+}
+
+// kWindowShuffle has no in-RAM TrainModel twin, so its contract is pinned
+// against the RAM-backed control arm: same order generation, different
+// data path, bitwise-equal results at every thread count/prefetch depth.
+TEST(DeterminismTest, WindowShuffleStreamedMatchesRamControlArm) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  const Architecture arch = MixedArch(p.data.num_pairs());
+  StreamTrainOptions so;
+  so.epochs = 2;
+  so.batch_size = 256;
+  so.seed = 321;
+  so.patience = 1;
+  so.order = StreamingBatcher::Order::kWindowShuffle;
+  so.window_blocks = 3;
+  so.block_rows = 512;  // = the shard size the reader arm resolves to
+
+  ThreadPool::SetGlobalThreads(1);
+  FixedArchModel ref_model(p.data, arch, TinyHp(), "ram-arm");
+  auto ref = TrainModelStreamed(&ref_model, p.data, so);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const std::vector<float> ref_snap =
+      SnapshotModel(&ref_model, HeadBatch(p, 256));
+
+  auto reader = StreamingReader::Open(TinyShardDir());
+  ASSERT_TRUE(reader.ok());
+  for (const size_t threads : {1u, 2u, 8u}) {
+    for (const size_t prefetch : {1u, 4u}) {
+      ThreadPool::SetGlobalThreads(threads);
+      FixedArchModel model((*reader)->meta(), arch, TinyHp(), "stream-arm");
+      StreamTrainOptions run = so;
+      run.prefetch_batches = prefetch;
+      auto got = TrainModelStreamed(&model, reader->get(), run);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSummariesBitIdentical(*got, *ref);
+      ExpectBitIdentical(SnapshotModel(&model, HeadBatch(p, 256)), ref_snap,
+                         threads);
+    }
+  }
+}
+
+// Streamed evaluation must reproduce EvaluateModel over the same rows of
+// the materialized dataset bitwise, including under a multi-thread pool
+// (EvaluateModel's parallel path is itself bit-identical to serial).
+TEST(DeterminismTest, StreamedEvalMatchesInRamEvalAcrossThreads) {
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), TinyHp(),
+                       "eval");
+  auto reader = StreamingReader::Open(TinyShardDir());
+  ASSERT_TRUE(reader.ok());
+  const size_t begin = 4000;
+  const size_t end = p.data.num_rows;
+  std::vector<size_t> rows;
+  for (size_t r = begin; r < end; ++r) rows.push_back(r);
+  for (const size_t threads : {1u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const EvalMetrics in_ram = EvaluateModel(&model, p.data, rows);
+    auto streamed =
+        EvaluateModelStreamed(&model, reader->get(), begin, end);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_EQ(streamed->auc, in_ram.auc);
+    EXPECT_EQ(streamed->logloss, in_ram.logloss);
   }
 }
 

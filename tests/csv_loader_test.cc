@@ -71,6 +71,37 @@ TEST(CsvLoaderTest, MissingCellsHandled) {
   EXPECT_FLOAT_EQ(raw->cont(0, 0), -1.0f);
 }
 
+TEST(CsvLoaderTest, CrlfLineEndingsParseLikeLf) {
+  const std::string path = WriteTemp("crlf.csv",
+                                     "site,device,hour,label\r\n"
+                                     "a.com,phone,3,1\r\n"
+                                     "\r\n"
+                                     "b.com,tablet,15,0\r\n");
+  auto raw = LoadCsvDataset(path, AdSchema());
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(raw->num_rows, 2u);  // the bare CRLF line is a blank separator
+  EXPECT_EQ(raw->labels, (std::vector<float>{1, 0}));
+  EXPECT_FLOAT_EQ(raw->cont(1, 0), 15.0f);
+}
+
+TEST(CsvLoaderTest, TrailingEmptyCellSurvivesTabDelimiter) {
+  // Regression: a whole-line Trim ate the trailing tab of a row whose
+  // last cell is empty, shifting the cell count and rejecting the row.
+  const std::string path = WriteTemp("trailing.tsv",
+                                     "site\tdevice\tlabel\thour\r\n"
+                                     "a.com\tphone\t1\t\r\n"
+                                     "b.com\ttablet\t0\t7\n");
+  CsvOptions opts;
+  opts.delimiter = '\t';
+  opts.missing_value = -1.0f;
+  auto raw = LoadCsvDataset(path, AdSchema(), opts);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  ASSERT_EQ(raw->num_rows, 2u);
+  EXPECT_FLOAT_EQ(raw->cont(0, 0), -1.0f);  // empty trailing hour cell
+  EXPECT_FLOAT_EQ(raw->cont(1, 0), 7.0f);
+  EXPECT_EQ(raw->labels, (std::vector<float>{1, 0}));
+}
+
 TEST(CsvLoaderTest, NumericLabelThreshold) {
   const std::string path = WriteTemp("numlabel.csv",
                                      "site,device,hour,label\n"

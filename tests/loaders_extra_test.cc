@@ -93,6 +93,35 @@ TEST(LibsvmLoaderTest, EmptyFileRejected) {
   EXPECT_FALSE(LoadLibsvmDataset(path, TwoCatOneContFields()).ok());
 }
 
+TEST(LibsvmLoaderTest, TabDelimitedFileRejectedWithActionableMessage) {
+  // Regression: a tab-separated file split on ' ' produces one token
+  // "1\t5:2" whose label parse used to stop silently at the tab, dropping
+  // every feature on the line. It must be an error naming the cause.
+  const std::string path = WriteTemp("h.svm", "1\t5:2\n");
+  auto raw = LoadLibsvmDataset(path, TwoCatOneContFields());
+  ASSERT_FALSE(raw.ok());
+  EXPECT_NE(raw.status().ToString().find("tab-delimited"), std::string::npos)
+      << raw.status().ToString();
+}
+
+TEST(LibsvmLoaderTest, NonNumericIndexRejected) {
+  // Regression: strtoull returned 0 for garbage, silently aliasing the
+  // token onto feature index 0.
+  const std::string path = WriteTemp("i.svm", "1 abc:2\n");
+  auto raw = LoadLibsvmDataset(path, TwoCatOneContFields());
+  ASSERT_FALSE(raw.ok());
+  EXPECT_NE(raw.status().ToString().find("non-numeric index"),
+            std::string::npos);
+}
+
+TEST(LibsvmLoaderTest, NonNumericValueRejected) {
+  const std::string path = WriteTemp("j.svm", "1 5:xyz\n");
+  auto raw = LoadLibsvmDataset(path, TwoCatOneContFields());
+  ASSERT_FALSE(raw.ok());
+  EXPECT_NE(raw.status().ToString().find("non-numeric value"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // AUC confidence intervals
 // ---------------------------------------------------------------------------
