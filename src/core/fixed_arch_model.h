@@ -67,6 +67,35 @@ class FixedArchModel : public CtrModel {
 
   const Architecture& arch() const { return arch_; }
 
+  // --- Read-only structure access ---------------------------------------
+  //
+  // The serving-time quantizer (serve/quantized_model.h) rebuilds this
+  // model's forward pass over quantized weights; these accessors expose
+  // the frozen layout and the fp32 layers it converts or reuses.
+
+  /// block_offsets()/mem_slots() value for pairs without a block.
+  static constexpr size_t kNoBlock = static_cast<size_t>(-1);
+
+  const FeatureEmbedding& feature_embedding() const { return emb_; }
+  /// nullptr when no pair memorizes.
+  const CrossEmbedding* cross_embedding() const { return cross_emb_.get(); }
+  /// nullptr when no triple is memorized.
+  const TripleEmbedding* triple_embedding() const { return triple_emb_.get(); }
+  const Mlp& mlp() const { return *mlp_; }
+  size_t s1() const { return s1_; }
+  size_t s2() const { return s2_; }
+  size_t inter_dim() const { return inter_dim_; }
+  const std::vector<FactorizeFn>& pair_fns() const { return pair_fns_; }
+  const std::vector<std::pair<size_t, size_t>>& cat_pairs() const {
+    return cat_pairs_;
+  }
+  /// Per-pair MLP-input column offset of the interaction block (kNoBlock
+  /// for naïve pairs).
+  const std::vector<size_t>& block_offsets() const { return block_offset_; }
+  /// Per-pair block index within cross_embedding() (kNoBlock unless the
+  /// pair memorizes).
+  const std::vector<size_t>& mem_slots() const { return mem_slot_; }
+
   /// Test hook: disable the fused batch-1 predict path so tests can
   /// compare it against the generic path. On by default.
   void set_fuse_single_row(bool on) { fuse_single_row_ = on; }
@@ -104,7 +133,7 @@ class FixedArchModel : public CtrModel {
   // Categorical-pair bookkeeping: for each pair, the MLP-input column
   // offset of its interaction block (or kNone for naïve pairs), and for
   // memorized pairs the block index within cross_emb_.
-  static constexpr size_t kNone = static_cast<size_t>(-1);
+  static constexpr size_t kNone = kNoBlock;
   std::vector<std::pair<size_t, size_t>> cat_pairs_;
   std::vector<size_t> block_offset_;  // into z_ columns
   std::vector<size_t> mem_slot_;      // into cross_emb_ blocks

@@ -71,6 +71,7 @@ class CrossEmbedding {
   const std::vector<size_t>& pairs() const { return pairs_; }
 
   EmbeddingTable& table(size_t k) { return *tables_[k]; }
+  const EmbeddingTable& table(size_t k) const { return *tables_[k]; }
 
  private:
   const EncodedDataset& data_;

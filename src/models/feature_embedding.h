@@ -76,6 +76,8 @@ class FeatureEmbedding {
   void CollectState(std::vector<Tensor*>* out);
 
   size_t dim() const { return dim_; }
+  size_t num_categorical() const { return cat_tables_.size(); }
+  size_t num_continuous() const { return cont_tables_.size(); }
   /// Total fields embedded (categorical + continuous).
   size_t num_fields() const { return cat_tables_.size() + cont_tables_.size(); }
   size_t output_dim() const { return num_fields() * dim_; }
@@ -85,6 +87,8 @@ class FeatureEmbedding {
 
   EmbeddingTable& cat_table(size_t f) { return *cat_tables_[f]; }
   const EmbeddingTable& cat_table(size_t f) const { return *cat_tables_[f]; }
+  /// Single-row table of continuous field `f` (serving-time conversion).
+  const EmbeddingTable& cont_table(size_t f) const { return *cont_tables_[f]; }
 
  private:
   const EncodedDataset& data_;

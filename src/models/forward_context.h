@@ -10,12 +10,23 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/workspace.h"
+#include "tensor/aligned.h"
 #include "tensor/tensor.h"
 
 namespace optinter {
+
+/// Scratch for the int8 MLP forward of a quantized serving model
+/// (serve/quantized_model.h): per-row quantized activations with their
+/// dynamic scales/zero points. Empty (and cost-free) for fp32 models.
+struct QuantScratch {
+  AlignedVector<uint8_t> qa;    // [B × k] quantized activation rows
+  std::vector<float> a_scale;   // [B]
+  std::vector<int32_t> a_zp;    // [B]
+};
 
 /// Scratch for one forward pass of an OptInter-style model. Buffers are
 /// resized by the model and keep their capacity across calls, so reusing
@@ -27,6 +38,7 @@ struct ForwardContext {
   Tensor z;           // [B × mlp_in] assembled classifier input
   Tensor mlp_out;     // [B × 1] classifier output
   MlpWorkspace mlp;   // per-layer activation caches of the MLP tower
+  QuantScratch quant;  // int8-MLP scratch (quantized serving models only)
   std::vector<float> logits;  // [B]
 };
 

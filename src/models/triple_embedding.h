@@ -49,6 +49,7 @@ class TripleEmbedding {
 
   size_t dim() const { return dim_; }
   size_t num_triples() const { return triples_.size(); }
+  const EmbeddingTable& table(size_t k) const { return *tables_[k]; }
   size_t output_dim() const { return triples_.size() * dim_; }
   const std::vector<size_t>& triples() const { return triples_; }
 

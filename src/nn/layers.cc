@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "nn/init.h"
 #include "tensor/aligned.h"
+#include "tensor/dispatch.h"
 #include "tensor/kernels.h"
 #include "tensor/simd.h"
 
@@ -359,27 +360,16 @@ float BceWithLogitsLoss(const float* logits, const float* labels, size_t n,
 }
 
 void SigmoidForward(const float* z, size_t n, float* out) {
-  // Every element — including the sub-vector remainder of a chunk — goes
-  // through simd::Sigmoid's lane function: the tail is copied into a
-  // zero-padded stack vector, transformed, and copied back. Chunk
-  // boundaries depend on the pool size, so a scalar tail computed with
-  // std::exp would make an element's bits depend on where the boundary
-  // fell; routing everything through the same lane function removes the
-  // boundary from the math entirely. (On the scalar backend the lane
+  // The element math lives in the dispatch table's sigmoid range kernel
+  // (gemm_body.inc): every element — including the sub-vector remainder
+  // of a chunk — goes through the selected backend's lane function via a
+  // zero-padded tail vector, so chunk boundaries (which depend on the
+  // pool size) cannot affect any element's bits and the fan-out below
+  // stays bit-identical to serial. (On the scalar backend the lane
   // function IS SigmoidScalar, bit for bit.)
-  auto body = [&](size_t lo, size_t hi) {
-    size_t i = lo;
-    for (; i + kL <= hi; i += kL) {
-      simd::StoreU(out + i, simd::Sigmoid(simd::LoadU(z + i)));
-    }
-    if (i < hi) {
-      alignas(kTensorAlignment) float tmp[kL] = {};
-      const size_t rem = hi - i;
-      for (size_t t = 0; t < rem; ++t) tmp[t] = z[i + t];
-      const simd::VecF r = simd::Sigmoid(simd::LoadU(tmp));
-      simd::StoreU(tmp, r);
-      for (size_t t = 0; t < rem; ++t) out[i + t] = tmp[t];
-    }
+  const KernelTable& table = ActiveKernels();
+  auto body = [&table, z, out](size_t lo, size_t hi) {
+    table.sigmoid(z + lo, hi - lo, out + lo);
   };
   if (n >= kParallelElems) {
     ParallelForChunks(0, n, body, /*min_chunk=*/4096);

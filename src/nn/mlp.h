@@ -50,6 +50,12 @@ class Mlp {
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return config_.out_dim; }
 
+  // Read-only layer access (serving-time quantization): the converter
+  // quantizes each Linear's weights and reuses the LayerNorms in place.
+  const MlpConfig& config() const { return config_; }
+  const std::vector<Linear>& linears() const { return linears_; }
+  const std::vector<LayerNorm>& norms() const { return norms_; }
+
  private:
   size_t in_dim_;
   MlpConfig config_;

@@ -26,6 +26,7 @@ namespace {
 
 constexpr size_t kMaxRequestBytes = 8192;
 constexpr int kAcceptPollMs = 100;
+constexpr size_t kMaxConnectionWorkers = 4;
 
 std::string DefaultVarz() {
   RunReport report("varz");
@@ -172,9 +173,23 @@ void HttpExporter::ListenLoop() {
     if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
     const int client = accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    ServeConnection(client);
-    close(client);
+    // Hand the connection to a worker so the accept loop keeps serving:
+    // a slow /metrics scraper (or a half-open connection riding out its
+    // socket timeouts) must not stall a concurrent /healthz probe. The
+    // worker count is bounded by joining the oldest thread once the small
+    // pool is full — connection lifetime is already bounded by the 2 s
+    // socket timeouts, so that join is prompt and Stop() stays prompt.
+    if (workers_.size() >= kMaxConnectionWorkers) {
+      workers_.front().join();
+      workers_.erase(workers_.begin());
+    }
+    workers_.emplace_back([this, client] {
+      ServeConnection(client);
+      close(client);
+    });
   }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void HttpExporter::ServeConnection(int client_fd) {

@@ -11,11 +11,12 @@
 //                 CaptureSpans by default, or whatever the installed varz
 //                 provider returns.
 //
-// Design constraints: requests are handled serially on the listener
-// thread (a scrape every few seconds from one or two clients — no need
-// for a connection pool), reads/writes carry socket timeouts so a stuck
-// client cannot wedge the exporter, and Stop() joins the thread promptly
-// (the accept loop polls with a short timeout). Metric snapshots taken
+// Design constraints: the listener thread only accepts; each connection
+// is served on a short-lived worker thread (bounded small pool) so a slow
+// scraper draining /metrics cannot stall a concurrent /healthz liveness
+// probe, reads/writes carry socket timeouts so a stuck client cannot
+// wedge a worker for long, and Stop() joins the threads promptly (the
+// accept loop polls with a short timeout and reaps its workers on exit). Metric snapshots taken
 // while workers run are approximate-by-design (relaxed counters, live
 // span merge) — fine for a live scrape; exact profiles still come from
 // the quiescent-point RunReport writes.
@@ -31,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace optinter {
 namespace obs {
@@ -89,6 +91,10 @@ class HttpExporter {
   std::atomic<int> port_{0};
   int listen_fd_ = -1;
   std::thread listener_;
+  // Per-connection workers (listener thread only touches this; joined by
+  // the listener before it exits, so Stop's join of the listener also
+  // joins every worker).
+  std::vector<std::thread> workers_;
   std::mutex varz_mutex_;
   std::function<std::string()> varz_provider_;
 };

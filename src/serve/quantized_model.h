@@ -1,0 +1,112 @@
+// Inference-only quantized view of a trained FixedArchModel.
+//
+// QuantizeSnapshot (snapshot.h) converts a trained fp32 model once into
+// this serving-only CtrModel: every embedding table becomes an int8 or
+// bf16 QuantizedTable, and in int8 mode the MLP's Linear layers run as
+// dynamic-activation int8 GEMMs (tensor/int8.h) with the fp32 ReLU /
+// LayerNorm stages reused from the source model. The forward pass
+// mirrors FixedArchModel's fused serving path — gather straight into the
+// z row, interactions in place — except every gather dequantizes.
+//
+// Properties the serving layer relies on:
+//  * Immutable after construction; Predict is const and re-entrant, so
+//    the hot-swap slot can publish a quantized generation like any other
+//    snapshot and serve it to concurrent clients.
+//  * Backend-invariant output: dequantized gathers are bitwise identical
+//    under every dispatch backend, the int8 inner products are exact
+//    integer math, and the single fp32 rounding per GEMM output lives in
+//    shared non-variant code — so a quantized snapshot predicts the same
+//    bits whether dispatch picked avx512, avx2-fma, sse2 or scalar.
+//  * TrainStep CHECK-fails: quantization is one-way; retraining happens
+//    on the fp32 model and republishes through QuantizeSnapshot.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fixed_arch_model.h"
+#include "nn/quant_embedding.h"
+
+namespace optinter {
+namespace serve {
+
+class QuantizedFixedArchModel : public CtrModel {
+ public:
+  /// `source` must own (or be) the FixedArchModel referenced by `fp32`;
+  /// it is retained so the reused fp32 layers (LayerNorm, bf16-mode MLP)
+  /// outlive this view. Prefer QuantizeSnapshot over calling this
+  /// directly.
+  QuantizedFixedArchModel(std::shared_ptr<const CtrModel> source,
+                          const FixedArchModel& fp32, QuantMode mode);
+
+  std::string Name() const override { return name_; }
+  float TrainStep(const Batch& batch) override;
+  void Predict(const Batch& batch, std::vector<float>* probs) override;
+  bool SupportsReentrantPredict() const override { return true; }
+  void Predict(const Batch& batch, std::vector<float>* probs,
+               ForwardContext* ctx) const override;
+  size_t ParamCount() const override { return fp32_.ParamCount(); }
+
+  QuantMode mode() const { return mode_; }
+
+  /// Total bytes of quantized embedding storage (per-row metadata
+  /// included) and the fp32 bytes of the same tables — the bench's
+  /// bytes/row compression ratio is the quotient.
+  size_t EmbeddingBytes() const;
+  size_t Fp32EmbeddingBytes() const;
+  /// Total embedding rows across all quantized tables.
+  size_t EmbeddingRows() const;
+
+ private:
+  /// Per-output-row int8 weights of one Linear (tensor/int8.h layout).
+  struct QuantLinear {
+    size_t in = 0;
+    size_t out = 0;
+    AlignedVector<int8_t> qw;       // [out × in]
+    std::vector<float> w_scale;     // [out]
+    std::vector<int32_t> w_rowsum;  // [out]
+    std::vector<float> bias;        // [out]
+  };
+
+  /// Gathers + dequantizes one dataset row directly into its z row and
+  /// computes the interaction blocks in place (the fused serving layout).
+  void GatherAssembleRow(const EncodedDataset& data, size_t row,
+                         float* zr) const;
+  /// int8 MLP forward over z (int8 mode only).
+  void MlpForwardInt8(const Tensor& z, Tensor* y, ForwardContext* ctx) const;
+  void QuantLinearForward(const QuantLinear& layer, const Tensor& x,
+                          Tensor* y, QuantScratch* qs) const;
+
+  std::shared_ptr<const CtrModel> source_;  // pins the reused fp32 layers
+  const FixedArchModel& fp32_;
+  QuantMode mode_;
+  std::string name_;
+
+  // Frozen layout (copied, not referenced — cheap and self-describing).
+  size_t s1_;
+  size_t s2_;
+  size_t inter_dim_;
+  size_t emb_cols_;
+  Architecture arch_;
+  std::vector<FactorizeFn> pair_fns_;
+  std::vector<std::pair<size_t, size_t>> cat_pairs_;
+  std::vector<size_t> block_offset_;
+  std::vector<size_t> mem_slot_;
+  std::vector<size_t> cross_pairs_;   // dataset pair index per cross block
+  std::vector<size_t> triple_idx_;    // dataset triple index per block
+
+  // Quantized parameters.
+  std::vector<QuantizedTable> cat_tables_;
+  std::vector<std::vector<float>> cont_rows_;  // fp32: one row per field
+  std::vector<QuantizedTable> cross_tables_;
+  std::vector<QuantizedTable> triple_tables_;
+  std::vector<QuantLinear> qlinears_;  // int8 mode only
+  std::vector<Relu> relus_;            // stateless fp32 activations
+
+  ForwardContext ctx_;  // non-re-entrant Predict overload only
+};
+
+}  // namespace serve
+}  // namespace optinter

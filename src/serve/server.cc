@@ -64,6 +64,7 @@ PredictServer::PredictServer(const EncodedDataset& reference,
   CHECK_GT(options_.max_batch, 0u);
   if (options_.metrics_port >= 0) {
     obs::HttpExporterOptions exporter_options;
+    exporter_options.host = options_.metrics_bind_addr;
     exporter_options.port = options_.metrics_port;
     metrics_exporter_ =
         std::make_unique<obs::HttpExporter>(std::move(exporter_options));

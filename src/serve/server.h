@@ -42,6 +42,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,10 +68,14 @@ struct ServeOptions {
   size_t max_pending = 4096;
   /// Live scrape endpoint (obs/http_exporter.h): -1 = no exporter
   /// (default), 0 = bind an ephemeral port (read it back from
-  /// PredictServer::metrics_port()), >0 = bind that port on loopback.
-  /// Serves /metrics (Prometheus text), /healthz, and /varz (RunReport
-  /// JSON snapshot) for the server's lifetime.
+  /// PredictServer::metrics_port()), >0 = bind that port. Serves /metrics
+  /// (Prometheus text), /healthz, and /varz (RunReport JSON snapshot) for
+  /// the server's lifetime.
   int metrics_port = -1;
+  /// Interface the metrics exporter binds. Default loopback; set
+  /// "0.0.0.0" to let an external Prometheus scrape a serving host —
+  /// an explicit opt-in, since /varz exposes run internals.
+  std::string metrics_bind_addr = "127.0.0.1";
 };
 
 /// A deployed model serving requests. Thread-safe.

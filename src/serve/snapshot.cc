@@ -2,6 +2,7 @@
 
 #include "io/serialize.h"
 #include "obs/registry.h"
+#include "serve/quantized_model.h"
 
 namespace optinter {
 namespace serve {
@@ -63,6 +64,25 @@ Status SwapFromCheckpoint(
   st = LoadModel(fresh.get(), checkpoint_path);
   if (!st.ok()) return st;
   return slot->Publish(std::move(fresh));
+}
+
+Status QuantizeSnapshot(std::shared_ptr<const CtrModel> model,
+                        QuantMode mode,
+                        std::shared_ptr<const CtrModel>* out) {
+  CHECK(out != nullptr);
+  if (model == nullptr) {
+    return Status::Invalid("cannot quantize a null model");
+  }
+  const auto* fixed = dynamic_cast<const FixedArchModel*>(model.get());
+  if (fixed == nullptr) {
+    return Status::Invalid(
+        model->Name() +
+        " cannot be quantized: QuantizeSnapshot supports FixedArchModel "
+        "(the re-train-stage / serving model family) only");
+  }
+  *out = std::make_shared<QuantizedFixedArchModel>(std::move(model), *fixed,
+                                                   mode);
+  return Status::OK();
 }
 
 }  // namespace serve

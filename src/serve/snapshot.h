@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "models/model.h"
+#include "nn/quant_embedding.h"
 
 namespace optinter {
 namespace serve {
@@ -86,6 +87,17 @@ Status SwapFromCheckpoint(
     SnapshotSlot* slot,
     const std::function<std::unique_ptr<CtrModel>()>& factory,
     const std::string& checkpoint_path);
+
+/// One-shot conversion of a trained FixedArchModel into an inference-only
+/// quantized view (serve/quantized_model.h): int8 or bf16 embedding
+/// tables, and in int8 mode a dynamic-activation int8 MLP. The returned
+/// model supports re-entrant Predict and can be Publish()ed into a
+/// SnapshotSlot like any other generation; `model` is retained inside it
+/// so the reused fp32 layers stay alive. Fails (without touching `out`)
+/// when `model` is not a FixedArchModel.
+Status QuantizeSnapshot(std::shared_ptr<const CtrModel> model,
+                        QuantMode mode,
+                        std::shared_ptr<const CtrModel>* out);
 
 }  // namespace serve
 }  // namespace optinter

@@ -1,0 +1,24 @@
+#include "tensor/cpu_features.h"
+
+namespace optinter {
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+    f.avx512bw = __builtin_cpu_supports("avx512bw");
+    f.avx512dq = __builtin_cpu_supports("avx512dq");
+    f.avx512vl = __builtin_cpu_supports("avx512vl");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace optinter

@@ -1,0 +1,27 @@
+// Runtime CPU feature detection for the kernel dispatch layer.
+//
+// Queried exactly once (first use) and cached; the dispatch table in
+// dispatch.h is selected from this so one binary can pick the widest
+// kernel variant the host actually supports. All fields are false on
+// non-x86 targets — dispatch then falls back to the natively compiled
+// variant (NEON or scalar).
+
+#pragma once
+
+namespace optinter {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+};
+
+/// Host features, detected once via CPUID (GCC/clang builtins) and cached.
+/// Thread-safe.
+const CpuFeatures& GetCpuFeatures();
+
+}  // namespace optinter

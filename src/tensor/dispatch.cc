@@ -1,0 +1,112 @@
+#include "tensor/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "tensor/cpu_features.h"
+#include "tensor/simd.h"
+
+namespace optinter {
+
+namespace {
+
+// True when the host can execute the named variant. The pragma variants
+// have fixed ISA requirements; the native variant requires whatever
+// simd.h selected for this whole binary (it is compiled with the same
+// flags as every other TU).
+bool HostSupports(const KernelTable* t) {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (t == GetKernelVariantAvx512()) {
+    return f.avx512f && f.avx512bw && f.avx512dq && f.avx512vl && f.avx2 &&
+           f.fma;
+  }
+  if (t == GetKernelVariantAvx2()) return f.avx2 && f.fma;
+  if (t == GetKernelVariantSse2()) return true;  // x86-64 baseline
+  if (t == GetKernelVariantScalar()) return true;
+  // Native: gate on the compile-time backend of the binary.
+#if defined(OPTINTER_SIMD_AVX512)
+  return f.avx512f && f.avx512bw && f.avx512dq && f.avx512vl && f.fma;
+#elif defined(OPTINTER_SIMD_AVX2)
+  return f.avx2 && f.fma;
+#else
+  return true;  // sse2 / neon / scalar: the baseline the binary targets
+#endif
+}
+
+// Compiled-in + host-supported variants in auto-selection preference
+// order, deduplicated by name (on a stock GCC build the native variant
+// duplicates the pragma avx2-fma one).
+std::vector<const KernelTable*> SupportedTables() {
+  const KernelTable* candidates[] = {
+      GetKernelVariantAvx512(), GetKernelVariantAvx2(),
+      GetKernelVariantNative(), GetKernelVariantSse2(),
+      GetKernelVariantScalar()};
+  std::vector<const KernelTable*> out;
+  for (const KernelTable* t : candidates) {
+    if (t == nullptr || !HostSupports(t)) continue;
+    bool dup = false;
+    for (const KernelTable* have : out) {
+      if (std::strcmp(have->name, t->name) == 0) dup = true;
+    }
+    if (!dup) out.push_back(t);
+  }
+  return out;
+}
+
+const KernelTable* SelectStartupTable() {
+  const std::vector<const KernelTable*> tables = SupportedTables();
+  // SupportedTables is never empty: the native variant always exists and
+  // is always host-supported (the whole binary shares its ISA).
+  const char* want = std::getenv("OPTINTER_SIMD");
+  if (want != nullptr && want[0] != '\0' && std::strcmp(want, "auto") != 0) {
+    for (const KernelTable* t : tables) {
+      if (std::strcmp(t->name, want) == 0) return t;
+    }
+    std::fprintf(stderr,
+                 "optinter: OPTINTER_SIMD=%s is not available on this "
+                 "host/binary; falling back to %s\n",
+                 want, tables.front()->name);
+  }
+  return tables.front();
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::once_flag g_select_once;
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::call_once(g_select_once, [] {
+    g_active.store(SelectStartupTable(), std::memory_order_release);
+  });
+  return *g_active.load(std::memory_order_acquire);
+}
+
+const char* ActiveKernelBackend() { return ActiveKernels().name; }
+
+std::vector<const KernelTable*> AvailableKernelBackends() {
+  return SupportedTables();
+}
+
+bool SelectKernelBackendForTest(const char* name) {
+  ActiveKernels();  // ensure startup selection ran (keeps call_once spent)
+  const std::vector<const KernelTable*> tables = SupportedTables();
+  if (name != nullptr && std::strcmp(name, "auto") == 0) {
+    g_active.store(SelectStartupTable(), std::memory_order_release);
+    return true;
+  }
+  for (const KernelTable* t : tables) {
+    if (name != nullptr && std::strcmp(t->name, name) == 0) {
+      g_active.store(t, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace optinter

@@ -1,0 +1,94 @@
+#include "tensor/int8.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/aligned.h"
+#include "tensor/dispatch.h"
+
+namespace optinter {
+
+void QuantizeActivationRows(const float* x, size_t m, size_t k, uint8_t* q,
+                            float* scale, int32_t* zp) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* xi = x + i * k;
+    uint8_t* qi = q + i * k;
+    // Range over [min(row_min, 0), max(row_max, 0)]: min/max are exact and
+    // order-independent, so this scan is deterministic under any codegen.
+    float lo = 0.0f, hi = 0.0f;
+    for (size_t t = 0; t < k; ++t) {
+      lo = std::min(lo, xi[t]);
+      hi = std::max(hi, xi[t]);
+    }
+    const float range = hi - lo;
+    if (range == 0.0f) {  // all-zero row (the range always includes 0)
+      scale[i] = 1.0f;
+      zp[i] = 0;
+      std::fill(qi, qi + k, static_cast<uint8_t>(0));
+      continue;
+    }
+    const float s = range / static_cast<float>(kInt8ActMax);
+    const float inv = static_cast<float>(kInt8ActMax) / range;
+    const int32_t z = static_cast<int32_t>(std::lrintf(-lo * inv));
+    scale[i] = s;
+    zp[i] = z;
+    for (size_t t = 0; t < k; ++t) {
+      const int32_t v = static_cast<int32_t>(std::lrintf(xi[t] * inv)) + z;
+      qi[t] = static_cast<uint8_t>(std::clamp(v, 0, kInt8ActMax));
+    }
+  }
+}
+
+void QuantizeWeightsPerRow(const float* w, size_t n, size_t k, int8_t* q,
+                           float* scale, int32_t* rowsum) {
+  for (size_t j = 0; j < n; ++j) {
+    const float* wj = w + j * k;
+    int8_t* qj = q + j * k;
+    float amax = 0.0f;
+    for (size_t t = 0; t < k; ++t) amax = std::max(amax, std::fabs(wj[t]));
+    if (amax == 0.0f) {
+      scale[j] = 0.0f;
+      rowsum[j] = 0;
+      std::fill(qj, qj + k, static_cast<int8_t>(0));
+      continue;
+    }
+    const float inv = static_cast<float>(kInt8WeightMax) / amax;
+    scale[j] = amax / static_cast<float>(kInt8WeightMax);
+    int32_t sum = 0;
+    for (size_t t = 0; t < k; ++t) {
+      const int32_t v = static_cast<int32_t>(std::lrintf(wj[t] * inv));
+      const int32_t c = std::clamp(v, -kInt8WeightMax, kInt8WeightMax);
+      qj[t] = static_cast<int8_t>(c);
+      sum += c;
+    }
+    rowsum[j] = sum;
+  }
+}
+
+void Int8GemmNT(const uint8_t* a, const float* a_scale, const int32_t* a_zp,
+                const int8_t* b, const float* b_scale,
+                const int32_t* b_rowsum, const float* bias, float* c,
+                size_t m, size_t k, size_t n) {
+  static thread_local AlignedVector<int32_t> acc_tls;
+  acc_tls.resize(m * n);
+  int32_t* const acc = acc_tls.data();
+  ActiveKernels().int8_gemm_nt_acc(a, b, acc, m, k, n);
+  // The one-and-only float rounding of the quantized product. Shared,
+  // non-variant code: every dispatch backend reaches this exact machine
+  // code with exact integer accumulators, so the whole output is bitwise
+  // backend-invariant.
+  for (size_t i = 0; i < m; ++i) {
+    const float sa = a_scale[i];
+    const int32_t zp = a_zp[i];
+    const int32_t* ai = acc + i * n;
+    float* ci = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float v =
+          sa * b_scale[j] *
+          static_cast<float>(ai[j] - zp * b_rowsum[j]);
+      ci[j] = bias != nullptr ? v + bias[j] : v;
+    }
+  }
+}
+
+}  // namespace optinter

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 #include "tensor/aligned.h"
+#include "tensor/dispatch.h"
 #include "tensor/simd.h"
 
 namespace optinter {
@@ -18,406 +19,31 @@ namespace {
 
 using simd::VecF;
 
-// Row-block threshold above which GEMMs are parallelized. Tuned for the
-// batch sizes used in the benches (hundreds to a few thousand rows).
-constexpr size_t kParallelFlops = 1u << 21;
-
-// Micro-kernel tile: kMR rows of C by kNR columns, held in kMR × kNB vector
-// accumulator registers across the whole reduction block. 6×16 on AVX2
-// (12 accumulators + 2 B vectors + 1 broadcast = 15 of 16 ymm), 6×8 on the
-// 4-lane backends, 4×4 scalar (a plain register-blocked loop nest).
 constexpr size_t kL = simd::kLanes;
-constexpr size_t kMR = (kL == 1) ? 4 : 6;
-constexpr size_t kNR = (kL == 1) ? 4 : 2 * kL;
-constexpr size_t kNB = kNR / kL;
-
-// Reduction (k) blocking: bounds the packed A micro-panel (kKC·kMR floats,
-// 6 KB) and keeps the active B panel slice (kKC·kNR floats, 16 KB on AVX2)
-// L1-resident while C tiles sit in registers. The block grid is a pure
-// function of the reduction length, so the per-element accumulation order —
-// and therefore every output bit — is independent of threading.
-constexpr size_t kKC = 256;
-
-// Packed path pays O(k·n) packing; it wins once panels are full-width and
-// the reduction is deep enough to amortize. Shape-only predicate: both the
-// packed and fallback paths are deterministic, but they round differently,
-// so the choice must never depend on thread count or values.
-inline bool UsePackedPath(size_t k, size_t n) { return n >= kNR && k >= 8; }
-
-inline void ScaleRows(float* c, size_t m, size_t n, float beta) {
-  if (beta == 0.0f) {
-    std::memset(c, 0, m * n * sizeof(float));
-  } else if (beta != 1.0f) {
-    Scale(m * n, beta, c);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Packing.
-// ---------------------------------------------------------------------------
-
-// Packs rows [r0, r0+kk) of row-major b (row stride ldb, n logical columns)
-// into kNR-column panels: panel jp holds columns [jp·kNR, jp·kNR+kNR) as kk
-// consecutive rows of kNR floats, zero-padded past column n. Returns the
-// calling thread's reusable buffer (capacity is kept across calls, so
-// steady-state training never allocates here).
-float* PackBPanels(const float* b, size_t ldb, size_t r0, size_t kk,
-                   size_t n) {
-  static thread_local AlignedVector<float> buf;
-  const size_t panels = (n + kNR - 1) / kNR;
-  buf.resize(panels * kk * kNR);
-  float* dst = buf.data();
-  assert(IsTensorAligned(dst));
-  for (size_t jp = 0; jp < panels; ++jp) {
-    const size_t j0 = jp * kNR;
-    const size_t nr = std::min(kNR, n - j0);
-    float* pd = dst + jp * kk * kNR;
-    if (nr == kNR) {
-      for (size_t p = 0; p < kk; ++p) {
-        std::memcpy(pd + p * kNR, b + (r0 + p) * ldb + j0,
-                    kNR * sizeof(float));
-      }
-    } else {
-      for (size_t p = 0; p < kk; ++p) {
-        const float* src = b + (r0 + p) * ldb + j0;
-        float* row = pd + p * kNR;
-        for (size_t jj = 0; jj < nr; ++jj) row[jj] = src[jj];
-        for (size_t jj = nr; jj < kNR; ++jj) row[jj] = 0.0f;
-      }
-    }
-  }
-  return dst;
-}
-
-// Same panel layout, but the logical B[k×n] is given as its transpose
-// b[n×k] (GemmNT's weight matrix). Strided gathers, paid once per call.
-float* PackBPanelsFromT(const float* b, size_t ldb, size_t kk, size_t n) {
-  static thread_local AlignedVector<float> buf;
-  const size_t panels = (n + kNR - 1) / kNR;
-  buf.resize(panels * kk * kNR);
-  float* dst = buf.data();
-  assert(IsTensorAligned(dst));
-  for (size_t jp = 0; jp < panels; ++jp) {
-    const size_t j0 = jp * kNR;
-    const size_t nr = std::min(kNR, n - j0);
-    float* pd = dst + jp * kk * kNR;
-    for (size_t jj = 0; jj < nr; ++jj) {
-      const float* src = b + (j0 + jj) * ldb;
-      for (size_t p = 0; p < kk; ++p) pd[p * kNR + jj] = src[p];
-    }
-    for (size_t jj = nr; jj < kNR; ++jj) {
-      for (size_t p = 0; p < kk; ++p) pd[p * kNR + jj] = 0.0f;
-    }
-  }
-  return dst;
-}
-
-// A micro-panel for rows [i0, i0+mr) of row-major a (row stride lda),
-// reduction slice [p0, p0+kc), with alpha folded in (exact for the common
-// alpha == 1). Layout: apack[p·kMR + r]. Rows past mr are zero so the
-// micro-kernel always computes a full kMR tile; the garbage rows are never
-// stored back.
-inline void PackARows(const float* a, size_t lda, size_t i0, size_t mr,
-                      size_t p0, size_t kc, float alpha, float* apack) {
-  for (size_t r = 0; r < mr; ++r) {
-    const float* src = a + (i0 + r) * lda + p0;
-    for (size_t p = 0; p < kc; ++p) apack[p * kMR + r] = alpha * src[p];
-  }
-  for (size_t r = mr; r < kMR; ++r) {
-    for (size_t p = 0; p < kc; ++p) apack[p * kMR + r] = 0.0f;
-  }
-}
-
-// A micro-panel for the transposed case (GemmTN): C's rows are columns of
-// a[rows × lda]; reduction runs over a's rows [r0+p0, r0+p0+kc). Reads are
-// contiguous per reduction row.
-inline void PackACols(const float* a, size_t lda, size_t r0, size_t i0,
-                      size_t mr, size_t p0, size_t kc, float alpha,
-                      float* apack) {
-  for (size_t p = 0; p < kc; ++p) {
-    const float* src = a + (r0 + p0 + p) * lda + i0;
-    float* dst = apack + p * kMR;
-    for (size_t r = 0; r < mr; ++r) dst[r] = alpha * src[r];
-    for (size_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Register-tiled micro-kernel and the packed-GEMM row driver.
-// ---------------------------------------------------------------------------
-
-// acc_out[kMR×kNR] = sum_p apack[p·kMR+r] · bpanel[p·kNR+j]. Accumulators
-// stay in registers for the whole kc sweep; each C row's sum is produced by
-// its own accumulator chain in ascending-p order, so a row's bits are
-// independent of which rows share its tile — the property that makes row
-// chunking bit-invariant.
-inline void MicroKernel(const float* apack, const float* bpanel, size_t kc,
-                        float* acc_out) {
-  VecF acc[kMR][kNB];
-  for (size_t r = 0; r < kMR; ++r) {
-    for (size_t t = 0; t < kNB; ++t) acc[r][t] = simd::Zero();
-  }
-  for (size_t p = 0; p < kc; ++p) {
-    VecF bv[kNB];
-    for (size_t t = 0; t < kNB; ++t) {
-      bv[t] = simd::LoadU(bpanel + p * kNR + t * kL);
-    }
-    const float* ap = apack + p * kMR;
-    for (size_t r = 0; r < kMR; ++r) {
-      const VecF av = simd::Set1(ap[r]);
-      for (size_t t = 0; t < kNB; ++t) {
-        acc[r][t] = simd::MulAdd(av, bv[t], acc[r][t]);
-      }
-    }
-  }
-  for (size_t r = 0; r < kMR; ++r) {
-    for (size_t t = 0; t < kNB; ++t) {
-      simd::StoreU(acc_out + r * kNR + t * kL, acc[r][t]);
-    }
-  }
-}
-
-// Accumulates alpha·A_slice·B into C rows [lo, hi) (row stride n), with B
-// already packed over the full reduction length kk. pack_a(i0, mr, p0, kc,
-// apack) fills the A micro-panel for one row group and reduction block.
-template <typename PackAFn>
-void PackedGemmRows(PackAFn&& pack_a, const float* bpack, float* c, size_t lo,
-                    size_t hi, size_t kk, size_t n) {
-  static thread_local AlignedVector<float> apack_tls;
-  apack_tls.resize(std::min(kk, kKC) * kMR);
-  float* const apack = apack_tls.data();
-  assert(IsTensorAligned(apack));
-  alignas(kTensorAlignment) float acc[kMR * kNR];
-  const size_t panels = (n + kNR - 1) / kNR;
-  for (size_t i0 = lo; i0 < hi; i0 += kMR) {
-    const size_t mr = std::min(kMR, hi - i0);
-    for (size_t p0 = 0; p0 < kk; p0 += kKC) {
-      const size_t kc = std::min(kKC, kk - p0);
-      pack_a(i0, mr, p0, kc, apack);
-      for (size_t jp = 0; jp < panels; ++jp) {
-        const size_t j0 = jp * kNR;
-        const size_t nr = std::min(kNR, n - j0);
-        MicroKernel(apack, bpack + (jp * kk + p0) * kNR, kc, acc);
-        for (size_t r = 0; r < mr; ++r) {
-          float* crow = c + (i0 + r) * n + j0;
-          const float* arow = acc + r * kNR;
-          if (nr == kNR) {
-            for (size_t t = 0; t < kNB; ++t) {
-              simd::StoreU(crow + t * kL,
-                           simd::Add(simd::LoadU(crow + t * kL),
-                                     simd::LoadU(arow + t * kL)));
-            }
-          } else {
-            for (size_t jj = 0; jj < nr; ++jj) crow[jj] += arow[jj];
-          }
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Fallback ranges for shapes too small/narrow to pack. Vectorized where the
-// access pattern allows; per-row work only, so row chunking stays
-// bit-invariant. (The old zero-skip branch is gone: it broke FLOP-count
-// predictability and cost a compare per element on dense data for a case —
-// exactly-zero activations at k-scale — that ReLU makes rare, not common,
-// after the first optimizer step.)
-// ---------------------------------------------------------------------------
-
-void SimpleNNRange(const float* a, const float* b, float* c, size_t lo,
-                   size_t hi, size_t k, size_t n, float alpha) {
-  for (size_t i = lo; i < hi; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = alpha * ai[p];
-      const float* bp = b + p * n;
-      const VecF avv = simd::Set1(av);
-      size_t j = 0;
-      for (; j + kL <= n; j += kL) {
-        simd::StoreU(ci + j,
-                     simd::MulAdd(avv, simd::LoadU(bp + j),
-                                  simd::LoadU(ci + j)));
-      }
-      for (; j < n; ++j) ci[j] = simd::MulAddScalar(av, bp[j], ci[j]);
-    }
-  }
-}
-
-void SimpleNTRange(const float* a, const float* b, float* c, size_t lo,
-                   size_t hi, size_t k, size_t n, float alpha) {
-  for (size_t i = lo; i < hi; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      ci[j] += alpha * Dot(k, ai, b + j * k);
-    }
-  }
-}
-
-void SimpleTNRange(const float* a, const float* b, float* c, size_t lo,
-                   size_t hi, size_t k, size_t n, float alpha) {
-  // Accumulates rows [lo, hi) of A/B as outer products into C[k×n].
-  for (size_t i = lo; i < hi; ++i) {
-    const float* ai = a + i * k;
-    const float* bi = b + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = alpha * ai[p];
-      float* cp = c + p * n;
-      const VecF avv = simd::Set1(av);
-      size_t j = 0;
-      for (; j + kL <= n; j += kL) {
-        simd::StoreU(cp + j,
-                     simd::MulAdd(avv, simd::LoadU(bi + j),
-                                  simd::LoadU(cp + j)));
-      }
-      for (; j < n; ++j) cp[j] = simd::MulAddScalar(av, bi[j], cp[j]);
-    }
-  }
-}
-
-// One GemmTN chunk: accumulate rows [lo, hi) of A/B into dst[k×n] (either C
-// itself or a private partial). Path choice depends only on (hi-lo, n) and
-// the chunk grid is a pure function of m, so it is thread-count-invariant.
-void GemmTNChunk(const float* a, const float* b, float* dst, size_t lo,
-                 size_t hi, size_t k, size_t n, float alpha) {
-  const size_t kk = hi - lo;
-  if (UsePackedPath(kk, n)) {
-    const float* bpack = PackBPanels(b, n, lo, kk, n);
-    PackedGemmRows(
-        [=](size_t i0, size_t mr, size_t p0, size_t kc, float* apack) {
-          PackACols(a, k, lo, i0, mr, p0, kc, alpha, apack);
-        },
-        bpack, dst, 0, k, kk, n);
-  } else {
-    SimpleTNRange(a, b, dst, lo, hi, k, n, alpha);
-  }
-}
 
 }  // namespace
+
+// The GEMM implementations live in gemm_body.inc, compiled once per ISA
+// variant (kernels_dispatch_*.cc) and reached through the runtime
+// dispatch table — see dispatch.h for the selection policy. These
+// wrappers keep the public API (and its trace spans) unchanged.
 
 void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
   OPTINTER_TRACE_SPAN("gemm_nn");
-  ScaleRows(c, m, n, beta);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-  const bool parallel = m * k * n >= kParallelFlops && m > 1;
-  if (UsePackedPath(k, n)) {
-    // B is packed once on the calling thread; row chunks share it
-    // read-only. A micro-panels live in per-worker thread-local buffers.
-    const float* bpack = PackBPanels(b, n, 0, k, n);
-    auto rows = [=](size_t lo, size_t hi) {
-      PackedGemmRows(
-          [=](size_t i0, size_t mr, size_t p0, size_t kc, float* apack) {
-            PackARows(a, k, i0, mr, p0, kc, alpha, apack);
-          },
-          bpack, c, lo, hi, k, n);
-    };
-    if (parallel) {
-      ParallelForChunks(0, m, rows, /*min_chunk=*/8);
-    } else {
-      rows(0, m);
-    }
-  } else {
-    auto rows = [=](size_t lo, size_t hi) {
-      SimpleNNRange(a, b, c, lo, hi, k, n, alpha);
-    };
-    if (parallel) {
-      ParallelForChunks(0, m, rows, /*min_chunk=*/8);
-    } else {
-      rows(0, m);
-    }
-  }
+  ActiveKernels().gemm_nn(a, b, c, m, k, n, alpha, beta);
 }
 
 void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
   OPTINTER_TRACE_SPAN("gemm_nt");
-  ScaleRows(c, m, n, beta);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-  const bool parallel = m * k * n >= kParallelFlops && m > 1;
-  if (UsePackedPath(k, n)) {
-    // Packing transposes B^T back into k-major panels, so the micro-kernel
-    // is identical to the NN case from here on.
-    const float* bpack = PackBPanelsFromT(b, k, k, n);
-    auto rows = [=](size_t lo, size_t hi) {
-      PackedGemmRows(
-          [=](size_t i0, size_t mr, size_t p0, size_t kc, float* apack) {
-            PackARows(a, k, i0, mr, p0, kc, alpha, apack);
-          },
-          bpack, c, lo, hi, k, n);
-    };
-    if (parallel) {
-      ParallelForChunks(0, m, rows, /*min_chunk=*/8);
-    } else {
-      rows(0, m);
-    }
-  } else {
-    auto rows = [=](size_t lo, size_t hi) {
-      SimpleNTRange(a, b, c, lo, hi, k, n, alpha);
-    };
-    if (parallel) {
-      ParallelForChunks(0, m, rows, /*min_chunk=*/8);
-    } else {
-      rows(0, m);
-    }
-  }
+  ActiveKernels().gemm_nt(a, b, c, m, k, n, alpha, beta);
 }
 
 void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n, float alpha, float beta) {
   OPTINTER_TRACE_SPAN("gemm_tn");
-  // C[k×n] = A^T[k×m] * B[m×n]; accumulate row-of-A outer products.
-  //
-  // Unlike the NN/NT variants, every row of A touches every row of C, so
-  // row-blocking over m uses per-chunk private accumulators. The chunk
-  // grid is fixed (a pure function of m) and the partials are combined by
-  // a tree whose shape depends only on the chunk count, so the result is
-  // bit-identical at any thread count — the determinism contract the
-  // train-step identity tests rely on (DESIGN.md §5).
-  ScaleRows(c, k, n, beta);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-  if (m * k * n < kParallelFlops || m <= 1) {
-    GemmTNChunk(a, b, c, 0, m, k, n, alpha);
-    return;
-  }
-  // Few large chunks: every chunk pays O(k·n) to zero its private
-  // accumulator and the reduce is O(count·k·n), so many small chunks
-  // would drown the O(m·k·n) useful work.
-  const FixedChunks grid = MakeFixedChunks(m, /*min_chunk=*/32,
-                                           /*max_chunks=*/8);
-  if (grid.count == 1) {
-    GemmTNChunk(a, b, c, 0, m, k, n, alpha);
-    return;
-  }
-  const size_t cells = k * n;
-  // Caller-thread-local accumulator buffer: assign() reuses capacity so
-  // repeated same-shape GEMMs (steady-state training) never allocate. The
-  // raw pointer is hoisted and captured by value because lambdas don't
-  // capture thread_locals — workers must write the caller's buffer, not
-  // their own empty one.
-  static thread_local AlignedVector<float> partials_tls;
-  partials_tls.assign(grid.count * cells, 0.0f);
-  float* const partials = partials_tls.data();
-  ParallelForEachChunk(grid, [&, partials](size_t i) {
-    GemmTNChunk(a, b, partials + i * cells, grid.lo(i), grid.hi(i), k, n,
-                alpha);
-  });
-  // Tree reduce: fold partial (i + stride) into partial i, doubling the
-  // stride. Each level's folds write disjoint partials, so they can fan
-  // out across the pool without changing the summation tree.
-  for (size_t stride = 1; stride < grid.count; stride *= 2) {
-    const size_t step = 2 * stride;
-    const size_t folds = grid.count > stride ? (grid.count - stride + step - 1) / step : 0;
-    ParallelFor(0, folds, [&, partials](size_t f) {
-      float* dst = partials + f * step * cells;
-      const float* src = dst + stride * cells;
-      for (size_t idx = 0; idx < cells; ++idx) dst[idx] += src[idx];
-    }, /*grain=*/1);
-  }
-  const float* root = partials;
-  for (size_t idx = 0; idx < cells; ++idx) c[idx] += root[idx];
+  ActiveKernels().gemm_tn(a, b, c, m, k, n, alpha, beta);
 }
 
 namespace internal {

@@ -1,0 +1,45 @@
+// AVX2+FMA kernel variant for runtime dispatch. On the stock build the
+// whole binary already targets avx2/fma and this duplicates the native
+// variant (deduplicated by name in dispatch.cc); under a baseline
+// portable build (OPTINTER_PORTABLE_BASELINE) this TU is what lets the
+// binary still reach AVX2 kernels on capable hosts.
+
+#include "tensor/kernels_variant.h"
+
+#if OPTINTER_KV_X86_PRAGMA
+
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+
+#undef OPTINTER_SIMD_AVX512
+#undef OPTINTER_SIMD_AVX2
+#undef OPTINTER_SIMD_SSE2
+#undef OPTINTER_SIMD_NEON
+#undef OPTINTER_SIMD_SCALAR
+#define OPTINTER_SIMD_AVX2 1
+
+namespace optinter {
+namespace kvar_avx2 {
+
+namespace simd {
+#include "tensor/simd_ops.inc"
+}  // namespace simd
+
+#include "tensor/gemm_body.inc"
+
+}  // namespace kvar_avx2
+}  // namespace optinter
+
+#pragma GCC pop_options
+
+namespace optinter {
+const KernelTable* GetKernelVariantAvx2() { return &kvar_avx2::kTable; }
+}  // namespace optinter
+
+#else  // !OPTINTER_KV_X86_PRAGMA
+
+namespace optinter {
+const KernelTable* GetKernelVariantAvx2() { return nullptr; }
+}  // namespace optinter
+
+#endif

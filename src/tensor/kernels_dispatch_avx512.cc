@@ -1,0 +1,46 @@
+// AVX-512 kernel variant for runtime dispatch: 16-lane simd backend with
+// a re-tuned 8×32 GEMM micro-tile and 512-bit maddubs int8 kernels.
+// Requires F+BW+DQ+VL (see simd_ops.inc); additionally gated on a CMake
+// compile check (OPTINTER_HAVE_AVX512_VARIANT) so ancient assemblers
+// degrade to a binary without this variant instead of a build break.
+// dispatch.cc only selects it when CPUID reports all four subsets.
+
+#include "tensor/kernels_variant.h"
+
+#if OPTINTER_KV_X86_PRAGMA && defined(OPTINTER_HAVE_AVX512_VARIANT)
+
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512bw,avx512dq,avx512vl,fma")
+
+#undef OPTINTER_SIMD_AVX512
+#undef OPTINTER_SIMD_AVX2
+#undef OPTINTER_SIMD_SSE2
+#undef OPTINTER_SIMD_NEON
+#undef OPTINTER_SIMD_SCALAR
+#define OPTINTER_SIMD_AVX512 1
+
+namespace optinter {
+namespace kvar_avx512 {
+
+namespace simd {
+#include "tensor/simd_ops.inc"
+}  // namespace simd
+
+#include "tensor/gemm_body.inc"
+
+}  // namespace kvar_avx512
+}  // namespace optinter
+
+#pragma GCC pop_options
+
+namespace optinter {
+const KernelTable* GetKernelVariantAvx512() { return &kvar_avx512::kTable; }
+}  // namespace optinter
+
+#else  // !OPTINTER_KV_X86_PRAGMA || !OPTINTER_HAVE_AVX512_VARIANT
+
+namespace optinter {
+const KernelTable* GetKernelVariantAvx512() { return nullptr; }
+}  // namespace optinter
+
+#endif

@@ -1,0 +1,25 @@
+// Native kernel variant: gemm_body.inc compiled with the same flags as
+// the rest of the binary, reusing the compile-time ::optinter::simd
+// backend directly. Always present (every compiler, every arch,
+// -DOPTINTER_DISABLE_SIMD included), so runtime dispatch can never come
+// up empty; on GCC/x86 builds it usually duplicates one of the pragma
+// variants and is deduplicated by name in dispatch.cc.
+
+#include "tensor/kernels_variant.h"
+
+#include "tensor/simd.h"
+
+namespace optinter {
+namespace kvar_native {
+
+namespace simd {
+using namespace ::optinter::simd;  // NOLINT
+}  // namespace simd
+
+#include "tensor/gemm_body.inc"
+
+}  // namespace kvar_native
+
+const KernelTable* GetKernelVariantNative() { return &kvar_native::kTable; }
+
+}  // namespace optinter

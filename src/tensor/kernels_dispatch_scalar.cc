@@ -1,0 +1,40 @@
+// Scalar kernel variant for runtime dispatch. This TU is compiled with
+// per-file -mno-avx/-mno-avx2/-mno-fma flags (see src/tensor/CMakeLists),
+// so it gets true baseline codegen — no FMA contraction, no VEX — and is
+// bitwise identical to an -DOPTINTER_DISABLE_SIMD build of the same
+// kernels; the `OPTINTER_SIMD=scalar` parity tests rely on that.
+// kernels_variant.h explains why a pragma cannot do this downgrade.
+
+#include "tensor/kernels_variant.h"
+
+#if OPTINTER_KV_X86_BASELINE
+
+#undef OPTINTER_SIMD_AVX512
+#undef OPTINTER_SIMD_AVX2
+#undef OPTINTER_SIMD_SSE2
+#undef OPTINTER_SIMD_NEON
+#undef OPTINTER_SIMD_SCALAR
+#define OPTINTER_SIMD_SCALAR 1
+
+namespace optinter {
+namespace kvar_scalar {
+
+namespace simd {
+#include "tensor/simd_ops.inc"
+}  // namespace simd
+
+#include "tensor/gemm_body.inc"
+
+}  // namespace kvar_scalar
+
+const KernelTable* GetKernelVariantScalar() { return &kvar_scalar::kTable; }
+
+}  // namespace optinter
+
+#else  // !OPTINTER_KV_X86_BASELINE
+
+namespace optinter {
+const KernelTable* GetKernelVariantScalar() { return nullptr; }
+}  // namespace optinter
+
+#endif

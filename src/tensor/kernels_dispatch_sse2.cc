@@ -1,0 +1,39 @@
+// SSE2 kernel variant for runtime dispatch. SSE2 is part of the x86-64
+// baseline; this TU is compiled with per-file -mno-avx/-mno-avx2/-mno-fma
+// flags (see src/tensor/CMakeLists), matching what a compile-time sse2
+// build would generate (no FMA contraction, no VEX). kernels_variant.h
+// explains why a pragma cannot do this downgrade.
+
+#include "tensor/kernels_variant.h"
+
+#if OPTINTER_KV_X86_BASELINE
+
+#undef OPTINTER_SIMD_AVX512
+#undef OPTINTER_SIMD_AVX2
+#undef OPTINTER_SIMD_SSE2
+#undef OPTINTER_SIMD_NEON
+#undef OPTINTER_SIMD_SCALAR
+#define OPTINTER_SIMD_SSE2 1
+
+namespace optinter {
+namespace kvar_sse2 {
+
+namespace simd {
+#include "tensor/simd_ops.inc"
+}  // namespace simd
+
+#include "tensor/gemm_body.inc"
+
+}  // namespace kvar_sse2
+
+const KernelTable* GetKernelVariantSse2() { return &kvar_sse2::kTable; }
+
+}  // namespace optinter
+
+#else  // !OPTINTER_KV_X86_BASELINE
+
+namespace optinter {
+const KernelTable* GetKernelVariantSse2() { return nullptr; }
+}  // namespace optinter
+
+#endif

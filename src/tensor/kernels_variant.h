@@ -1,0 +1,80 @@
+// Shared prelude for the kernel-variant translation units
+// (kernels_dispatch_*.cc). Pulls in — AT BASELINE COMPILE OPTIONS —
+// everything gemm_body.inc and simd_ops.inc reference, so the
+// `#pragma GCC target` regions in the variant TUs contain only code we
+// wrote, never a header parse.
+//
+// Two properties of GCC's target-option handling make the variant scheme
+// sound (both verified against the toolchain this repo builds with):
+//
+//  * A template defined at baseline (ParallelForChunks, AlignedVector)
+//    but instantiated from inside a target region is compiled with its
+//    DEFINITION-site options, and GCC refuses to inline across a
+//    target mismatch in the dangerous direction (an ISA-richer callee
+//    never inlines into a poorer caller). So variant bodies may freely
+//    use the pool helpers and aligned buffers.
+//  * The reverse inlining direction (baseline callee into an ISA-richer
+//    caller) IS allowed and recompiles the inlined body with the
+//    caller's options — which is why every float-math worker in
+//    gemm_body.inc is OPTINTER_KV_NOINLINE and the lambdas handed to the
+//    baseline pool templates only forward arguments: a forwarder picking
+//    up foreign codegen cannot change any arithmetic.
+//
+// Predefined ISA macros (__AVX2__, __AVX512F__) do NOT track the pragma
+// region, so variant selection inside simd_ops.inc / gemm_body.inc keys
+// exclusively on the OPTINTER_SIMD_<BACKEND> force-macros each variant TU
+// defines. This header must therefore NOT include tensor/simd.h (which
+// defines those macros globally from the predefined ones).
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "tensor/aligned.h"
+#include "tensor/dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
+// Two variant mechanisms, chosen per TU:
+//
+//  * DOWN-level variants (scalar, sse2) are compiled with per-file
+//    -mno-avx/-mno-avx2/-mno-fma flags from CMake — a pragma cannot be
+//    used to REMOVE ISA, because intrinsics already parsed at the richer
+//    command-line options refuse to inline into a poorer target region
+//    ("target specific option mismatch"). File flags re-parse everything
+//    at true baseline, so these TUs are bitwise-equivalent to a
+//    compile-time sse2/scalar build. Works on GCC and clang.
+#if !defined(OPTINTER_DISABLE_SIMD) && defined(__x86_64__)
+#define OPTINTER_KV_X86_BASELINE 1
+#else
+#define OPTINTER_KV_X86_BASELINE 0
+#endif
+
+//  * UP-level variants (avx2, avx512) use `#pragma GCC target` regions —
+//    adding ISA is safe because GCC's intrinsic headers wrap
+//    not-command-line-enabled intrinsics in their own target pragmas,
+//    which inline fine into a richer region. GNU-only: clang rejects
+//    intrinsics that only a pragma (not the command line) enables, so
+//    under clang these hosts are covered by the native variant instead.
+#if !defined(OPTINTER_DISABLE_SIMD) && defined(__x86_64__) && \
+    defined(__GNUC__) && !defined(__clang__)
+#define OPTINTER_KV_X86_PRAGMA 1
+#else
+#define OPTINTER_KV_X86_PRAGMA 0
+#endif
+
+#if defined(__GNUC__)
+#define OPTINTER_KV_NOINLINE __attribute__((noinline))
+#else
+#define OPTINTER_KV_NOINLINE
+#endif

@@ -2,6 +2,8 @@
 //
 // One backend is selected at compile time:
 //
+//   OPTINTER_SIMD_AVX512  x86-64 with AVX-512 F/BW/DQ/VL+FMA
+//                                                 (16 lanes, fused muladd)
 //   OPTINTER_SIMD_AVX2    x86-64 with AVX2+FMA   (8 lanes, fused muladd)
 //   OPTINTER_SIMD_SSE2    x86-64 baseline         (4 lanes, unfused muladd)
 //   OPTINTER_SIMD_NEON    aarch64 / ARMv7 NEON    (4 lanes, fused muladd)
@@ -16,24 +18,38 @@
 //  * Lane-wise ops (Add/Mul/MulAdd/Div/Sqrt/Min/Max/Select/Exp) produce
 //    the same bits for a given element value regardless of which lane —
 //    or which scalar tail — processes it, PROVIDED the scalar tail uses
-//    the matching `*Scalar` helpers below. This is what lets kernels run
-//    under pool-size-dependent chunking (ParallelForChunks) and still be
-//    bit-identical at any thread count: an element's result never depends
-//    on its position relative to a chunk or vector-group boundary.
+//    the matching `*Scalar` helpers in simd_ops.inc. This is what lets
+//    kernels run under pool-size-dependent chunking (ParallelForChunks)
+//    and still be bit-identical at any thread count: an element's result
+//    never depends on its position relative to a chunk or vector-group
+//    boundary.
 //  * ReduceAdd combines lanes in a fixed pairwise tree, so reductions
 //    that accumulate vector partials in a shape-determined order are
 //    themselves deterministic per backend.
 //
 // Results DIFFER ACROSS BACKENDS (FMA contracts rounding, Exp is a
 // polynomial on the vector backends but libm on the scalar one). The
-// repo-wide determinism contract is therefore per-build: see DESIGN.md §5.
+// repo-wide determinism contract is therefore per (build, selected
+// backend): see DESIGN.md §5 and §11.
+//
+// The op bodies live in simd_ops.inc so the runtime-dispatch layer
+// (tensor/dispatch.h, kernels_dispatch_*.cc) can instantiate additional
+// copies of the same ops under `#pragma GCC target` regions. This header
+// remains the ONE compile-time instantiation every header-level kernel in
+// the tree uses; nothing about its interface changed when the bodies
+// moved.
 
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 
-#if !defined(OPTINTER_DISABLE_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#if !defined(OPTINTER_DISABLE_SIMD) && defined(__AVX512F__) && \
+    defined(__AVX512BW__) && defined(__AVX512DQ__) &&          \
+    defined(__AVX512VL__) && defined(__FMA__)
+#define OPTINTER_SIMD_AVX512 1
+#include <immintrin.h>
+#elif !defined(OPTINTER_DISABLE_SIMD) && defined(__AVX2__) && defined(__FMA__)
 #define OPTINTER_SIMD_AVX2 1
 #include <immintrin.h>
 #elif !defined(OPTINTER_DISABLE_SIMD) && defined(__SSE2__)
@@ -50,339 +66,7 @@
 namespace optinter {
 namespace simd {
 
-// ---------------------------------------------------------------------------
-// AVX2 + FMA backend (8 × f32, fused multiply-add).
-// ---------------------------------------------------------------------------
-#if defined(OPTINTER_SIMD_AVX2)
-
-inline constexpr size_t kLanes = 8;
-inline constexpr const char* kBackendName = "avx2-fma";
-inline constexpr bool kFusedMulAdd = true;
-
-struct VecF {
-  __m256 v;
-};
-
-inline VecF Zero() { return {_mm256_setzero_ps()}; }
-inline VecF Set1(float x) { return {_mm256_set1_ps(x)}; }
-inline VecF LoadU(const float* p) { return {_mm256_loadu_ps(p)}; }
-inline void StoreU(float* p, VecF a) { _mm256_storeu_ps(p, a.v); }
-inline VecF Add(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
-inline VecF Sub(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
-inline VecF Mul(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
-inline VecF Div(VecF a, VecF b) { return {_mm256_div_ps(a.v, b.v)}; }
-inline VecF Min(VecF a, VecF b) { return {_mm256_min_ps(a.v, b.v)}; }
-inline VecF Max(VecF a, VecF b) { return {_mm256_max_ps(a.v, b.v)}; }
-inline VecF Sqrt(VecF a) { return {_mm256_sqrt_ps(a.v)}; }
-/// a*b + c, fused (single rounding).
-inline VecF MulAdd(VecF a, VecF b, VecF c) {
-  return {_mm256_fmadd_ps(a.v, b.v, c.v)};
-}
-inline VecF Abs(VecF a) {
-  return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
-}
-/// All-ones lane mask where a > b (ordered, non-signalling).
-inline VecF GtMask(VecF a, VecF b) {
-  return {_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ)};
-}
-inline VecF GeMask(VecF a, VecF b) {
-  return {_mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ)};
-}
-/// Lane-wise mask ? a : b.
-inline VecF Select(VecF mask, VecF a, VecF b) {
-  return {_mm256_blendv_ps(b.v, a.v, mask.v)};
-}
-inline VecF And(VecF a, VecF b) { return {_mm256_and_ps(a.v, b.v)}; }
-
-/// Horizontal sum with a fixed combination tree:
-/// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
-inline float ReduceAdd(VecF a) {
-  const __m128 lo = _mm256_castps256_ps128(a.v);
-  const __m128 hi = _mm256_extractf128_ps(a.v, 1);
-  const __m128 s4 = _mm_add_ps(lo, hi);            // (0+4, 1+5, 2+6, 3+7)
-  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
-  const __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
-  return _mm_cvtss_f32(s1);
-}
-
-// ---------------------------------------------------------------------------
-// SSE2 backend (4 × f32, unfused multiply-add — plain x86-64 baseline).
-// ---------------------------------------------------------------------------
-#elif defined(OPTINTER_SIMD_SSE2)
-
-inline constexpr size_t kLanes = 4;
-inline constexpr const char* kBackendName = "sse2";
-inline constexpr bool kFusedMulAdd = false;
-
-struct VecF {
-  __m128 v;
-};
-
-inline VecF Zero() { return {_mm_setzero_ps()}; }
-inline VecF Set1(float x) { return {_mm_set1_ps(x)}; }
-inline VecF LoadU(const float* p) { return {_mm_loadu_ps(p)}; }
-inline void StoreU(float* p, VecF a) { _mm_storeu_ps(p, a.v); }
-inline VecF Add(VecF a, VecF b) { return {_mm_add_ps(a.v, b.v)}; }
-inline VecF Sub(VecF a, VecF b) { return {_mm_sub_ps(a.v, b.v)}; }
-inline VecF Mul(VecF a, VecF b) { return {_mm_mul_ps(a.v, b.v)}; }
-inline VecF Div(VecF a, VecF b) { return {_mm_div_ps(a.v, b.v)}; }
-inline VecF Min(VecF a, VecF b) { return {_mm_min_ps(a.v, b.v)}; }
-inline VecF Max(VecF a, VecF b) { return {_mm_max_ps(a.v, b.v)}; }
-inline VecF Sqrt(VecF a) { return {_mm_sqrt_ps(a.v)}; }
-/// a*b + c, unfused (two roundings — SSE2 has no FMA instruction).
-inline VecF MulAdd(VecF a, VecF b, VecF c) {
-  return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
-}
-inline VecF Abs(VecF a) {
-  return {_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v)};
-}
-inline VecF GtMask(VecF a, VecF b) { return {_mm_cmpgt_ps(a.v, b.v)}; }
-inline VecF GeMask(VecF a, VecF b) { return {_mm_cmpge_ps(a.v, b.v)}; }
-inline VecF Select(VecF mask, VecF a, VecF b) {
-  return {_mm_or_ps(_mm_and_ps(mask.v, a.v), _mm_andnot_ps(mask.v, b.v))};
-}
-inline VecF And(VecF a, VecF b) { return {_mm_and_ps(a.v, b.v)}; }
-
-/// Fixed tree: ((l0+l2) + (l1+l3)).
-inline float ReduceAdd(VecF a) {
-  const __m128 s2 = _mm_add_ps(a.v, _mm_movehl_ps(a.v, a.v));
-  const __m128 s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
-  return _mm_cvtss_f32(s1);
-}
-
-// ---------------------------------------------------------------------------
-// NEON backend (4 × f32, fused multiply-add).
-// ---------------------------------------------------------------------------
-#elif defined(OPTINTER_SIMD_NEON)
-
-inline constexpr size_t kLanes = 4;
-inline constexpr const char* kBackendName = "neon";
-inline constexpr bool kFusedMulAdd = true;
-
-struct VecF {
-  float32x4_t v;
-};
-
-inline VecF Zero() { return {vdupq_n_f32(0.0f)}; }
-inline VecF Set1(float x) { return {vdupq_n_f32(x)}; }
-inline VecF LoadU(const float* p) { return {vld1q_f32(p)}; }
-inline void StoreU(float* p, VecF a) { vst1q_f32(p, a.v); }
-inline VecF Add(VecF a, VecF b) { return {vaddq_f32(a.v, b.v)}; }
-inline VecF Sub(VecF a, VecF b) { return {vsubq_f32(a.v, b.v)}; }
-inline VecF Mul(VecF a, VecF b) { return {vmulq_f32(a.v, b.v)}; }
-#if defined(__aarch64__)
-inline VecF Div(VecF a, VecF b) { return {vdivq_f32(a.v, b.v)}; }
-inline VecF Sqrt(VecF a) { return {vsqrtq_f32(a.v)}; }
-#else
-// ARMv7 NEON has no IEEE div/sqrt instruction; fall back to scalar lanes
-// so rounding matches the scalar helpers exactly.
-inline VecF Div(VecF a, VecF b) {
-  float xa[4], xb[4];
-  vst1q_f32(xa, a.v);
-  vst1q_f32(xb, b.v);
-  for (int i = 0; i < 4; ++i) xa[i] /= xb[i];
-  return {vld1q_f32(xa)};
-}
-inline VecF Sqrt(VecF a) {
-  float xa[4];
-  vst1q_f32(xa, a.v);
-  for (int i = 0; i < 4; ++i) xa[i] = std::sqrt(xa[i]);
-  return {vld1q_f32(xa)};
-}
-#endif
-inline VecF Min(VecF a, VecF b) { return {vminq_f32(a.v, b.v)}; }
-inline VecF Max(VecF a, VecF b) { return {vmaxq_f32(a.v, b.v)}; }
-/// a*b + c, fused.
-inline VecF MulAdd(VecF a, VecF b, VecF c) {
-  return {vfmaq_f32(c.v, a.v, b.v)};
-}
-inline VecF Abs(VecF a) { return {vabsq_f32(a.v)}; }
-inline VecF GtMask(VecF a, VecF b) {
-  return {vreinterpretq_f32_u32(vcgtq_f32(a.v, b.v))};
-}
-inline VecF GeMask(VecF a, VecF b) {
-  return {vreinterpretq_f32_u32(vcgeq_f32(a.v, b.v))};
-}
-inline VecF Select(VecF mask, VecF a, VecF b) {
-  return {vbslq_f32(vreinterpretq_u32_f32(mask.v), a.v, b.v)};
-}
-inline VecF And(VecF a, VecF b) {
-  return {vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(a.v),
-                                          vreinterpretq_u32_f32(b.v)))};
-}
-
-/// Fixed tree: ((l0+l2) + (l1+l3)) — identical shape to the SSE2 backend.
-inline float ReduceAdd(VecF a) {
-  const float32x2_t s2 = vadd_f32(vget_low_f32(a.v), vget_high_f32(a.v));
-  return vget_lane_f32(s2, 0) + vget_lane_f32(s2, 1);
-}
-
-// ---------------------------------------------------------------------------
-// Scalar backend (1 lane) — the -DOPTINTER_DISABLE_SIMD escape hatch and
-// the fallback for unknown ISAs. Every op is the obvious scalar statement,
-// so kernels written against the abstraction compile to clean scalar loops.
-// ---------------------------------------------------------------------------
-#else
-
-inline constexpr size_t kLanes = 1;
-inline constexpr const char* kBackendName = "scalar";
-inline constexpr bool kFusedMulAdd = false;
-
-struct VecF {
-  float v;
-};
-
-namespace detail {
-inline float Bitmask(bool b) {
-  // All-ones float bit pattern for true (NaN, but only ever used as a
-  // mask through Select/And, mirroring the vector backends).
-  union {
-    unsigned u;
-    float f;
-  } pun;
-  pun.u = b ? 0xffffffffu : 0u;
-  return pun.f;
-}
-inline float BitAnd(float a, float b) {
-  union {
-    unsigned u;
-    float f;
-  } pa, pb;
-  pa.f = a;
-  pb.f = b;
-  pa.u &= pb.u;
-  return pa.f;
-}
-}  // namespace detail
-
-inline VecF Zero() { return {0.0f}; }
-inline VecF Set1(float x) { return {x}; }
-inline VecF LoadU(const float* p) { return {*p}; }
-inline void StoreU(float* p, VecF a) { *p = a.v; }
-inline VecF Add(VecF a, VecF b) { return {a.v + b.v}; }
-inline VecF Sub(VecF a, VecF b) { return {a.v - b.v}; }
-inline VecF Mul(VecF a, VecF b) { return {a.v * b.v}; }
-inline VecF Div(VecF a, VecF b) { return {a.v / b.v}; }
-inline VecF Min(VecF a, VecF b) { return {a.v < b.v ? a.v : b.v}; }
-inline VecF Max(VecF a, VecF b) { return {a.v > b.v ? a.v : b.v}; }
-inline VecF Sqrt(VecF a) { return {std::sqrt(a.v)}; }
-/// a*b + c, unfused (matches MulAddScalar below).
-inline VecF MulAdd(VecF a, VecF b, VecF c) { return {a.v * b.v + c.v}; }
-inline VecF Abs(VecF a) { return {std::fabs(a.v)}; }
-inline VecF GtMask(VecF a, VecF b) { return {detail::Bitmask(a.v > b.v)}; }
-inline VecF GeMask(VecF a, VecF b) { return {detail::Bitmask(a.v >= b.v)}; }
-inline VecF Select(VecF mask, VecF a, VecF b) {
-  union {
-    unsigned u;
-    float f;
-  } pun;
-  pun.f = mask.v;
-  return {pun.u != 0u ? a.v : b.v};
-}
-inline VecF And(VecF a, VecF b) { return {detail::BitAnd(a.v, b.v)}; }
-inline float ReduceAdd(VecF a) { return a.v; }
-
-#endif  // backend selection
-
-// ---------------------------------------------------------------------------
-// Scalar-tail helpers. A kernel that vectorizes the bulk of a range and
-// finishes the remainder with scalar code MUST use these for any op whose
-// rounding differs between fused and unfused forms — that is what makes an
-// element's bits independent of whether a vector lane or the tail computed
-// it (the chunking-invariance property documented at the top).
-// ---------------------------------------------------------------------------
-
-/// Scalar a*b + c with the SAME rounding as MulAdd's lanes: std::fma on
-/// fused backends (correctly rounded, == the hardware FMA), plain
-/// mul-then-add on unfused ones.
-inline float MulAddScalar(float a, float b, float c) {
-  if constexpr (kFusedMulAdd) {
-    return std::fma(a, b, c);
-  } else {
-    return a * b + c;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Exp: lane-wise e^x.
-//
-// Vector backends use the Cephes single-precision polynomial (range
-// reduction x = n·ln2 + r with a two-term Cody–Waite split, degree-5
-// minimax on r, 2^n rebuilt via exponent bits; ~2 ulp). The scalar
-// backend uses std::exp. Lane-wise only — no cross-lane interaction — so
-// an element's result is independent of its lane position; kernels whose
-// tails must match (e.g. SigmoidForward) run the tail through a padded
-// vector rather than calling std::exp.
-// ---------------------------------------------------------------------------
-
-#if defined(OPTINTER_SIMD_SCALAR)
-
-inline VecF Exp(VecF x) { return {std::exp(x.v)}; }
-
-#else
-
-inline VecF Exp(VecF x) {
-  const VecF one = Set1(1.0f);
-  x = Min(x, Set1(88.3762626647950f));
-  x = Max(x, Set1(-88.3762626647949f));
-  // n = round(x / ln2), as floor(x·log2e + 0.5) with an SSE2-safe
-  // truncate-and-adjust floor (no SSE4.1 rounding instruction).
-  VecF fx = MulAdd(x, Set1(1.44269504088896341f), Set1(0.5f));
-#if defined(OPTINTER_SIMD_AVX2)
-  const __m256i emm0_trunc = _mm256_cvttps_epi32(fx.v);
-  VecF trunc = {_mm256_cvtepi32_ps(emm0_trunc)};
-#elif defined(OPTINTER_SIMD_SSE2)
-  const __m128i emm0_trunc = _mm_cvttps_epi32(fx.v);
-  VecF trunc = {_mm_cvtepi32_ps(emm0_trunc)};
-#else  // NEON
-  const int32x4_t emm0_trunc = vcvtq_s32_f32(fx.v);
-  VecF trunc = {vcvtq_f32_s32(emm0_trunc)};
-#endif
-  // Truncation rounds toward zero; subtract 1 where it overshot.
-  fx = Sub(trunc, And(GtMask(trunc, fx), one));
-  // r = x - n·ln2 (split constant keeps r exact to the last bit).
-  x = Sub(x, Mul(fx, Set1(0.693359375f)));
-  x = Sub(x, Mul(fx, Set1(-2.12194440e-4f)));
-  const VecF z = Mul(x, x);
-  VecF y = Set1(1.9875691500e-4f);
-  y = MulAdd(y, x, Set1(1.3981999507e-3f));
-  y = MulAdd(y, x, Set1(8.3334519073e-3f));
-  y = MulAdd(y, x, Set1(4.1665795894e-2f));
-  y = MulAdd(y, x, Set1(1.6666665459e-1f));
-  y = MulAdd(y, x, Set1(5.0000001201e-1f));
-  y = MulAdd(y, z, x);
-  y = Add(y, one);
-  // 2^n via the exponent field.
-#if defined(OPTINTER_SIMD_AVX2)
-  __m256i emm0 = _mm256_cvttps_epi32(fx.v);
-  emm0 = _mm256_add_epi32(emm0, _mm256_set1_epi32(0x7f));
-  emm0 = _mm256_slli_epi32(emm0, 23);
-  const VecF pow2n = {_mm256_castsi256_ps(emm0)};
-#elif defined(OPTINTER_SIMD_SSE2)
-  __m128i emm0 = _mm_cvttps_epi32(fx.v);
-  emm0 = _mm_add_epi32(emm0, _mm_set1_epi32(0x7f));
-  emm0 = _mm_slli_epi32(emm0, 23);
-  const VecF pow2n = {_mm_castsi128_ps(emm0)};
-#else  // NEON
-  int32x4_t emm0 = vcvtq_s32_f32(fx.v);
-  emm0 = vaddq_s32(emm0, vdupq_n_s32(0x7f));
-  emm0 = vshlq_n_s32(emm0, 23);
-  const VecF pow2n = {vreinterpretq_f32_s32(emm0)};
-#endif
-  return Mul(y, pow2n);
-}
-
-#endif  // Exp backends
-
-/// Lane-wise numerically-stable sigmoid, built on Exp:
-/// z >= 0: 1/(1+e^-z); z < 0: e^z/(1+e^z). Same branch structure as
-/// SigmoidScalar (kernels.h), so the scalar backend matches it bitwise.
-inline VecF Sigmoid(VecF z) {
-  const VecF one = Set1(1.0f);
-  const VecF en = Exp(Sub(Zero(), Abs(z)));  // e^{-|z|}
-  const VecF numer = Select(GeMask(z, Zero()), one, en);
-  return Div(numer, Add(one, en));
-}
+#include "tensor/simd_ops.inc"
 
 }  // namespace simd
 }  // namespace optinter

@@ -422,6 +422,78 @@ TEST(PredictServerTest, ConcurrentClientsSeeOnlyWholeSnapshots) {
   EXPECT_GE(server.DeployedVersion(), 12u);
 }
 
+TEST(PredictServerTest, ConcurrentClientsSurviveQuantizedHotSwap) {
+  // Hot-swap between an fp32 snapshot and its int8-quantized counterpart
+  // while clients hammer both request paths: every answer must belong to
+  // exactly one generation (no torn reads mixing fp32 and quantized
+  // state). The TSan job runs this binary, so a racy publish shows up.
+  const auto& p = SharedTinyData();
+  std::shared_ptr<const CtrModel> fp32(TrainedModel(5));
+  std::shared_ptr<const CtrModel> quant;
+  ASSERT_TRUE(
+      serve::QuantizeSnapshot(fp32, QuantMode::kInt8, &quant).ok());
+
+  constexpr size_t kRows = 24;
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.flush_deadline_us = 0;
+  PredictServer server(p.data, opts);
+
+  // Per-generation references (single-threaded, before the load starts).
+  ASSERT_TRUE(server.Deploy(fp32).ok());
+  std::vector<float> pf(kRows), pq(kRows);
+  for (size_t k = 0; k < kRows; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    pf[k] = *r;
+  }
+  ASSERT_TRUE(server.Deploy(quant).ok());
+  for (size_t k = 0; k < kRows; ++k) {
+    auto r = server.PredictNow(RequestFromRow(p.data, p.splits.test[k]));
+    ASSERT_TRUE(r.ok());
+    pq[k] = *r;
+  }
+  bool differs = false;
+  for (size_t k = 0; k < kRows; ++k) differs |= pf[k] != pq[k];
+  ASSERT_TRUE(differs);  // otherwise membership below is vacuous
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  auto client = [&](bool use_submit) {
+    for (int iter = 0; !stop.load(std::memory_order_relaxed); ++iter) {
+      const size_t k = static_cast<size_t>(iter) % kRows;
+      const PredictRequest req = RequestFromRow(p.data, p.splits.test[k]);
+      float prob;
+      if (use_submit) {
+        auto fut = server.Submit(req);
+        if (!fut.ok()) continue;  // backpressure is allowed, tearing isn't
+        prob = fut->get();
+      } else {
+        auto r = server.PredictNow(req);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        prob = *r;
+      }
+      if (prob != pf[k] && prob != pq[k]) errors.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> clients;
+  clients.emplace_back(client, false);
+  clients.emplace_back(client, false);
+  clients.emplace_back(client, true);
+  for (int s = 0; s < 10; ++s) {
+    Status st = server.Deploy(s % 2 == 0 ? fp32 : quant);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  server.Drain();
+  EXPECT_EQ(errors.load(), 0);
+}
+
 TEST(ServeMetricsTest, LatencyHistogramFeedsQuantiles) {
   const auto& p = SharedTinyData();
   PredictServer server(p.data);

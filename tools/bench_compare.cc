@@ -25,6 +25,11 @@
 // regression); --metric_thresholds=gflops=0.15,cpu_time=0.3 overrides
 // per metric. A machine-readable verdict can be written with --output.
 //
+// Metrics present only in the current report (a freshly added bench or
+// counter the committed baseline predates) are reported as "new" —
+// informational, never a failure — so new coverage shows up in the gate
+// output instead of being silently skipped.
+//
 // Exit codes: 0 = pass, 1 = regression detected, 2 = usage / IO error.
 
 #include <algorithm>
@@ -241,6 +246,17 @@ struct Comparison {
   bool regression = false;
 };
 
+/// A (benchmark, metric) present in the current report but absent from
+/// the baseline — a freshly added bench or counter. Reported
+/// informationally (never a regression) so new coverage is visible in the
+/// gate's output instead of silently skipped; commit an updated baseline
+/// to start gating it.
+struct NewMetric {
+  std::string benchmark;
+  std::string metric;
+  double current = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,7 +341,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (comparisons.empty()) {
+  // Metrics only the current report has: new benches/counters that the
+  // committed baseline predates.
+  std::vector<NewMetric> fresh;
+  for (const auto& [name, cur_row] : current) {
+    const auto base_it = baseline.find(name);
+    for (const auto& [metric, value] : cur_row) {
+      if (!wanted.empty() && wanted.count(metric) == 0) continue;
+      if (base_it != baseline.end() &&
+          base_it->second.count(metric) != 0) {
+        continue;
+      }
+      fresh.push_back({name, metric, value});
+    }
+  }
+
+  if (comparisons.empty() && fresh.empty()) {
     std::fprintf(stderr,
                  "bench_compare: no overlapping (benchmark, metric) pairs "
                  "between %s and %s\n",
@@ -344,8 +375,14 @@ int main(int argc, char** argv) {
                 c.metric.c_str(), c.baseline, c.current, c.change * 100.0,
                 c.lower_is_better ? "+" : "-", c.threshold * 100.0);
   }
-  std::printf("%zu comparison(s), %zu regression(s)\n", comparisons.size(),
-              regressions);
+  for (const NewMetric& n : fresh) {
+    std::printf("%-8s %-40s %-14s %12s -> %12.4g  (no baseline; "
+                "informational)\n",
+                "new", n.benchmark.c_str(), n.metric.c_str(), "-",
+                n.current);
+  }
+  std::printf("%zu comparison(s), %zu regression(s), %zu new metric(s)\n",
+              comparisons.size(), regressions, fresh.size());
 
   const std::string output_path = flags.GetString("output");
   if (!output_path.empty()) {
@@ -356,6 +393,7 @@ int main(int argc, char** argv) {
     verdict.Set("current", JsonValue::Str(current_path));
     verdict.Set("comparisons", JsonValue::Uint(comparisons.size()));
     verdict.Set("regressions", JsonValue::Uint(regressions));
+    verdict.Set("new_metrics", JsonValue::Uint(fresh.size()));
     JsonValue rows = JsonValue::MakeArray();
     for (const Comparison& c : comparisons) {
       JsonValue row = JsonValue::MakeObject();
@@ -367,6 +405,16 @@ int main(int argc, char** argv) {
       row.Set("threshold", JsonValue::Double(c.threshold));
       row.Set("lower_is_better", JsonValue::Bool(c.lower_is_better));
       row.Set("regression", JsonValue::Bool(c.regression));
+      row.Set("new", JsonValue::Bool(false));
+      rows.Push(std::move(row));
+    }
+    for (const NewMetric& n : fresh) {
+      JsonValue row = JsonValue::MakeObject();
+      row.Set("benchmark", JsonValue::Str(n.benchmark));
+      row.Set("metric", JsonValue::Str(n.metric));
+      row.Set("current", JsonValue::Double(n.current));
+      row.Set("new", JsonValue::Bool(true));
+      row.Set("regression", JsonValue::Bool(false));
       rows.Push(std::move(row));
     }
     verdict.Set("results", std::move(rows));
