@@ -12,7 +12,8 @@ AutoFisSearchModel::AutoFisSearchModel(const EncodedDataset& data,
     : data_(data),
       s1_(hp.embed_dim),
       rng_(hp.seed),
-      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_),
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_,
+           hp.orig_backend),
       gate_opt_(hp.grda) {
   cat_pairs_ = EnumeratePairs(data.num_categorical());
   gates_.name = "autofis/gates";

@@ -20,7 +20,8 @@ FixedArchModel::FixedArchModel(const EncodedDataset& data,
       s2_(hp.cross_embed_dim),
       pair_fns_(std::move(pair_fns)),
       rng_(hp.seed),
-      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_,
+           hp.orig_backend) {
   CHECK_EQ(arch_.size(), data.num_pairs());
   if (pair_fns_.empty()) {
     pair_fns_.assign(arch_.size(), hp.factorize_fn);
@@ -52,12 +53,13 @@ FixedArchModel::FixedArchModel(const EncodedDataset& data,
   inter_dim_ = offset;
   if (!mem_pairs.empty()) {
     cross_emb_ = std::make_unique<CrossEmbedding>(
-        data, mem_pairs, s2_, hp.lr_cross, hp.l2_cross, &rng_);
+        data, mem_pairs, s2_, hp.lr_cross, hp.l2_cross, &rng_,
+        hp.cross_backend);
   }
   if (!memorized_triples.empty()) {
     triple_emb_ = std::make_unique<TripleEmbedding>(
         data, std::move(memorized_triples), s2_, hp.lr_cross, hp.l2_cross,
-        &rng_);
+        &rng_, hp.cross_backend);
     inter_dim_ += triple_emb_->output_dim();
   }
 
@@ -256,9 +258,8 @@ void FixedArchModel::PredictSingleRow(const EncodedDataset& data, size_t row,
   for (size_t p = 0; p < arch_.size(); ++p) {
     switch (arch_[p]) {
       case InterMethod::kMemorize:
-        std::memcpy(zr + emb_cols + block_offset_[p],
-                    cross_emb_->Row(data, row, mem_slot_[p]),
-                    s2_ * sizeof(float));
+        cross_emb_->CopyRow(data, row, mem_slot_[p],
+                            zr + emb_cols + block_offset_[p]);
         break;
       case InterMethod::kFactorize: {
         const auto [i, j] = cat_pairs_[p];

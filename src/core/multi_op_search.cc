@@ -26,11 +26,13 @@ MultiOpSearchModel::MultiOpSearchModel(const EncodedDataset& data,
       s2_(hp.cross_embed_dim),
       tau_(hp.gumbel_temp_start),
       rng_(hp.seed),
-      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_,
+           hp.orig_backend) {
   CHECK(data.has_cross()) << "search requires cross features";
   CHECK(!fns_.empty());
   cross_emb_ = std::make_unique<CrossEmbedding>(
-      data, AllPairIndices(data), s2_, hp.lr_cross, hp.l2_cross, &rng_);
+      data, AllPairIndices(data), s2_, hp.lr_cross, hp.l2_cross, &rng_,
+      hp.cross_backend);
   cat_pairs_ = EnumeratePairs(data.num_categorical());
 
   db_ = s2_;

@@ -31,11 +31,13 @@ SearchModel::SearchModel(const EncodedDataset& data, const HyperParams& hp,
                    hp.cross_embed_dim)),
       tau_(hp.gumbel_temp_start),
       rng_(hp.seed),
-      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_,
+           hp.orig_backend) {
   // Metadata-only datasets (vocab sizes without row payload) are fine.
   CHECK(!data.cross_vocab_sizes.empty()) << "search requires cross features";
   cross_emb_ = std::make_unique<CrossEmbedding>(
-      data, AllPairIndices(data), s2_, hp.lr_cross, hp.l2_cross, &rng_);
+      data, AllPairIndices(data), s2_, hp.lr_cross, hp.l2_cross, &rng_,
+      hp.cross_backend);
   cat_pairs_ = EnumeratePairs(data.num_categorical());
 
   alpha_.name = "arch/alpha";

@@ -1,6 +1,44 @@
 #include "data/dataset.h"
 
+#include <algorithm>
+
 namespace optinter {
+
+std::vector<int32_t> TopIdsByFrequency(const std::vector<int32_t>& ids,
+                                       size_t stride, size_t column,
+                                       size_t vocab, size_t k,
+                                       const std::vector<size_t>& rows) {
+  std::vector<size_t> counts(vocab, 0);
+  auto count = [&](size_t i) {
+    const int32_t id = ids[i];
+    if (id >= 0 && static_cast<size_t>(id) < vocab) {
+      ++counts[static_cast<size_t>(id)];
+    }
+  };
+  if (rows.empty()) {
+    for (size_t i = column; i < ids.size(); i += stride) count(i);
+  } else {
+    for (size_t r : rows) count(r * stride + column);
+  }
+  return RankTopIdsFromCounts(counts, k);
+}
+
+std::vector<int32_t> RankTopIdsFromCounts(const std::vector<size_t>& counts,
+                                          size_t k) {
+  std::vector<int32_t> ranked;
+  ranked.reserve(counts.size());
+  for (size_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] > 0) ranked.push_back(static_cast<int32_t>(id));
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](int32_t a, int32_t b) {
+    const size_t ca = counts[static_cast<size_t>(a)];
+    const size_t cb = counts[static_cast<size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
 
 size_t EncodedDataset::TotalOrigVocab() const {
   size_t total = 0;

@@ -66,6 +66,17 @@ class EncodedDataset {
   std::vector<int32_t> triple_ids;
   std::vector<size_t> triple_vocab_sizes;
 
+  /// Optional per-field frequency-ranked id lists (most frequent first),
+  /// attached by the encoder: exact ranked counts over the fit rows for
+  /// in-RAM encoding, Misra-Gries streaming stats carried through the
+  /// shard MANIFEST. Tier plans for frequency-tiered embedding backends
+  /// read ONLY this metadata (never the rows), so a model built from a
+  /// metadata-only streaming dataset resolves the same plan as one built
+  /// from the same data in RAM. Empty (or shorter than the field count)
+  /// when no stats exist.
+  std::vector<std::vector<int32_t>> cat_hot_ids;
+  std::vector<std::vector<int32_t>> cross_hot_ids;
+
   size_t num_categorical() const { return schema.num_categorical(); }
   size_t num_continuous() const { return schema.num_continuous(); }
   size_t num_pairs() const { return schema.num_pairs(); }
@@ -96,5 +107,24 @@ class EncodedDataset {
   /// Fraction of positive labels (Table II "pos ratio").
   double PositiveRatio() const;
 };
+
+/// Exact frequency ranking of one id column of a row-major [N × stride]
+/// id matrix: the ids of column `column` sorted by (count desc, id asc),
+/// zero-count ids omitted, truncated to `k`. Counts only the rows in
+/// `rows` when non-empty (stat fitting on train rows), all rows
+/// otherwise. O(vocab) memory — used by the encoder to attach
+/// frequency-stats metadata (EncodedDataset::cat_hot_ids).
+std::vector<int32_t> TopIdsByFrequency(const std::vector<int32_t>& ids,
+                                       size_t stride, size_t column,
+                                       size_t vocab, size_t k,
+                                       const std::vector<size_t>& rows = {});
+
+/// The ranking step of TopIdsByFrequency on a prebuilt per-id count
+/// array: ids sorted by (count desc, id asc), zero-count ids omitted,
+/// truncated to `k`. The streaming encoder accumulates counts on the fly
+/// and ranks with this, so in-RAM and streamed encodes of the same rows
+/// produce identical stats.
+std::vector<int32_t> RankTopIdsFromCounts(const std::vector<size_t>& counts,
+                                          size_t k);
 
 }  // namespace optinter

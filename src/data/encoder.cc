@@ -49,6 +49,16 @@ Result<EncodedDataset> EncodeDataset(const RawDataset& raw,
       out.cat_ids[r * num_cat + f] = vocabs[f].Encode(raw.cat(r, f));
     }
   }
+  // Frequency-stats metadata for tiered embedding backends, fitted on the
+  // fit rows like every other statistic.
+  if (options.freq_stats_topk > 0) {
+    out.cat_hot_ids.resize(num_cat);
+    for (size_t f = 0; f < num_cat; ++f) {
+      out.cat_hot_ids[f] =
+          TopIdsByFrequency(out.cat_ids, num_cat, f, out.cat_vocab_sizes[f],
+                            options.freq_stats_topk, fit_rows);
+    }
+  }
 
   // --- Continuous fields: min-max fit on fit_rows (paper Eq. 20), clamp
   // out-of-range transform values into [0, 1].
@@ -118,6 +128,14 @@ Status BuildCrossFeatures(EncodedDataset* data,
       const auto [i, j] = pairs[p];
       data->cross_ids[r * num_pairs + p] =
           vocabs[p].Encode(key(data->cat(r, i), data->cat(r, j)));
+    }
+  }
+  if (options.freq_stats_topk > 0) {
+    data->cross_hot_ids.resize(num_pairs);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      data->cross_hot_ids[p] = TopIdsByFrequency(
+          data->cross_ids, num_pairs, p, data->cross_vocab_sizes[p],
+          options.freq_stats_topk, fit_rows);
     }
   }
   return Status::OK();

@@ -23,6 +23,11 @@ struct EncoderOptions {
   size_t cat_min_count = 4;
   /// Min occurrences for a cross-product value to escape OOV.
   size_t cross_min_count = 10;
+  /// Ids per field kept in the frequency-stats metadata
+  /// (EncodedDataset::cat_hot_ids / cross_hot_ids), fitted on the fit
+  /// rows — the hot-set source for frequency-tiered embedding backends.
+  /// 0 disables stats.
+  size_t freq_stats_topk = 128;
 };
 
 /// Fits vocabularies / normalization on `fit_rows` of `raw` and encodes the

@@ -181,6 +181,8 @@ ShardDatasetMeta ShardDatasetMeta::FromDataset(const EncodedDataset& data) {
     meta.triple_fields = data.triple_fields;
     meta.triple_vocab_sizes = data.triple_vocab_sizes;
   }
+  meta.cat_hot_ids = data.cat_hot_ids;
+  meta.cross_hot_ids = data.cross_hot_ids;
   return meta;
 }
 
@@ -192,6 +194,8 @@ EncodedDataset ShardDatasetMeta::MetaDataset(size_t num_rows) const {
   out.cross_vocab_sizes = cross_vocab_sizes;
   out.triple_fields = triple_fields;
   out.triple_vocab_sizes = triple_vocab_sizes;
+  out.cat_hot_ids = cat_hot_ids;
+  out.cross_hot_ids = cross_hot_ids;
   return out;
 }
 
@@ -243,6 +247,18 @@ Result<std::unique_ptr<ShardWriter>> ShardWriter::Open(
     return Status::Invalid(StrFormat(
         "meta has %zu triples but %zu triple vocab sizes",
         meta.triple_fields.size(), meta.triple_vocab_sizes.size()));
+  }
+  if (!meta.cat_hot_ids.empty() &&
+      meta.cat_hot_ids.size() != meta.schema.num_categorical()) {
+    return Status::Invalid(StrFormat(
+        "meta has %zu categorical hot-id lists, schema implies 0 or %zu",
+        meta.cat_hot_ids.size(), meta.schema.num_categorical()));
+  }
+  if (!meta.cross_hot_ids.empty() &&
+      meta.cross_hot_ids.size() != meta.cross_vocab_sizes.size()) {
+    return Status::Invalid(StrFormat(
+        "meta has %zu cross hot-id lists, expected 0 or %zu",
+        meta.cross_hot_ids.size(), meta.cross_vocab_sizes.size()));
   }
   if (FileExists(ManifestPath(dir))) {
     return Status::Invalid("'" + dir +
@@ -328,6 +344,27 @@ Status ShardWriter::FlushShard() {
   return Status::OK();
 }
 
+Status ShardWriter::SetFreqStats(
+    std::vector<std::vector<int32_t>> cat_hot_ids,
+    std::vector<std::vector<int32_t>> cross_hot_ids) {
+  CHECK(!finished_);
+  if (!cat_hot_ids.empty() &&
+      cat_hot_ids.size() != meta_.schema.num_categorical()) {
+    return Status::Invalid(StrFormat(
+        "%zu categorical hot-id lists, schema implies 0 or %zu",
+        cat_hot_ids.size(), meta_.schema.num_categorical()));
+  }
+  if (!cross_hot_ids.empty() &&
+      cross_hot_ids.size() != meta_.cross_vocab_sizes.size()) {
+    return Status::Invalid(StrFormat(
+        "%zu cross hot-id lists, expected 0 or %zu", cross_hot_ids.size(),
+        meta_.cross_vocab_sizes.size()));
+  }
+  meta_.cat_hot_ids = std::move(cat_hot_ids);
+  meta_.cross_hot_ids = std::move(cross_hot_ids);
+  return Status::OK();
+}
+
 Status ShardWriter::Finish() {
   CHECK(!finished_);
   finished_ = true;
@@ -367,6 +404,19 @@ Status ShardWriter::Finish() {
     w.U64(s.row_count);
     w.U64(s.payload_bytes);
     w.U32(s.payload_crc);
+  }
+  // Optional frequency-stats section (tiered-embedding hot-id metadata).
+  if (!meta_.cat_hot_ids.empty() || !meta_.cross_hot_ids.empty()) {
+    w.U64(kManifestFreqStatsTag);
+    auto write_stats = [&w](const std::vector<std::vector<int32_t>>& stats) {
+      w.U64(stats.size());
+      for (const auto& ids : stats) {
+        w.U64(ids.size());
+        for (int32_t id : ids) w.U32(static_cast<uint32_t>(id));
+      }
+    };
+    write_stats(meta_.cat_hot_ids);
+    write_stats(meta_.cross_hot_ids);
   }
   w.U32(Crc32(w.bytes().data(), w.bytes().size()));
   return WriteWholeFile(ManifestPath(dir_), w.bytes());
@@ -592,6 +642,62 @@ Result<ShardManifest> ReadShardManifest(const std::string& dir) {
         "'%s': shard row counts sum to %llu, manifest declares %llu",
         path.c_str(), static_cast<unsigned long long>(total_rows),
         static_cast<unsigned long long>(m.num_rows)));
+  }
+  // Optional tagged sections. Only the frequency-stats section exists
+  // today; an unknown tag is corruption (not skippable — the CRC already
+  // vouched for the bytes, so an unknown tag means a newer writer, and
+  // silently dropping its data could change model behavior).
+  if (r.remaining() > 0) {
+    uint64_t tag = 0;
+    OPTINTER_RETURN_NOT_OK(r.U64(&tag));
+    if (tag != kManifestFreqStatsTag) {
+      return Status::Corruption(StrFormat(
+          "'%s' has an unknown optional section tag 0x%016llx",
+          path.c_str(), static_cast<unsigned long long>(tag)));
+    }
+    auto read_stats = [&](const char* what,
+                          std::vector<std::vector<int32_t>>* out,
+                          const std::vector<size_t>& vocabs) -> Status {
+      uint64_t n = 0;
+      OPTINTER_RETURN_NOT_OK(r.U64(&n));
+      if (n != 0 && n != vocabs.size()) {
+        return Status::Corruption(StrFormat(
+            "'%s': frequency-stats section has %llu %s hot-id lists, "
+            "expected 0 or %zu",
+            path.c_str(), static_cast<unsigned long long>(n), what,
+            vocabs.size()));
+      }
+      out->resize(n);
+      for (uint64_t f = 0; f < n; ++f) {
+        uint64_t count = 0;
+        OPTINTER_RETURN_NOT_OK(r.U64(&count));
+        if (count > vocabs[f]) {
+          return Status::Corruption(StrFormat(
+              "'%s': %s field %llu lists %llu hot ids but its vocab has "
+              "only %zu values",
+              path.c_str(), what, static_cast<unsigned long long>(f),
+              static_cast<unsigned long long>(count), vocabs[f]));
+        }
+        (*out)[f].resize(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          uint32_t id = 0;
+          OPTINTER_RETURN_NOT_OK(r.U32(&id));
+          if (id >= vocabs[f]) {
+            return Status::Corruption(StrFormat(
+                "'%s': %s field %llu hot id %u is outside its vocab "
+                "(size %zu)",
+                path.c_str(), what, static_cast<unsigned long long>(f), id,
+                vocabs[f]));
+          }
+          (*out)[f][i] = static_cast<int32_t>(id);
+        }
+      }
+      return Status::OK();
+    };
+    OPTINTER_RETURN_NOT_OK(read_stats("categorical", &m.meta.cat_hot_ids,
+                                      m.meta.cat_vocab_sizes));
+    OPTINTER_RETURN_NOT_OK(read_stats("cross", &m.meta.cross_hot_ids,
+                                      m.meta.cross_vocab_sizes));
   }
   if (r.remaining() != 0) {
     return Status::Corruption(StrFormat(

@@ -47,6 +47,10 @@ uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
 inline constexpr uint64_t kManifestMagic = 0x314d5346524e4954ULL;  // "TINRFSM1"
 inline constexpr uint64_t kShardMagic = 0x3144485352544e49ULL;     // "INTRSHD1"
 inline constexpr uint32_t kShardFormatVersion = 1;
+/// Tag of the optional frequency-stats manifest section ("FRQSTAT1").
+/// Written between the shard table and the manifest CRC when the dataset
+/// carries per-field hot-id stats; older manifests simply omit it.
+inline constexpr uint64_t kManifestFreqStatsTag = 0x3154415453515246ULL;
 /// Byte offset of a shard file's payload (header size); multiple of 4 so
 /// mmapped i32/f32 rows stay naturally aligned.
 inline constexpr size_t kShardHeaderBytes = 40;
@@ -60,6 +64,15 @@ struct ShardDatasetMeta {
   std::vector<size_t> cross_vocab_sizes;
   std::vector<std::array<size_t, 3>> triple_fields;
   std::vector<size_t> triple_vocab_sizes;
+
+  /// Optional per-field frequency-ranked hot-id lists (most frequent
+  /// first): EncodedDataset::cat_hot_ids / cross_hot_ids carried through
+  /// the manifest so a metadata-only streaming dataset resolves the same
+  /// frequency-tiered embedding plans as the in-RAM encode it came from.
+  /// Serialized as a tagged optional section; SchemaHash excludes them,
+  /// so stats never invalidate existing shard pairings.
+  std::vector<std::vector<int32_t>> cat_hot_ids;
+  std::vector<std::vector<int32_t>> cross_hot_ids;
 
   bool has_cross() const { return !cross_vocab_sizes.empty(); }
   size_t num_triples() const { return triple_fields.size(); }
@@ -122,6 +135,13 @@ class ShardWriter {
   /// elements respectively.
   Status Append(const int32_t* cat, const int32_t* cross,
                 const int32_t* triple, const float* cont, float label);
+
+  /// Attaches frequency-stats metadata (per-field hot-id lists, most
+  /// frequent first) to be written as the manifest's optional stats
+  /// section. Call before Finish(); each list vector must be empty or
+  /// match the field/pair count.
+  Status SetFreqStats(std::vector<std::vector<int32_t>> cat_hot_ids,
+                      std::vector<std::vector<int32_t>> cross_hot_ids);
 
   /// Flushes the tail shard and writes the manifest. Must be called
   /// exactly once; no Append after.

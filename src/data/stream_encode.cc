@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "data/dataset.h"
 #include "data/shard_format.h"
 #include "data/vocab.h"
 #include "obs/registry.h"
@@ -172,6 +173,27 @@ Result<StreamEncodeStats> StreamEncodeToShards(
     }
   }
 
+  // Frequency-stats metadata for tiered embedding backends. Hashed
+  // vocabularies place the Misra-Gries top-K at ids 1..K (most frequent
+  // first), so their hot lists need no counting; exact vocabularies
+  // count encoded ids over the fit prefix during the final pass and rank
+  // afterwards — the same counts EncodeDataset's in-RAM stats rank, so
+  // both paths attach identical metadata for the same rows.
+  const size_t freq_topk = options.encoder.freq_stats_topk;
+  const bool count_freq = freq_topk > 0 && !options.hashed;
+  std::vector<std::vector<size_t>> cat_counts;
+  std::vector<std::vector<size_t>> cross_counts;
+  if (count_freq) {
+    cat_counts.resize(num_cat);
+    for (size_t f = 0; f < num_cat; ++f) {
+      cat_counts[f].assign(meta.cat_vocab_sizes[f], 0);
+    }
+    cross_counts.resize(meta.cross_vocab_sizes.size());
+    for (size_t p = 0; p < cross_counts.size(); ++p) {
+      cross_counts[p].assign(meta.cross_vocab_sizes[p], 0);
+    }
+  }
+
   // --- Final pass (all rows): encode + write shards, tracking collisions.
   OPTINTER_ASSIGN_OR_RETURN(
       auto writer, ShardWriter::Open(dir, meta, options.rows_per_shard));
@@ -208,6 +230,14 @@ Result<StreamEncodeStats> StreamEncodeToShards(
         cross_row[p] = cross_vocabs[p].Encode(key);
       }
     }
+    if (count_freq && r < fit_count) {
+      for (size_t f = 0; f < num_cat; ++f) {
+        ++cat_counts[f][static_cast<size_t>(ids_row[f])];
+      }
+      for (size_t p = 0; p < cross_row.size(); ++p) {
+        ++cross_counts[p][static_cast<size_t>(cross_row[p])];
+      }
+    }
     for (size_t f = 0; f < num_cont; ++f) {
       // Same float math as EncodeDataset, for bit parity with the in-RAM
       // pipeline.
@@ -219,6 +249,32 @@ Result<StreamEncodeStats> StreamEncodeToShards(
     OPTINTER_RETURN_NOT_OK(writer->Append(
         ids_row.data(), options.build_cross ? cross_row.data() : nullptr,
         nullptr, num_cont > 0 ? norm_row.data() : nullptr, label));
+  }
+  if (freq_topk > 0) {
+    std::vector<std::vector<int32_t>> cat_hot(num_cat);
+    std::vector<std::vector<int32_t>> cross_hot(meta.cross_vocab_sizes.size());
+    if (options.hashed) {
+      auto mg_hot = [&](const HashedVocab& hv) {
+        std::vector<int32_t> ids(std::min(freq_topk, hv.num_hot()));
+        for (size_t i = 0; i < ids.size(); ++i) {
+          ids[i] = static_cast<int32_t>(i + 1);
+        }
+        return ids;
+      };
+      for (size_t f = 0; f < num_cat; ++f) cat_hot[f] = mg_hot(hashed[f]);
+      for (size_t p = 0; p < cross_hot.size(); ++p) {
+        cross_hot[p] = mg_hot(cross_hashed[p]);
+      }
+    } else {
+      for (size_t f = 0; f < num_cat; ++f) {
+        cat_hot[f] = RankTopIdsFromCounts(cat_counts[f], freq_topk);
+      }
+      for (size_t p = 0; p < cross_hot.size(); ++p) {
+        cross_hot[p] = RankTopIdsFromCounts(cross_counts[p], freq_topk);
+      }
+    }
+    OPTINTER_RETURN_NOT_OK(
+        writer->SetFreqStats(std::move(cat_hot), std::move(cross_hot)));
   }
   OPTINTER_RETURN_NOT_OK(writer->Finish());
 

@@ -3,13 +3,15 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "models/backend_resolve.h"
 #include "obs/trace.h"
 
 namespace optinter {
 
 CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
                                std::vector<size_t> pairs, size_t dim,
-                               float lr, float l2, Rng* rng)
+                               float lr, float l2, Rng* rng,
+                               const EmbeddingBackendConfig& backend)
     : data_(data), pairs_(std::move(pairs)), dim_(dim) {
   // Metadata-only datasets (streaming: vocab sizes without row payload)
   // are fine here; only the per-batch datasets need actual cross ids.
@@ -20,7 +22,9 @@ CrossEmbedding::CrossEmbedding(const EncodedDataset& data,
     CHECK_LT(p, data.num_pairs());
     auto table = std::make_unique<EmbeddingTable>(
         "cross_emb/pair" + std::to_string(p), data.cross_vocab_sizes[p],
-        dim, lr, l2);
+        dim, lr, l2,
+        ResolveTableBackend(backend, data.cross_vocab_sizes[p],
+                            data.cross_hot_ids, p));
     table->Init(rng);
     tables_.push_back(std::move(table));
   }
@@ -45,9 +49,7 @@ void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
       const size_t r = batch.rows[k];
       float* dst = out->row(k);
       for (size_t t = 0; t < pairs_.size(); ++t) {
-        std::memcpy(dst + t * dim_,
-                    tables_[t]->Row(data.cross(r, pairs_[t])),
-                    dim_ * sizeof(float));
+        tables_[t]->CopyRow(data.cross(r, pairs_[t]), dst + t * dim_);
       }
     }
   };
@@ -59,9 +61,9 @@ void CrossEmbedding::Gather(const Batch& batch, Tensor* out) const {
   }
 }
 
-const float* CrossEmbedding::Row(const EncodedDataset& data, size_t row,
-                                 size_t t) const {
-  return tables_[t]->Row(data.cross(row, pairs_[t]));
+void CrossEmbedding::CopyRow(const EncodedDataset& data, size_t row,
+                             size_t t, float* dst) const {
+  tables_[t]->CopyRow(data.cross(row, pairs_[t]), dst);
 }
 
 void CrossEmbedding::Backward(const Tensor& d_out) {
@@ -69,15 +71,15 @@ void CrossEmbedding::Backward(const Tensor& d_out) {
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
   const size_t rows = batch_rows_.size();
-  // Id-bucketed scatter: one bucket per (table, id-shard), each scanning
-  // rows in ascending order — shard contents match the serial loop bit for
-  // bit, and distinct buckets never share a gradient slot.
+  // Row-bucketed scatter: one bucket per (table, backing-row shard), each
+  // scanning rows in ascending order — shard contents match the serial
+  // loop bit for bit, and distinct buckets never share a gradient slot.
+  // The table routes each id's backing parts to their owning shard.
   auto scatter_bucket = [&](size_t t, size_t shard) {
     EmbeddingTable& table = *tables_[t];
     for (size_t k = 0; k < rows; ++k) {
       const int32_t id = batch_data_->cross(batch_rows_[k], pairs_[t]);
-      if (EmbeddingTable::ShardOf(id) != shard) continue;
-      table.AccumulateGradInShard(shard, id, d_out.row(k) + t * dim_);
+      table.AccumulateGradForShard(shard, id, d_out.row(k) + t * dim_);
     }
   };
   const size_t num_buckets = pairs_.size() * EmbeddingTable::kGradShards;
@@ -105,7 +107,7 @@ void CrossEmbedding::Prepare(const Batch& batch, IdDedupScratch* dedup,
   tables->resize(pairs_.size());
   for (size_t t = 0; t < pairs_.size(); ++t) {
     PrepareTableIds(
-        batch.size,
+        *tables_[t], batch.size,
         [&](size_t k) { return data.cross(batch.rows[k], pairs_[t]); },
         dedup, &(*tables)[t]);
   }
@@ -120,8 +122,7 @@ void CrossEmbedding::ForwardPrepared(const std::vector<PreparedTable>& tables,
     for (size_t k = lo; k < hi; ++k) {
       float* dst = out->row(k);
       for (size_t t = 0; t < pairs_.size(); ++t) {
-        std::memcpy(dst + t * dim_, tables_[t]->Row(tables[t].ids[k]),
-                    dim_ * sizeof(float));
+        tables_[t]->CopyRow(tables[t].ids[k], dst + t * dim_);
       }
     }
   };
@@ -131,8 +132,8 @@ void CrossEmbedding::ForwardPrepared(const std::vector<PreparedTable>& tables,
     gather(0, batch_size);
   }
   for (size_t t = 0; t < pairs_.size(); ++t) {
-    tables_[t]->BeginPreparedScatter(tables[t].unique_ids.data(),
-                                     tables[t].unique_ids.size());
+    tables_[t]->BeginPreparedScatter(tables[t].unique_rows.data(),
+                                     tables[t].unique_rows.size());
   }
 }
 
@@ -145,9 +146,17 @@ void CrossEmbedding::BackwardPrepared(
     EmbeddingTable& table = *tables_[t];
     const PreparedTable& pt = tables[t];
     for (const int32_t k : pt.shard_rows[shard]) {
-      table.AccumulatePreparedGrad(
-          static_cast<size_t>(pt.slots[k]),
+      table.AccumulatePreparedGradPrimary(
+          static_cast<size_t>(pt.slots[k]), pt.ids[static_cast<size_t>(k)],
           d_out.row(static_cast<size_t>(k)) + t * dim_);
+    }
+    if (table.HasSecondary()) {
+      for (const int32_t k : pt.shard_rows2[shard]) {
+        table.AccumulatePreparedGradSecondary(
+            static_cast<size_t>(pt.slots2[k]),
+            pt.ids[static_cast<size_t>(k)],
+            d_out.row(static_cast<size_t>(k)) + t * dim_);
+      }
     }
   };
   const size_t num_buckets = pairs_.size() * EmbeddingTable::kGradShards;

@@ -25,9 +25,13 @@ class CrossEmbedding {
  public:
   /// Builds tables for each pair index in `pairs` (canonical pair order
   /// indices). `dim` = s2; lr/l2 = paper lr_c / l2_c. The dataset must
-  /// already have cross features built.
+  /// already have cross features built. `backend` is the per-table storage
+  /// policy (resolved per pair vocab, see backend_resolve.h) — cross
+  /// tables dominate model size, so this is where QR/tiered compression
+  /// pays off.
   CrossEmbedding(const EncodedDataset& data, std::vector<size_t> pairs,
-                 size_t dim, float lr, float l2, Rng* rng);
+                 size_t dim, float lr, float l2, Rng* rng,
+                 const EmbeddingBackendConfig& backend = {});
 
   /// out: [B × (pairs.size() * dim)], pair blocks in the order given at
   /// construction. Caches the batch for Backward.
@@ -39,9 +43,12 @@ class CrossEmbedding {
   /// construction dataset (serving-arena batches qualify).
   void Gather(const Batch& batch, Tensor* out) const;
 
-  /// Embedding row for pair-block `t` of dataset row `row` — the fused
-  /// batch-1 serving path reads cross blocks through this.
-  const float* Row(const EncodedDataset& data, size_t row, size_t t) const;
+  /// Embedding row for pair-block `t` of dataset row `row`, written into
+  /// `dst` (length dim()) — the fused batch-1 serving path reads cross
+  /// blocks through this. A copy API (not a pointer) because QR tables
+  /// compose their rows on the fly.
+  void CopyRow(const EncodedDataset& data, size_t row, size_t t,
+               float* dst) const;
 
   /// Scatters d_out into table gradients.
   void Backward(const Tensor& d_out);

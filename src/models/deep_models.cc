@@ -13,7 +13,8 @@ DeepBaselineModel::DeepBaselineModel(const EncodedDataset& data,
     : variant_(variant),
       dim_(hp.embed_dim),
       rng_(hp.seed),
-      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_) {
+      emb_(data, hp.embed_dim, hp.lr_orig, hp.l2_orig, &rng_,
+           hp.orig_backend) {
   num_fields_ = emb_.num_fields();
   num_pairs_ = num_fields_ * (num_fields_ - 1) / 2;
   for (size_t i = 0; i < num_fields_; ++i) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "models/backend_resolve.h"
 #include "obs/trace.h"
 
 namespace optinter {
@@ -14,7 +15,8 @@ constexpr size_t kParallelGatherFloats = 1u << 15;
 }  // namespace
 
 FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
-                                   float lr, float l2, Rng* rng)
+                                   float lr, float l2, Rng* rng,
+                                   const EmbeddingBackendConfig& backend)
     : data_(data), dim_(dim) {
   CHECK_GT(dim, 0u);
   const size_t num_cat = data.num_categorical();
@@ -22,7 +24,9 @@ FeatureEmbedding::FeatureEmbedding(const EncodedDataset& data, size_t dim,
   for (size_t f = 0; f < num_cat; ++f) {
     auto table = std::make_unique<EmbeddingTable>(
         "orig_emb/cat" + std::to_string(f), data.cat_vocab_sizes[f], dim,
-        lr, l2);
+        lr, l2,
+        ResolveTableBackend(backend, data.cat_vocab_sizes[f],
+                            data.cat_hot_ids, f));
     table->Init(rng);
     cat_tables_.push_back(std::move(table));
   }
@@ -60,8 +64,7 @@ void FeatureEmbedding::Gather(const Batch& batch, Tensor* out) const {
       const size_t r = batch.rows[k];
       float* dst = out->row(k);
       for (size_t f = 0; f < num_cat; ++f) {
-        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data.cat(r, f)),
-                    dim_ * sizeof(float));
+        cat_tables_[f]->CopyRow(data.cat(r, f), dst + f * dim_);
       }
       for (size_t f = 0; f < num_cont; ++f) {
         const float v = data.cont(r, f);
@@ -87,8 +90,7 @@ void FeatureEmbedding::GatherRow(const EncodedDataset& data, size_t row,
   CHECK_EQ(data.num_categorical(), num_cat);
   CHECK_EQ(data.num_continuous(), num_cont);
   for (size_t f = 0; f < num_cat; ++f) {
-    std::memcpy(dst + f * dim_, cat_tables_[f]->Row(data.cat(row, f)),
-                dim_ * sizeof(float));
+    cat_tables_[f]->CopyRow(data.cat(row, f), dst + f * dim_);
   }
   for (size_t f = 0; f < num_cont; ++f) {
     const float v = data.cont(row, f);
@@ -105,41 +107,39 @@ void FeatureEmbedding::Backward(const Tensor& d_out) {
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
   const size_t rows = batch_rows_.size();
-  // One scatter bucket per (table, id-shard). Buckets own disjoint
-  // gradient shards, so they can run concurrently without locks; each
-  // bucket scans the batch rows in ascending order, so every id's
-  // accumulation order — and therefore the shard contents — match the
-  // serial loop bit for bit.
-  auto scatter_bucket = [&](size_t f, size_t shard,
-                            std::vector<float>* scratch) {
+  // One scatter bucket per (table, backing-row shard). Buckets own
+  // disjoint gradient shards, so they can run concurrently without locks;
+  // each bucket scans the batch rows in ascending order, so every backing
+  // row's accumulation order — and therefore the shard contents — match
+  // the serial loop bit for bit. The table routes each id's backing parts
+  // to their owning shard (AccumulateGradForShard filters internally).
+  auto scatter_bucket = [&](size_t f, size_t shard) {
     if (f < num_cat) {
       EmbeddingTable& table = *cat_tables_[f];
       for (size_t k = 0; k < rows; ++k) {
         const int32_t id = batch_data_->cat(batch_rows_[k], f);
-        if (EmbeddingTable::ShardOf(id) != shard) continue;
-        table.AccumulateGradInShard(shard, id, d_out.row(k) + f * dim_);
+        table.AccumulateGradForShard(shard, id, d_out.row(k) + f * dim_);
       }
     } else {
-      // Continuous tables have a single row: id 0, one shard.
+      // Continuous tables have a single row: id 0, one shard. The scaled
+      // accumulate shares its rounding with the prepared path
+      // (AccumulatePreparedGradScaled), keeping the two bit-identical.
       if (shard != EmbeddingTable::ShardOf(0)) return;
       const size_t fc = f - num_cat;
       EmbeddingTable& table = *cont_tables_[fc];
-      scratch->resize(dim_);
       for (size_t k = 0; k < rows; ++k) {
         const float v = batch_data_->cont(batch_rows_[k], fc);
-        const float* gf = d_out.row(k) + f * dim_;
-        for (size_t t = 0; t < dim_; ++t) (*scratch)[t] = gf[t] * v;
-        table.AccumulateGradInShard(shard, 0, scratch->data());
+        table.AccumulateScaledGradForShard(shard, 0, d_out.row(k) + f * dim_,
+                                           v);
       }
     }
   };
   const size_t num_buckets =
       (num_cat + num_cont) * EmbeddingTable::kGradShards;
   auto run_buckets = [&](size_t lo, size_t hi) {
-    std::vector<float> scratch;
     for (size_t b = lo; b < hi; ++b) {
       scatter_bucket(b / EmbeddingTable::kGradShards,
-                     b % EmbeddingTable::kGradShards, &scratch);
+                     b % EmbeddingTable::kGradShards);
     }
   };
   if (d_out.size() >= kParallelGatherFloats && num_buckets > 1) {
@@ -162,8 +162,9 @@ void FeatureEmbedding::Prepare(const Batch& batch, PreparedBatch* prep) const {
   prep->cat.resize(num_cat);
   for (size_t f = 0; f < num_cat; ++f) {
     PrepareTableIds(
-        batch.size, [&](size_t k) { return data.cat(batch.rows[k], f); },
-        &prep->dedup, &prep->cat[f]);
+        *cat_tables_[f], batch.size,
+        [&](size_t k) { return data.cat(batch.rows[k], f); }, &prep->dedup,
+        &prep->cat[f]);
   }
   prep->cont.clear();
   for (size_t k = 0; k < batch.size; ++k) {
@@ -189,8 +190,7 @@ void FeatureEmbedding::ForwardPrepared(const PreparedBatch& prep,
     for (size_t k = lo; k < hi; ++k) {
       float* dst = out->row(k);
       for (size_t f = 0; f < num_cat; ++f) {
-        std::memcpy(dst + f * dim_, cat_tables_[f]->Row(prep.cat[f].ids[k]),
-                    dim_ * sizeof(float));
+        cat_tables_[f]->CopyRow(prep.cat[f].ids[k], dst + f * dim_);
       }
       for (size_t f = 0; f < num_cont; ++f) {
         const float v = prep.cont[k * num_cont + f];
@@ -207,8 +207,8 @@ void FeatureEmbedding::ForwardPrepared(const PreparedBatch& prep,
   }
   // Arm the slot-addressed scatters for BackwardPrepared.
   for (size_t f = 0; f < num_cat; ++f) {
-    cat_tables_[f]->BeginPreparedScatter(prep.cat[f].unique_ids.data(),
-                                         prep.cat[f].unique_ids.size());
+    cat_tables_[f]->BeginPreparedScatter(prep.cat[f].unique_rows.data(),
+                                         prep.cat[f].unique_rows.size());
   }
   static constexpr int32_t kContId[1] = {0};
   for (auto& t : cont_tables_) t->BeginPreparedScatter(kContId, 1);
@@ -221,18 +221,28 @@ void FeatureEmbedding::BackwardPrepared(const Tensor& d_out,
   const size_t num_cont = cont_tables_.size();
   CHECK_EQ(d_out.rows(), prep.size);
   CHECK_EQ(d_out.cols(), output_dim());
-  // Same (table, id-shard) bucket fan-out as Backward, but rows come
-  // pre-bucketed from PrepareBatch (ascending within each bucket, so the
-  // per-id accumulation order still matches the serial loop bit for bit)
-  // and gradients land in the slot-addressed prepared buffers.
+  // Same (table, backing-row-shard) bucket fan-out as Backward, but rows
+  // come pre-bucketed from PrepareBatch (ascending within each bucket, so
+  // the per-row accumulation order still matches the serial loop bit for
+  // bit) and gradients land in the slot-addressed prepared buffers. QR
+  // tables have a second row list (shard_rows2) for the remainder-factor
+  // rows, which live in their own backing range.
   auto scatter_bucket = [&](size_t f, size_t shard) {
     if (f < num_cat) {
       EmbeddingTable& table = *cat_tables_[f];
       const PreparedTable& pt = prep.cat[f];
       for (const int32_t k : pt.shard_rows[shard]) {
-        table.AccumulatePreparedGrad(
-            static_cast<size_t>(pt.slots[k]),
+        table.AccumulatePreparedGradPrimary(
+            static_cast<size_t>(pt.slots[k]), pt.ids[static_cast<size_t>(k)],
             d_out.row(static_cast<size_t>(k)) + f * dim_);
+      }
+      if (table.HasSecondary()) {
+        for (const int32_t k : pt.shard_rows2[shard]) {
+          table.AccumulatePreparedGradSecondary(
+              static_cast<size_t>(pt.slots2[k]),
+              pt.ids[static_cast<size_t>(k)],
+              d_out.row(static_cast<size_t>(k)) + f * dim_);
+        }
       }
     } else {
       // Continuous tables have a single row: id 0, one shard.

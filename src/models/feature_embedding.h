@@ -22,9 +22,13 @@ namespace optinter {
 /// Batched embedding lookup over all original fields.
 class FeatureEmbedding {
  public:
-  /// `dim` = s1; lr/l2 = paper lr_o / l2_o.
+  /// `dim` = s1; lr/l2 = paper lr_o / l2_o. `backend` is the per-table
+  /// storage policy for the categorical tables (resolved per vocab, see
+  /// backend_resolve.h); continuous tables are single-row and always
+  /// dense.
   FeatureEmbedding(const EncodedDataset& data, size_t dim, float lr,
-                   float l2, Rng* rng);
+                   float l2, Rng* rng,
+                   const EmbeddingBackendConfig& backend = {});
 
   /// out: [B × (num_fields * dim)] with categorical fields first (in
   /// categorical order) followed by continuous fields. Caches the batch

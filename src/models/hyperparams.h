@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "models/interaction.h"
+#include "nn/embedding.h"
 #include "nn/optimizer.h"
 
 namespace optinter {
@@ -47,6 +48,16 @@ struct HyperParams {
   /// L2 regularization (paper l2_o, l2_c).
   float l2_orig = 0.0f;
   float l2_cross = 1e-4f;
+
+  /// Storage backend policy for original-feature embedding tables
+  /// (resolved per table vocab; small vocabs fall back to dense — see
+  /// nn/embedding.h and DESIGN.md §12). Default: dense.
+  EmbeddingBackendConfig orig_backend;
+  /// Storage backend policy for cross/triple embedding tables — the
+  /// memorized method's parameter store, which dominates model size.
+  /// QR or tiered here trades a controlled AUC delta for 4–10× less
+  /// memory (bench/embedding_tradeoff.cc measures the frontier).
+  EmbeddingBackendConfig cross_backend;
 
   size_t batch_size = 512;
   size_t epochs = 3;

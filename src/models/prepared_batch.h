@@ -7,7 +7,7 @@
 // batch t+1 while batch t is still in ForwardBackward. The dedup output
 // feeds EmbeddingTable's prepared scatter: the backward pass writes into a
 // flat slot-addressed buffer (no hashing, no per-new-id allocation) and the
-// sparse optimizer walks (unique_ids, slots) directly.
+// sparse optimizer walks (unique_rows, slots) directly.
 //
 // All buffers retain capacity across steps: a PreparedBatch reused for
 // same-shaped batches performs zero heap allocations after warmup.
@@ -81,45 +81,70 @@ class IdDedupScratch {
   size_t mask_ = 0;
 };
 
-/// Per-(batch, embedding table) id preparation: the raw per-row ids, each
-/// row's dedup slot, the unique-id list (slot order), and the batch rows
-/// bucketed by gradient shard. Shard buckets hold rows in ascending order,
-/// so a prepared scatter that walks one bucket accumulates every id's
-/// gradient in the same order as the serial row loop — bit for bit.
+/// Per-(batch, embedding table) id preparation: the raw per-row logical
+/// ids, each row's dedup slot, the unique BACKING-row list (slot order),
+/// and the batch rows bucketed by gradient shard. Dedup runs in backing
+/// space — the table's logical→backing mapping is static configuration,
+/// never weights, so the weight-independent Prepare contract holds — and
+/// shards are keyed on backing rows, so logical ids that collide on a
+/// backing row (QR remainder reuse, tiered bucket sharing) share one slot
+/// and accumulate deterministically. QR tables contribute two parts per
+/// row: the primary (quotient) part through slots/shard_rows and the
+/// secondary (remainder) part through slots2/shard_rows2; Q- and R-space
+/// backing rows are disjoint, so the two streams never alias a slot.
+/// Shard buckets hold rows in ascending order, so a prepared scatter that
+/// walks one bucket accumulates every backing row's gradient in the same
+/// order as the serial row loop — bit for bit.
 struct PreparedTable {
-  std::vector<int32_t> ids;         // [batch_size] id of row k
-  std::vector<int32_t> slots;       // [batch_size] dedup slot of row k
-  std::vector<int32_t> unique_ids;  // [num_unique] id of each slot
+  std::vector<int32_t> ids;          // [batch_size] logical id of row k
+  std::vector<int32_t> slots;        // [batch_size] primary-part slot
+  std::vector<int32_t> slots2;       // [batch_size] secondary slot (QR only)
+  std::vector<int32_t> unique_rows;  // [num_unique] backing row of each slot
   std::array<std::vector<int32_t>, EmbeddingTable::kGradShards> shard_rows;
+  std::array<std::vector<int32_t>, EmbeddingTable::kGradShards> shard_rows2;
 
   void Clear() {
     ids.clear();
     slots.clear();
-    unique_ids.clear();
+    slots2.clear();
+    unique_rows.clear();
     for (auto& v : shard_rows) v.clear();
+    for (auto& v : shard_rows2) v.clear();
   }
 
   size_t CapacityBytes() const {
-    size_t total = (ids.capacity() + slots.capacity() +
-                    unique_ids.capacity()) *
+    size_t total = (ids.capacity() + slots.capacity() + slots2.capacity() +
+                    unique_rows.capacity()) *
                    sizeof(int32_t);
     for (const auto& v : shard_rows) total += v.capacity() * sizeof(int32_t);
+    for (const auto& v : shard_rows2) {
+      total += v.capacity() * sizeof(int32_t);
+    }
     return total;
   }
 };
 
-/// Fills `pt` for one table from `id_of(k)` (the id of batch row k).
+/// Fills `pt` for `table` from `id_of(k)` (the logical id of batch row k).
 template <typename IdFn>
-void PrepareTableIds(size_t batch_size, IdFn&& id_of, IdDedupScratch* dedup,
-                     PreparedTable* pt) {
+void PrepareTableIds(const EmbeddingTable& table, size_t batch_size,
+                     IdFn&& id_of, IdDedupScratch* dedup, PreparedTable* pt) {
   pt->Clear();
-  dedup->Begin(batch_size);
+  const bool two_part = table.HasSecondary();
+  dedup->Begin(two_part ? 2 * batch_size : batch_size);
   for (size_t k = 0; k < batch_size; ++k) {
     const int32_t id = id_of(k);
+    table.CheckId(id, "Prepare");
     pt->ids.push_back(id);
-    pt->slots.push_back(dedup->SlotFor(id, &pt->unique_ids));
-    pt->shard_rows[EmbeddingTable::ShardOf(id)].push_back(
+    const int32_t b1 = table.PrimaryRowOf(id);
+    pt->slots.push_back(dedup->SlotFor(b1, &pt->unique_rows));
+    pt->shard_rows[EmbeddingTable::ShardOf(b1)].push_back(
         static_cast<int32_t>(k));
+    if (two_part) {
+      const int32_t b2 = table.SecondaryRowOf(id);
+      pt->slots2.push_back(dedup->SlotFor(b2, &pt->unique_rows));
+      pt->shard_rows2[EmbeddingTable::ShardOf(b2)].push_back(
+          static_cast<int32_t>(k));
+    }
   }
 }
 

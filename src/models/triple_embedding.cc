@@ -3,13 +3,15 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "models/backend_resolve.h"
 #include "obs/trace.h"
 
 namespace optinter {
 
 TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
                                  std::vector<size_t> triples, size_t dim,
-                                 float lr, float l2, Rng* rng)
+                                 float lr, float l2, Rng* rng,
+                                 const EmbeddingBackendConfig& backend)
     : data_(data), triples_(std::move(triples)), dim_(dim) {
   // Metadata-only datasets (streaming: vocab sizes without row payload)
   // are fine here; only the per-batch datasets need actual triple ids.
@@ -17,11 +19,16 @@ TripleEmbedding::TripleEmbedding(const EncodedDataset& data,
       << "call BuildTripleCrossFeatures first";
   CHECK_GT(dim, 0u);
   tables_.reserve(triples_.size());
+  // Triples carry no frequency metadata; tiered tables use the {1..K}
+  // fallback (exact for hashed triple encodings) or explicit policy ids.
+  const std::vector<std::vector<int32_t>> no_hot_meta;
   for (size_t t : triples_) {
     CHECK_LT(t, data.num_triples());
     auto table = std::make_unique<EmbeddingTable>(
         "triple_emb/" + std::to_string(t), data.triple_vocab_sizes[t], dim,
-        lr, l2);
+        lr, l2,
+        ResolveTableBackend(backend, data.triple_vocab_sizes[t], no_hot_meta,
+                            t));
     table->Init(rng);
     tables_.push_back(std::move(table));
   }
@@ -46,9 +53,7 @@ void TripleEmbedding::Gather(const Batch& batch, Tensor* out) const {
       const size_t r = batch.rows[k];
       float* dst = out->row(k);
       for (size_t t = 0; t < triples_.size(); ++t) {
-        std::memcpy(dst + t * dim_,
-                    tables_[t]->Row(data.triple(r, triples_[t])),
-                    dim_ * sizeof(float));
+        tables_[t]->CopyRow(data.triple(r, triples_[t]), dst + t * dim_);
       }
     }
   };
@@ -63,8 +68,7 @@ void TripleEmbedding::Gather(const Batch& batch, Tensor* out) const {
 void TripleEmbedding::GatherRow(const EncodedDataset& data, size_t row,
                                 float* dst) const {
   for (size_t t = 0; t < triples_.size(); ++t) {
-    std::memcpy(dst + t * dim_, tables_[t]->Row(data.triple(row, triples_[t])),
-                dim_ * sizeof(float));
+    tables_[t]->CopyRow(data.triple(row, triples_[t]), dst + t * dim_);
   }
 }
 
@@ -73,15 +77,15 @@ void TripleEmbedding::Backward(const Tensor& d_out) {
   CHECK_EQ(d_out.rows(), batch_rows_.size());
   CHECK_EQ(d_out.cols(), output_dim());
   const size_t rows = batch_rows_.size();
-  // Id-bucketed scatter: one bucket per (table, id-shard), each scanning
-  // rows in ascending order — shard contents match the serial loop bit for
-  // bit, and distinct buckets never share a gradient slot.
+  // Row-bucketed scatter: one bucket per (table, backing-row shard), each
+  // scanning rows in ascending order — shard contents match the serial
+  // loop bit for bit, and distinct buckets never share a gradient slot.
+  // The table routes each id's backing parts to their owning shard.
   auto scatter_bucket = [&](size_t t, size_t shard) {
     EmbeddingTable& table = *tables_[t];
     for (size_t k = 0; k < rows; ++k) {
       const int32_t id = batch_data_->triple(batch_rows_[k], triples_[t]);
-      if (EmbeddingTable::ShardOf(id) != shard) continue;
-      table.AccumulateGradInShard(shard, id, d_out.row(k) + t * dim_);
+      table.AccumulateGradForShard(shard, id, d_out.row(k) + t * dim_);
     }
   };
   const size_t num_buckets = triples_.size() * EmbeddingTable::kGradShards;
@@ -109,7 +113,7 @@ void TripleEmbedding::Prepare(const Batch& batch, IdDedupScratch* dedup,
   tables->resize(triples_.size());
   for (size_t t = 0; t < triples_.size(); ++t) {
     PrepareTableIds(
-        batch.size,
+        *tables_[t], batch.size,
         [&](size_t k) { return data.triple(batch.rows[k], triples_[t]); },
         dedup, &(*tables)[t]);
   }
@@ -124,8 +128,7 @@ void TripleEmbedding::ForwardPrepared(const std::vector<PreparedTable>& tables,
     for (size_t k = lo; k < hi; ++k) {
       float* dst = out->row(k);
       for (size_t t = 0; t < triples_.size(); ++t) {
-        std::memcpy(dst + t * dim_, tables_[t]->Row(tables[t].ids[k]),
-                    dim_ * sizeof(float));
+        tables_[t]->CopyRow(tables[t].ids[k], dst + t * dim_);
       }
     }
   };
@@ -135,8 +138,8 @@ void TripleEmbedding::ForwardPrepared(const std::vector<PreparedTable>& tables,
     gather(0, batch_size);
   }
   for (size_t t = 0; t < triples_.size(); ++t) {
-    tables_[t]->BeginPreparedScatter(tables[t].unique_ids.data(),
-                                     tables[t].unique_ids.size());
+    tables_[t]->BeginPreparedScatter(tables[t].unique_rows.data(),
+                                     tables[t].unique_rows.size());
   }
 }
 
@@ -149,9 +152,17 @@ void TripleEmbedding::BackwardPrepared(
     EmbeddingTable& table = *tables_[t];
     const PreparedTable& pt = tables[t];
     for (const int32_t k : pt.shard_rows[shard]) {
-      table.AccumulatePreparedGrad(
-          static_cast<size_t>(pt.slots[k]),
+      table.AccumulatePreparedGradPrimary(
+          static_cast<size_t>(pt.slots[k]), pt.ids[static_cast<size_t>(k)],
           d_out.row(static_cast<size_t>(k)) + t * dim_);
+    }
+    if (table.HasSecondary()) {
+      for (const int32_t k : pt.shard_rows2[shard]) {
+        table.AccumulatePreparedGradSecondary(
+            static_cast<size_t>(pt.slots2[k]),
+            pt.ids[static_cast<size_t>(k)],
+            d_out.row(static_cast<size_t>(k)) + t * dim_);
+      }
     }
   };
   const size_t num_buckets = triples_.size() * EmbeddingTable::kGradShards;

@@ -18,9 +18,12 @@ namespace optinter {
 class TripleEmbedding {
  public:
   /// `triples` holds indices into the dataset's built triple set. The
-  /// dataset must already have triple cross features built.
+  /// dataset must already have triple cross features built. `backend` is
+  /// the per-table storage policy (resolved per triple vocab, see
+  /// backend_resolve.h).
   TripleEmbedding(const EncodedDataset& data, std::vector<size_t> triples,
-                  size_t dim, float lr, float l2, Rng* rng);
+                  size_t dim, float lr, float l2, Rng* rng,
+                  const EmbeddingBackendConfig& backend = {});
 
   /// out: [B × (triples.size() * dim)].
   void Forward(const Batch& batch, Tensor* out);

@@ -1,7 +1,11 @@
 #include "nn/embedding.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/string_util.h"
+#include "data/hash_encoder.h"
 #include "nn/init.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -14,9 +18,9 @@ namespace {
 constexpr size_t kL = simd::kLanes;
 
 // One Adam row update over dim slots, vectorized. Rows are updated serially
-// (each touched id exactly once), so there is no chunk-boundary concern —
-// the helpers are shared by the shard and prepared paths so both produce
-// identical bits for identical accumulated gradients.
+// (each touched backing row exactly once), so there is no chunk-boundary
+// concern — the helpers are shared by the shard and prepared paths so both
+// produce identical bits for identical accumulated gradients.
 inline void AdamUpdateRow(float* w, float* m, float* v, const float* g,
                           size_t dim, float lr, float l2, float b1, float b2,
                           float bc1, float bc2, float eps) {
@@ -69,6 +73,44 @@ inline void SgdUpdateRow(float* w, const float* g, size_t dim, float lr,
     w[i] = simd::MulAddScalar(-lr, t, w[i]);
   }
 }
+
+// dst += a (plain accumulate), shared by serial and sharded scatters.
+inline void AddRow(float* dst, const float* a, size_t dim) {
+  size_t i = 0;
+  for (; i + kL <= dim; i += kL) {
+    simd::StoreU(dst + i, simd::Add(simd::LoadU(dst + i), simd::LoadU(a + i)));
+  }
+  for (; i < dim; ++i) dst[i] += a[i];
+}
+
+// dst += a ⊙ b — the QR-mul product rule. One shared body so the serial,
+// sharded, and prepared scatters produce identical bits.
+inline void AddProductRow(float* dst, const float* a, const float* b,
+                          size_t dim) {
+  size_t i = 0;
+  for (; i + kL <= dim; i += kL) {
+    simd::StoreU(dst + i, simd::MulAdd(simd::LoadU(a + i), simd::LoadU(b + i),
+                                       simd::LoadU(dst + i)));
+  }
+  for (; i < dim; ++i) dst[i] = simd::MulAddScalar(a[i], b[i], dst[i]);
+}
+
+// dst += a * scale — the continuous-feature gradient. The ONE body behind
+// both the legacy shard scatter and the prepared slot scatter: a
+// header-inlined loop in one path and a separately compiled loop in the
+// other can round differently under FMA contraction, silently breaking
+// legacy/prepared bit parity.
+inline void AddScaledRow(float* dst, const float* a, float scale,
+                         size_t dim) {
+  const simd::VecF s = simd::Set1(scale);
+  size_t i = 0;
+  for (; i + kL <= dim; i += kL) {
+    simd::StoreU(dst + i,
+                 simd::MulAdd(simd::LoadU(a + i), s, simd::LoadU(dst + i)));
+  }
+  for (; i < dim; ++i) dst[i] = simd::MulAddScalar(a[i], scale, dst[i]);
+}
+
 // Rows touched per sparse step; handle cached once (registry never
 // invalidates it).
 obs::Counter* RowsUpdatedCounter() {
@@ -87,28 +129,183 @@ obs::Counter* AccumRowsSampledCounter() {
       obs::MetricsRegistry::Global().GetCounter("emb.accum_rows_sampled");
   return c;
 }
+
+size_t CeilSqrt(size_t v) {
+  size_t r = static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(v))));
+  while (r > 1 && (r - 1) * (r - 1) >= v) --r;
+  while (r * r < v) ++r;
+  return r;
+}
+
 }  // namespace
 
+const char* EmbeddingBackendKindName(EmbeddingBackendKind kind) {
+  switch (kind) {
+    case EmbeddingBackendKind::kDense:
+      return "dense";
+    case EmbeddingBackendKind::kQR:
+      return "qr";
+    case EmbeddingBackendKind::kTiered:
+      return "tiered";
+  }
+  return "?";
+}
+
+EmbeddingBackendConfig ResolveBackendForVocab(
+    const EmbeddingBackendConfig& policy, size_t vocab_size) {
+  EmbeddingBackendConfig cfg = policy;
+  if (cfg.kind == EmbeddingBackendKind::kDense) {
+    // CI drop-in-parity hook: flip dense-by-default embedding-layer
+    // tables to a compressed backend without touching any call site.
+    static const char* env = std::getenv("OPTINTER_EMBED_BACKEND");
+    if (env != nullptr && env[0] != '\0') {
+      const std::string v(env);
+      if (v == "qr" || v == "qr_sum") {
+        cfg.kind = EmbeddingBackendKind::kQR;
+        cfg.qr_combine = QrCombine::kSum;
+      } else if (v == "qr_mul") {
+        cfg.kind = EmbeddingBackendKind::kQR;
+        cfg.qr_combine = QrCombine::kMul;
+      } else if (v == "tiered") {
+        cfg.kind = EmbeddingBackendKind::kTiered;
+      } else {
+        CHECK(false) << "OPTINTER_EMBED_BACKEND='" << v
+                     << "' is not one of: qr, qr_sum, qr_mul, tiered";
+      }
+    }
+  }
+  if (vocab_size < cfg.min_vocab) {
+    cfg.kind = EmbeddingBackendKind::kDense;
+  }
+  return cfg;
+}
+
 EmbeddingTable::EmbeddingTable(std::string name, size_t vocab_size,
-                               size_t dim, float lr_in, float l2_in)
+                               size_t dim, float lr_in, float l2_in,
+                               EmbeddingBackendConfig config)
     : lr(lr_in), l2(l2_in), name_(std::move(name)), vocab_size_(vocab_size),
-      dim_(dim) {
+      dim_(dim), kind_(config.kind), qr_combine_(config.qr_combine) {
   CHECK_GT(vocab_size_, 0u);
   CHECK_GT(dim_, 0u);
-  value_.Resize({vocab_size_, dim_});
-  m_.Resize({vocab_size_, dim_});
-  v_.Resize({vocab_size_, dim_});
+  switch (kind_) {
+    case EmbeddingBackendKind::kDense:
+      backing_rows_ = vocab_size_;
+      break;
+    case EmbeddingBackendKind::kQR: {
+      qr_rem_ = config.qr_rem != 0 ? config.qr_rem : CeilSqrt(vocab_size_);
+      if (qr_rem_ > vocab_size_) qr_rem_ = vocab_size_;
+      CHECK_GT(qr_rem_, 0u);
+      qr_num_q_ = (vocab_size_ + qr_rem_ - 1) / qr_rem_;
+      backing_rows_ = qr_num_q_ + qr_rem_;
+      break;
+    }
+    case EmbeddingBackendKind::kTiered: {
+      const size_t want_hot =
+          config.tier_hot != 0 ? config.tier_hot
+                               : std::max<size_t>(1, vocab_size_ / 16);
+      tier_buckets_ = config.tier_buckets != 0
+                          ? config.tier_buckets
+                          : std::max<size_t>(1, vocab_size_ / 16);
+      auto remap = std::make_shared<std::vector<int32_t>>(vocab_size_, -1);
+      int32_t next_hot = 0;
+      auto claim = [&](int32_t id) {
+        if (id < 0 || static_cast<size_t>(id) >= vocab_size_) return;
+        int32_t& slot = (*remap)[static_cast<size_t>(id)];
+        if (slot >= 0) return;  // duplicate hot id
+        slot = next_hot++;
+      };
+      if (!config.tier_hot_ids.empty()) {
+        for (int32_t id : config.tier_hot_ids) {
+          if (static_cast<size_t>(next_hot) >= want_hot) break;
+          claim(id);
+        }
+      } else {
+        // Fallback hot set {1..K}: the hashed encoder assigns ids 1..K to
+        // the K most frequent values, so this is exact for hash-encoded
+        // fields and a frequency-agnostic prior otherwise.
+        for (size_t id = 1;
+             id < vocab_size_ && static_cast<size_t>(next_hot) < want_hot;
+             ++id) {
+          claim(static_cast<int32_t>(id));
+        }
+      }
+      tier_hot_rows_ = static_cast<size_t>(next_hot);
+      for (size_t id = 0; id < vocab_size_; ++id) {
+        int32_t& slot = (*remap)[id];
+        if (slot >= 0) continue;
+        slot = static_cast<int32_t>(
+            tier_hot_rows_ +
+            ShardStableHash64(id, config.tier_salt) % tier_buckets_);
+      }
+      remap_ = std::move(remap);
+      backing_rows_ = tier_hot_rows_ + tier_buckets_;
+      break;
+    }
+  }
+  value_.Resize({backing_rows_, dim_});
+  m_.Resize({backing_rows_, dim_});
+  v_.Resize({backing_rows_, dim_});
 }
 
 void EmbeddingTable::Init(Rng* rng, double stddev) {
-  NormalInit(&value_, 0.0, stddev, rng);
+  // QR-mul rows are the element-wise product of two factors, so each
+  // factor takes std sqrt(stddev) to keep the combined row's magnitude
+  // near the conventional scale (E|q·r| ≈ stddev for q,r ~ N(0, √stddev)).
+  const double s = (kind_ == EmbeddingBackendKind::kQR &&
+                    qr_combine_ == QrCombine::kMul)
+                       ? std::sqrt(stddev)
+                       : stddev;
+  NormalInit(&value_, 0.0, s, rng);
 }
 
-void EmbeddingTable::AccumulateGradInShard(size_t shard, int32_t id,
-                                           const float* grad) {
-  CHECK_GE(id, 0);
-  CHECK_LT(static_cast<size_t>(id), vocab_size_);
-  CHECK_EQ(shard, ShardOf(id));
+std::string EmbeddingTable::BackendDesc() const {
+  switch (kind_) {
+    case EmbeddingBackendKind::kDense:
+      return "dense";
+    case EmbeddingBackendKind::kQR:
+      return StrFormat("%s(q=%zu,r=%zu)",
+                       qr_combine_ == QrCombine::kMul ? "qr_mul" : "qr_sum",
+                       qr_num_q_, qr_rem_);
+    case EmbeddingBackendKind::kTiered:
+      return StrFormat("tiered(hot=%zu,buckets=%zu)", tier_hot_rows_,
+                       tier_buckets_);
+  }
+  return "?";
+}
+
+void EmbeddingTable::CopyRow(int32_t id, float* dst) const {
+  CheckId(id, "CopyRow");
+  switch (kind_) {
+    case EmbeddingBackendKind::kDense:
+      std::memcpy(dst, BackingRowPtr(id), dim_ * sizeof(float));
+      return;
+    case EmbeddingBackendKind::kTiered:
+      std::memcpy(dst, BackingRowPtr((*remap_)[static_cast<size_t>(id)]),
+                  dim_ * sizeof(float));
+      return;
+    case EmbeddingBackendKind::kQR: {
+      const float* q = BackingRowPtr(PrimaryRowOf(id));
+      const float* r = BackingRowPtr(SecondaryRowOf(id));
+      size_t i = 0;
+      if (qr_combine_ == QrCombine::kMul) {
+        for (; i + kL <= dim_; i += kL) {
+          simd::StoreU(dst + i,
+                       simd::Mul(simd::LoadU(q + i), simd::LoadU(r + i)));
+        }
+        for (; i < dim_; ++i) dst[i] = q[i] * r[i];
+      } else {
+        for (; i + kL <= dim_; i += kL) {
+          simd::StoreU(dst + i,
+                       simd::Add(simd::LoadU(q + i), simd::LoadU(r + i)));
+        }
+        for (; i < dim_; ++i) dst[i] = q[i] + r[i];
+      }
+      return;
+    }
+  }
+}
+
+float* EmbeddingTable::GradSlotFor(size_t shard, int32_t row) {
   if (obs::Enabled()) {
     thread_local uint64_t calls = 0;
     if ((++calls & kAccumSampleMask) == 0) {
@@ -116,30 +313,135 @@ void EmbeddingTable::AccumulateGradInShard(size_t shard, int32_t id,
     }
   }
   GradShard& s = shards_[shard];
-  auto [it, inserted] = s.index.try_emplace(id, s.ids.size());
+  auto [it, inserted] = s.index.try_emplace(row, s.rows.size());
   if (inserted) {
-    s.ids.push_back(id);
+    s.rows.push_back(row);
     s.grads.resize(s.grads.size() + dim_, 0.0f);
   }
-  float* slot = s.grads.data() + it->second * dim_;
-  size_t i = 0;
-  for (; i + kL <= dim_; i += kL) {
-    simd::StoreU(slot + i,
-                 simd::Add(simd::LoadU(slot + i), simd::LoadU(grad + i)));
+  return s.grads.data() + it->second * dim_;
+}
+
+void EmbeddingTable::AccumulateRow(size_t shard, int32_t row,
+                                   const float* grad, const float* mul_by) {
+  float* slot = GradSlotFor(shard, row);
+  if (mul_by != nullptr) {
+    AddProductRow(slot, grad, mul_by, dim_);
+  } else {
+    AddRow(slot, grad, dim_);
   }
-  for (; i < dim_; ++i) slot[i] += grad[i];
+}
+
+void EmbeddingTable::AccumulateGrad(int32_t id, const float* grad) {
+  CheckId(id, "AccumulateGrad");
+  switch (kind_) {
+    case EmbeddingBackendKind::kDense: {
+      AccumulateRow(ShardOf(id), id, grad, nullptr);
+      return;
+    }
+    case EmbeddingBackendKind::kTiered: {
+      const int32_t row = (*remap_)[static_cast<size_t>(id)];
+      AccumulateRow(ShardOf(row), row, grad, nullptr);
+      return;
+    }
+    case EmbeddingBackendKind::kQR: {
+      const int32_t q = PrimaryRowOf(id);
+      const int32_t r = SecondaryRowOf(id);
+      if (qr_combine_ == QrCombine::kMul) {
+        AccumulateRow(ShardOf(q), q, grad, BackingRowPtr(r));
+        AccumulateRow(ShardOf(r), r, grad, BackingRowPtr(q));
+      } else {
+        AccumulateRow(ShardOf(q), q, grad, nullptr);
+        AccumulateRow(ShardOf(r), r, grad, nullptr);
+      }
+      return;
+    }
+  }
+}
+
+void EmbeddingTable::AccumulateGradForShard(size_t shard, int32_t id,
+                                            const float* grad) {
+  CheckId(id, "AccumulateGradForShard");
+  switch (kind_) {
+    case EmbeddingBackendKind::kDense: {
+      if (ShardOf(id) == shard) AccumulateRow(shard, id, grad, nullptr);
+      return;
+    }
+    case EmbeddingBackendKind::kTiered: {
+      const int32_t row = (*remap_)[static_cast<size_t>(id)];
+      if (ShardOf(row) == shard) AccumulateRow(shard, row, grad, nullptr);
+      return;
+    }
+    case EmbeddingBackendKind::kQR: {
+      const int32_t q = PrimaryRowOf(id);
+      const int32_t r = SecondaryRowOf(id);
+      const bool mul = qr_combine_ == QrCombine::kMul;
+      if (ShardOf(q) == shard) {
+        AccumulateRow(shard, q, grad, mul ? BackingRowPtr(r) : nullptr);
+      }
+      if (ShardOf(r) == shard) {
+        AccumulateRow(shard, r, grad, mul ? BackingRowPtr(q) : nullptr);
+      }
+      return;
+    }
+  }
+}
+
+void EmbeddingTable::AccumulateScaledGradForShard(size_t shard, int32_t id,
+                                                  const float* grad,
+                                                  float scale) {
+  CheckId(id, "AccumulateScaledGradForShard");
+  CHECK(kind_ == EmbeddingBackendKind::kDense)
+      << "embedding table '" << name_
+      << "': scaled gradients are a continuous-feature path; table "
+         "resolved to backend "
+      << BackendDesc();
+  if (ShardOf(id) == shard) {
+    AddScaledRow(GradSlotFor(shard, id), grad, scale, dim_);
+  }
+}
+
+void EmbeddingTable::AccumulatePreparedGradScaled(size_t slot,
+                                                  const float* grad,
+                                                  float scale) {
+  AddScaledRow(prep_grads_.data() + slot * dim_, grad, scale, dim_);
+}
+
+void EmbeddingTable::AccumulatePreparedGradPrimary(size_t slot, int32_t id,
+                                                   const float* grad) {
+  float* dst = prep_grads_.data() + slot * dim_;
+  if (kind_ == EmbeddingBackendKind::kQR &&
+      qr_combine_ == QrCombine::kMul) {
+    AddProductRow(dst, grad, BackingRowPtr(SecondaryRowOf(id)), dim_);
+  } else {
+    AddRow(dst, grad, dim_);
+  }
+}
+
+void EmbeddingTable::AccumulatePreparedGradSecondary(size_t slot, int32_t id,
+                                                     const float* grad) {
+  float* dst = prep_grads_.data() + slot * dim_;
+  if (qr_combine_ == QrCombine::kMul) {
+    AddProductRow(dst, grad, BackingRowPtr(PrimaryRowOf(id)), dim_);
+  } else {
+    AddRow(dst, grad, dim_);
+  }
 }
 
 const float* EmbeddingTable::AccumulatedGrad(int32_t id) const {
-  const GradShard& s = shards_[ShardOf(id)];
-  const auto it = s.index.find(id);
+  CheckId(id, "AccumulatedGrad");
+  return AccumulatedGradForRow(PrimaryRowOf(id));
+}
+
+const float* EmbeddingTable::AccumulatedGradForRow(int32_t row) const {
+  const GradShard& s = shards_[ShardOf(row)];
+  const auto it = s.index.find(row);
   if (it == s.index.end()) return nullptr;
   return s.grads.data() + it->second * dim_;
 }
 
 size_t EmbeddingTable::touched_count() const {
   size_t total = 0;
-  for (const GradShard& s : shards_) total += s.ids.size();
+  for (const GradShard& s : shards_) total += s.rows.size();
   return total;
 }
 
@@ -151,16 +453,16 @@ void EmbeddingTable::SparseAdamStep(const AdamConfig& config) {
   const float b2 = config.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
-  // Each touched id is updated exactly once from its accumulated gradient,
-  // so iteration order (shard-by-shard here vs interleaved serially) never
-  // changes the resulting parameters.
+  // Each touched backing row is updated exactly once from its accumulated
+  // gradient, so iteration order (shard-by-shard here vs interleaved
+  // serially) never changes the resulting parameters.
   for (GradShard& s : shards_) {
-    for (size_t t = 0; t < s.ids.size(); ++t) {
-      const int32_t id = s.ids[t];
+    for (size_t t = 0; t < s.rows.size(); ++t) {
+      const int32_t row = s.rows[t];
       const float* g_row = s.grads.data() + t * dim_;
-      float* w = value_.data() + static_cast<size_t>(id) * dim_;
-      float* m = m_.data() + static_cast<size_t>(id) * dim_;
-      float* v = v_.data() + static_cast<size_t>(id) * dim_;
+      float* w = value_.data() + static_cast<size_t>(row) * dim_;
+      float* m = m_.data() + static_cast<size_t>(row) * dim_;
+      float* v = v_.data() + static_cast<size_t>(row) * dim_;
       AdamUpdateRow(w, m, v, g_row, dim_, lr, l2, b1, b2, bc1, bc2,
                     config.eps);
     }
@@ -177,11 +479,11 @@ void EmbeddingTable::SparseAdamStepPrepared(const AdamConfig& config) {
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
   for (size_t t = 0; t < prep_count_; ++t) {
-    const int32_t id = prep_ids_[t];
+    const int32_t row = prep_rows_[t];
     const float* g_row = prep_grads_.data() + t * dim_;
-    float* w = value_.data() + static_cast<size_t>(id) * dim_;
-    float* m = m_.data() + static_cast<size_t>(id) * dim_;
-    float* v = v_.data() + static_cast<size_t>(id) * dim_;
+    float* w = value_.data() + static_cast<size_t>(row) * dim_;
+    float* m = m_.data() + static_cast<size_t>(row) * dim_;
+    float* v = v_.data() + static_cast<size_t>(row) * dim_;
     AdamUpdateRow(w, m, v, g_row, dim_, lr, l2, b1, b2, bc1, bc2, config.eps);
   }
   ClearPreparedGrads();
@@ -191,10 +493,10 @@ void EmbeddingTable::SparseSgdStep() {
   OPTINTER_TRACE_SPAN("sparse_sgd_step");
   RowsUpdatedCounter()->Add(touched_count());
   for (GradShard& s : shards_) {
-    for (size_t t = 0; t < s.ids.size(); ++t) {
-      const int32_t id = s.ids[t];
+    for (size_t t = 0; t < s.rows.size(); ++t) {
+      const int32_t row = s.rows[t];
       const float* g_row = s.grads.data() + t * dim_;
-      float* w = value_.data() + static_cast<size_t>(id) * dim_;
+      float* w = value_.data() + static_cast<size_t>(row) * dim_;
       SgdUpdateRow(w, g_row, dim_, lr, l2);
     }
   }
@@ -204,7 +506,7 @@ void EmbeddingTable::SparseSgdStep() {
 void EmbeddingTable::ClearGrads() {
   for (GradShard& s : shards_) {
     s.index.clear();
-    s.ids.clear();
+    s.rows.clear();
     s.grads.clear();
   }
 }

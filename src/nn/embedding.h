@@ -1,4 +1,4 @@
-// Embedding table with lazy sparse-Adam updates.
+// Embedding table with pluggable storage backends and lazy sparse-Adam.
 //
 // CTR embedding tables (especially the cross-product tables E^m of the
 // memorized method) hold the overwhelming majority of model parameters;
@@ -7,10 +7,41 @@
 // and the Adam update runs over exactly those rows (sparse Adam: moments
 // of untouched rows are left stale, bias correction uses the table-global
 // step count).
+//
+// Storage backends (DESIGN.md §12). A table always owns ONE backing
+// tensor of [BackingRows() × dim] rows; backends differ only in how a
+// logical id maps onto backing rows:
+//
+//  * kDense — identity: backing row == logical id. The seed behavior.
+//  * kQR — quotient–remainder compositional rows (Shi et al., "QR trick"):
+//    row(id) = combine(Q[id / r], R[num_q + id % r]) with combine either
+//    element-wise sum or element-wise product. Memory is num_q + r rows
+//    (≈ 2·sqrt(vocab) at the default r = ceil(sqrt(vocab))) instead of
+//    vocab rows. Q rows occupy backing [0, num_q), R rows
+//    [num_q, num_q + r) — the two spaces are disjoint, which is what
+//    keeps the sharded gradient scatter deterministic (see below).
+//  * kTiered — frequency-tiered rows: the top-K hot ids each own a
+//    private backing row; every other (cold) id shares one of B hashed
+//    bucket rows via ShardStableHash64(id, salt) % B. The hot set comes
+//    from the encoder's Misra-Gries frequency stats (shard MANIFEST), an
+//    exact scan of the construction dataset, or — matching the hashed
+//    encoder's id layout, where ids 1..K are the most frequent values —
+//    the fallback hot set {1..K}.
+//
+// Determinism with shared backing rows: gradient shards are keyed on the
+// BACKING row, not the logical id, so two logical ids that collide on a
+// backing row (QR remainder reuse, tiered bucket sharing) accumulate into
+// one slot in ascending batch-row order — exactly the serial order — and
+// the optimizer updates that row once per step from the summed gradient.
+// Q-space and R-space backing rows are disjoint, so a backing row only
+// ever receives primary-part or secondary-part contributions, never an
+// interleaving of both.
 
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,83 +52,208 @@
 
 namespace optinter {
 
-/// One [vocab × dim] embedding table with sparse-Adam state.
+/// Storage backend of an EmbeddingTable.
+enum class EmbeddingBackendKind : uint8_t { kDense = 0, kQR = 1, kTiered = 2 };
+
+/// How a QR table combines its quotient and remainder rows.
+enum class QrCombine : uint8_t { kSum = 0, kMul = 1 };
+
+const char* EmbeddingBackendKindName(EmbeddingBackendKind kind);
+
+/// Per-table backend selection + knobs. Default-constructed = dense (the
+/// seed behavior). Zero-valued knobs mean "derive from the vocab size".
+struct EmbeddingBackendConfig {
+  EmbeddingBackendKind kind = EmbeddingBackendKind::kDense;
+
+  /// Tables with vocab below this stay dense when the config is applied
+  /// through ResolveBackendForVocab (compressing tiny tables saves
+  /// nothing and costs AUC). Applied at the embedding-layer level, not by
+  /// the EmbeddingTable constructor, which honors the config literally.
+  size_t min_vocab = 16;
+
+  /// QR remainder count r. 0 = ceil(sqrt(vocab)), the memory-optimal
+  /// square split.
+  size_t qr_rem = 0;
+  QrCombine qr_combine = QrCombine::kSum;
+
+  /// Tiered: private rows for the top `tier_hot` ids and `tier_buckets`
+  /// shared rows for the cold tail. 0 = vocab/16 each (≥ 1), an 8×
+  /// row reduction.
+  size_t tier_hot = 0;
+  size_t tier_buckets = 0;
+  /// Salt for the cold-tail bucket hash (ShardStableHash64).
+  uint64_t tier_salt = 0x0e17b3d5u;
+  /// Explicit hot ids (frequency-ranked, most frequent first). Empty =
+  /// derive: dataset frequency stats if available, else ids 1..K (the
+  /// hashed encoder places the most frequent values there).
+  std::vector<int32_t> tier_hot_ids;
+
+  /// Hot-row count a tiered table of `vocab_size` ids would use — the
+  /// vocab/16 default rule, shared with tier-plan builders that need to
+  /// know how many ranked ids to collect.
+  size_t ResolvedTierHot(size_t vocab_size) const {
+    return tier_hot != 0 ? tier_hot
+                         : (vocab_size < 16 ? size_t{1} : vocab_size / 16);
+  }
+
+  static EmbeddingBackendConfig Dense() { return {}; }
+  static EmbeddingBackendConfig QR(size_t rem = 0,
+                                   QrCombine combine = QrCombine::kSum) {
+    EmbeddingBackendConfig c;
+    c.kind = EmbeddingBackendKind::kQR;
+    c.qr_rem = rem;
+    c.qr_combine = combine;
+    return c;
+  }
+  static EmbeddingBackendConfig Tiered(size_t hot = 0, size_t buckets = 0,
+                                       std::vector<int32_t> hot_ids = {}) {
+    EmbeddingBackendConfig c;
+    c.kind = EmbeddingBackendKind::kTiered;
+    c.tier_hot = hot;
+    c.tier_buckets = buckets;
+    c.tier_hot_ids = std::move(hot_ids);
+    return c;
+  }
+};
+
+/// Applies a layer-level backend policy to one table's vocab: tables
+/// below policy.min_vocab stay dense, and a dense policy is overridden by
+/// the OPTINTER_EMBED_BACKEND environment variable ("qr" / "qr_sum",
+/// "qr_mul", "tiered") — the CI drop-in-parity hook that flips every
+/// sizeable embedding-layer table to a compositional backend. Raw
+/// EmbeddingTable construction (LR/FM/Poly2 weight stores, unit tests)
+/// never goes through this resolution and is unaffected.
+EmbeddingBackendConfig ResolveBackendForVocab(
+    const EmbeddingBackendConfig& policy, size_t vocab_size);
+
+/// One [vocab × dim] logical embedding table with sparse-Adam state,
+/// stored through the configured backend.
 class EmbeddingTable {
  public:
-  /// Creates a zeroed table; call Init() to randomize.
-  EmbeddingTable(std::string name, size_t vocab_size, size_t dim,
-                 float lr, float l2);
+  /// Creates a zeroed table; call Init() to randomize. The config is
+  /// honored literally (apply ResolveBackendForVocab first for
+  /// min-vocab/env-policy resolution).
+  EmbeddingTable(std::string name, size_t vocab_size, size_t dim, float lr,
+                 float l2, EmbeddingBackendConfig config = {});
 
-  /// Initializes entries with N(0, stddev); the conventional small-variance
-  /// embedding init used by CTR models.
+  /// Initializes backing entries with N(0, stddev); the conventional
+  /// small-variance embedding init used by CTR models. QR-mul tables use
+  /// sqrt(stddev) per factor so the combined row keeps magnitude ~stddev.
   void Init(Rng* rng, double stddev = 0.01);
 
-  /// Read-only pointer to the embedding row of `id`.
+  /// Read-only pointer to the single backing row of `id`. Valid for
+  /// dense and tiered backends (tiered: cold ids alias their bucket row);
+  /// QR rows are composed on the fly and have no backing pointer — use
+  /// CopyRow.
   const float* Row(int32_t id) const {
-    CHECK_GE(id, 0);
-    CHECK_LT(static_cast<size_t>(id), vocab_size_);
-    return value_.data() + static_cast<size_t>(id) * dim_;
+    CheckId(id, "Row");
+    CHECK(kind_ != EmbeddingBackendKind::kQR)
+        << "embedding table '" << name_ << "': Row(" << id
+        << ") on a QR backend — QR rows are composed from quotient and "
+           "remainder factors and have no single backing row; use "
+           "CopyRow(id, dst)";
+    return value_.data() + static_cast<size_t>(PrimaryRowOf(id)) * dim_;
   }
 
-  /// Mutable row pointer (tests / manual surgery).
+  /// Mutable row pointer (tests / manual surgery). Same backend
+  /// restrictions as Row; tiered cold ids alias their shared bucket row.
   float* MutableRow(int32_t id) {
-    CHECK_GE(id, 0);
-    CHECK_LT(static_cast<size_t>(id), vocab_size_);
-    return value_.data() + static_cast<size_t>(id) * dim_;
+    return const_cast<float*>(Row(id));
   }
 
-  /// Number of id-keyed gradient shards. Fixed (never a function of the
-  /// thread count), so shard contents — and therefore the optimizer step —
-  /// are identical however the scatter was parallelized.
+  /// Materializes the embedding row of `id` into dst[0:dim] — the one
+  /// gather primitive every backend supports (dense/tiered: copy; QR:
+  /// combine the two factor rows). All forward/gather paths go through
+  /// this, so combine order is identical everywhere.
+  void CopyRow(int32_t id, float* dst) const;
+
+  /// Number of backing-row-keyed gradient shards. Fixed (never a function
+  /// of the thread count), so shard contents — and therefore the
+  /// optimizer step — are identical however the scatter was parallelized.
   static constexpr size_t kGradShards = 4;
 
-  /// Shard owning `id`'s gradient slot.
-  static size_t ShardOf(int32_t id) {
-    return static_cast<size_t>(static_cast<uint32_t>(id)) % kGradShards;
+  /// Shard owning backing row `row`'s gradient slot. NOTE: keyed on the
+  /// backing row, not the logical id (they coincide only for dense).
+  static size_t ShardOf(int32_t row) {
+    return static_cast<size_t>(static_cast<uint32_t>(row)) % kGradShards;
   }
 
-  /// Adds `grad` (length dim) into the sparse gradient slot for `id`.
-  void AccumulateGrad(int32_t id, const float* grad) {
-    AccumulateGradInShard(ShardOf(id), id, grad);
+  /// Backing row holding `id`'s primary part (dense: id; tiered: hot or
+  /// bucket row; QR: the quotient row).
+  int32_t PrimaryRowOf(int32_t id) const {
+    switch (kind_) {
+      case EmbeddingBackendKind::kDense:
+        return id;
+      case EmbeddingBackendKind::kTiered:
+        return (*remap_)[static_cast<size_t>(id)];
+      case EmbeddingBackendKind::kQR:
+        return static_cast<int32_t>(static_cast<size_t>(id) / qr_rem_);
+    }
+    return id;
   }
 
-  /// Shard-targeted accumulate: `shard` must equal ShardOf(id). Concurrent
+  /// Backing row of `id`'s secondary part — QR only (the remainder row).
+  int32_t SecondaryRowOf(int32_t id) const {
+    return static_cast<int32_t>(qr_num_q_ + static_cast<size_t>(id) % qr_rem_);
+  }
+
+  /// True when ids decompose into two backing parts (QR).
+  bool HasSecondary() const { return kind_ == EmbeddingBackendKind::kQR; }
+
+  /// Adds `grad` (length dim) into the sparse gradient slot(s) of every
+  /// backing part of `id` — the serial scatter path.
+  void AccumulateGrad(int32_t id, const float* grad);
+
+  /// Shard-targeted accumulate: adds `grad` into whichever backing parts
+  /// of `id` land in gradient shard `shard` (possibly none). Concurrent
   /// calls are safe iff they target distinct shards — the id-bucketed
   /// sharding used by the parallel embedding scatter (each task owns one
   /// (table, shard) bucket and scans the batch rows in order, so every
-  /// id's accumulation order matches the serial loop bit for bit).
-  void AccumulateGradInShard(size_t shard, int32_t id, const float* grad);
+  /// backing row's accumulation order matches the serial loop bit for
+  /// bit; Q/R backing spaces are disjoint, so no row sees interleaved
+  /// primary/secondary contributions).
+  void AccumulateGradForShard(size_t shard, int32_t id, const float* grad);
 
-  /// Applies one sparse-Adam step over the rows touched since the last
-  /// step, then clears the touched set.
+  /// Shard-targeted scaled accumulate: slot(id) += grad * scale. The
+  /// continuous-feature gradient (d_out scaled by the feature value),
+  /// sharing one rounding with AccumulatePreparedGradScaled. Dense
+  /// tables only — continuous tables never resolve to a compressed
+  /// backend.
+  void AccumulateScaledGradForShard(size_t shard, int32_t id,
+                                    const float* grad, float scale);
+
+  /// Applies one sparse-Adam step over the backing rows touched since the
+  /// last step, then clears the touched set.
   void SparseAdamStep(const AdamConfig& config = {});
 
   // --- Prepared (pre-deduped) gradient scatter -------------------------
   //
-  // The phase-split TrainStep (DESIGN.md) dedupes each batch's ids during
-  // PrepareBatch, before any weights are read. The backward pass then
-  // scatters into a flat slot-addressed buffer sized by the unique-id
-  // count — no hashing, no per-new-id allocation — and the optimizer
-  // walks (unique_ids, slots) directly. Buffer capacity is retained
-  // across steps, so steady-state steps allocate nothing. The prepared
-  // path and the legacy AccumulateGrad path share the same Adam state and
-  // step counter and produce bit-identical updates (each touched id is
-  // updated exactly once from its summed gradient, and per-id updates are
-  // independent, so iteration order is immaterial).
+  // The phase-split TrainStep (DESIGN.md) dedupes each batch's BACKING
+  // rows during PrepareBatch, before any weights are read. The backward
+  // pass then scatters into a flat slot-addressed buffer sized by the
+  // unique-row count — no hashing, no per-new-row allocation — and the
+  // optimizer walks (unique_rows, slots) directly. Buffer capacity is
+  // retained across steps, so steady-state steps allocate nothing. The
+  // prepared path and the legacy AccumulateGrad path share the same Adam
+  // state and step counter and produce bit-identical updates (each
+  // touched backing row is updated exactly once from its summed gradient,
+  // and per-row updates are independent, so iteration order is
+  // immaterial).
 
-  /// Starts a prepared scatter over `count` unique ids. `unique_ids` must
-  /// stay valid until the matching SparseAdamStepPrepared/
-  /// ClearPreparedGrads. Zeroes (and if needed grows) the slot buffer.
-  void BeginPreparedScatter(const int32_t* unique_ids, size_t count) {
-    prep_ids_ = unique_ids;
+  /// Starts a prepared scatter over `count` unique backing rows.
+  /// `unique_rows` must stay valid until the matching
+  /// SparseAdamStepPrepared/ClearPreparedGrads. Zeroes (and if needed
+  /// grows) the slot buffer.
+  void BeginPreparedScatter(const int32_t* unique_rows, size_t count) {
+    prep_rows_ = unique_rows;
     prep_count_ = count;
     prep_grads_.assign(count * dim_, 0.0f);
   }
 
   /// Adds `grad` (length dim) into slot `slot` — the dedup index assigned
-  /// to the target id during PrepareBatch. Concurrent calls are safe iff
-  /// they target ids of distinct shards (same contract as
-  /// AccumulateGradInShard; slots of different ids never alias).
+  /// to the target backing row during PrepareBatch. Concurrent calls are
+  /// safe iff they target rows of distinct shards (same contract as
+  /// AccumulateGradForShard; slots of different rows never alias).
   void AccumulatePreparedGrad(size_t slot, const float* grad) {
     float* dst = prep_grads_.data() + slot * dim_;
     for (size_t i = 0; i < dim_; ++i) dst[i] += grad[i];
@@ -105,11 +261,24 @@ class EmbeddingTable {
 
   /// Fused scale-and-accumulate: slot += grad * scale. Used by continuous
   /// feature tables, whose gradient is d_out scaled by the feature value.
+  /// Shares one out-of-line body with AccumulateScaledGradForShard so the
+  /// legacy and prepared scatters round identically (a header-inlined loop
+  /// here and a separately compiled loop there can disagree by one ULP
+  /// under FMA contraction).
   void AccumulatePreparedGradScaled(size_t slot, const float* grad,
-                                    float scale) {
-    float* dst = prep_grads_.data() + slot * dim_;
-    for (size_t i = 0; i < dim_; ++i) dst[i] += grad[i] * scale;
-  }
+                                    float scale);
+
+  /// Scatters the PRIMARY-part gradient of `id` into `slot`. Dense,
+  /// tiered, and QR-sum: plain accumulate; QR-mul: the product rule adds
+  /// grad ⊙ R-row(id) (weights are frozen during a backward pass, so the
+  /// read is race-free).
+  void AccumulatePreparedGradPrimary(size_t slot, int32_t id,
+                                     const float* grad);
+
+  /// Scatters the SECONDARY-part gradient of `id` (QR only) into `slot`:
+  /// plain accumulate for sum-combine, grad ⊙ Q-row(id) for mul.
+  void AccumulatePreparedGradSecondary(size_t slot, int32_t id,
+                                       const float* grad);
 
   /// Sparse-Adam step over the prepared slots (same math/state as
   /// SparseAdamStep), then ends the prepared scatter keeping capacity.
@@ -117,7 +286,7 @@ class EmbeddingTable {
 
   /// Ends a prepared scatter without updating (keeps capacity).
   void ClearPreparedGrads() {
-    prep_ids_ = nullptr;
+    prep_rows_ = nullptr;
     prep_count_ = 0;
     prep_grads_.clear();
   }
@@ -134,46 +303,105 @@ class EmbeddingTable {
   /// Discards accumulated gradients without updating.
   void ClearGrads();
 
-  /// Accumulated gradient slot (length dim) for `id`, or nullptr if the
-  /// id is untouched since the last step/clear (tests / diagnostics).
+  /// Accumulated gradient slot (length dim) for `id`'s PRIMARY backing
+  /// row, or nullptr if untouched since the last step/clear
+  /// (tests / diagnostics). See AccumulatedGradForRow for QR remainder
+  /// parts.
   const float* AccumulatedGrad(int32_t id) const;
 
-  /// Raw value tensor (checkpoint snapshot/restore).
+  /// Accumulated gradient slot for a raw backing row (tests).
+  const float* AccumulatedGradForRow(int32_t row) const;
+
+  /// Raw backing value tensor (checkpoint snapshot/restore). Shape
+  /// [BackingRows() × dim] — backend-dependent, so checkpoints only load
+  /// back into a table constructed with the same backend config.
   Tensor& mutable_values() { return value_; }
   const Tensor& values() const { return value_; }
 
   size_t vocab_size() const { return vocab_size_; }
   size_t dim() const { return dim_; }
   const std::string& name() const { return name_; }
-  size_t ParamCount() const { return vocab_size_ * dim_; }
+  EmbeddingBackendKind backend_kind() const { return kind_; }
+  QrCombine qr_combine() const { return qr_combine_; }
+  size_t qr_rem() const { return qr_rem_; }
+  size_t qr_num_q() const { return qr_num_q_; }
+  size_t tier_hot_rows() const { return tier_hot_rows_; }
+  size_t tier_buckets() const { return tier_buckets_; }
+  /// Rows actually stored (== vocab_size only for dense).
+  size_t BackingRows() const { return backing_rows_; }
+  /// Trainable parameter count: backing rows × dim — the honest number
+  /// for parameter/AUC trade-off curves.
+  size_t ParamCount() const { return backing_rows_ * dim_; }
+  /// Non-trainable mapping overhead (tiered remap) in bytes.
+  size_t AuxBytes() const {
+    return remap_ ? remap_->size() * sizeof(int32_t) : 0;
+  }
+  /// Human-readable backend summary, e.g. "qr_mul(q=64,r=63)".
+  std::string BackendDesc() const;
+  /// Shared logical→backing remap (tiered; null otherwise). Shared with
+  /// quantized snapshots so the mapping is never duplicated.
+  std::shared_ptr<const std::vector<int32_t>> remap() const { return remap_; }
   size_t touched_count() const;
 
   float lr = 1e-3f;
   float l2 = 0.0f;
 
+  /// Bounds check with an actionable failure message (table name,
+  /// backend, offending id, vocab size). `op` names the calling
+  /// operation. Public so id-prep code can validate before mapping.
+  void CheckId(int32_t id, const char* op) const {
+    CHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_)
+        << "embedding table '" << name_ << "' (" << BackendDesc()
+        << ", vocab " << vocab_size_ << "): " << op << " id " << id
+        << " is outside [0, " << vocab_size_
+        << ") — id from a foreign/stale encoder?";
+  }
+
  private:
-  // Sparse gradient accumulator for one id shard: touched row ids
-  // (deduped) and their gradient rows, parallel arrays. Ids land in shard
-  // ShardOf(id), so shards never share an id and tasks owning distinct
-  // shards can accumulate without synchronization.
+  const float* BackingRowPtr(int32_t row) const {
+    return value_.data() + static_cast<size_t>(row) * dim_;
+  }
+
+  // Adds grad into the shard slot of backing row `row`; shard must equal
+  // ShardOf(row). `mul_by` != nullptr applies the QR-mul product rule:
+  // slot += grad ⊙ mul_by.
+  void AccumulateRow(size_t shard, int32_t row, const float* grad,
+                     const float* mul_by);
+
+  // Finds (allocating on first touch) the gradient slot of backing row
+  // `row` in shard `shard`.
+  float* GradSlotFor(size_t shard, int32_t row);
+
+  // Sparse gradient accumulator for one backing-row shard: touched rows
+  // (deduped) and their gradient rows, parallel arrays. Rows land in
+  // shard ShardOf(row), so shards never share a row and tasks owning
+  // distinct shards can accumulate without synchronization.
   struct GradShard {
     std::unordered_map<int32_t, size_t> index;
-    std::vector<int32_t> ids;
+    std::vector<int32_t> rows;
     std::vector<float> grads;
   };
 
   std::string name_;
   size_t vocab_size_;
   size_t dim_;
+  EmbeddingBackendKind kind_ = EmbeddingBackendKind::kDense;
+  QrCombine qr_combine_ = QrCombine::kSum;
+  size_t qr_num_q_ = 0;
+  size_t qr_rem_ = 1;
+  size_t tier_hot_rows_ = 0;
+  size_t tier_buckets_ = 0;
+  size_t backing_rows_ = 0;
+  std::shared_ptr<const std::vector<int32_t>> remap_;  // tiered only
   Tensor value_;
   Tensor m_;
   Tensor v_;
   int64_t step_ = 0;
   std::array<GradShard, kGradShards> shards_;
 
-  // Prepared-scatter state (see BeginPreparedScatter). The id list is
+  // Prepared-scatter state (see BeginPreparedScatter). The row list is
   // owned by the caller's PreparedBatch; only the slot buffer lives here.
-  const int32_t* prep_ids_ = nullptr;
+  const int32_t* prep_rows_ = nullptr;
   size_t prep_count_ = 0;
   std::vector<float> prep_grads_;
 };

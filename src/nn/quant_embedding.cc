@@ -59,35 +59,65 @@ void QuantizeRowI8(const float* x, size_t dim, int8_t* q, float* scale,
 }  // namespace
 
 QuantizedTable::QuantizedTable(const EmbeddingTable& source, QuantMode mode)
-    : vocab_(source.vocab_size()), dim_(source.dim()), mode_(mode) {
+    : vocab_(source.vocab_size()),
+      dim_(source.dim()),
+      mode_(mode),
+      kind_(source.backend_kind()),
+      qr_combine_(source.qr_combine()),
+      qr_num_q_(source.qr_num_q()),
+      qr_rem_(source.qr_rem()),
+      backing_rows_(source.BackingRows()),
+      remap_(source.remap()) {
+  // Quantize the backing rows, not the logical vocab: a QR or tiered
+  // source keeps its compression through the snapshot.
+  const float* values = source.values().data();
   if (mode_ == QuantMode::kInt8) {
-    q_.resize(vocab_ * dim_);
-    scale_.resize(vocab_);
-    zp_.resize(vocab_);
-    for (size_t r = 0; r < vocab_; ++r) {
-      QuantizeRowI8(source.Row(static_cast<int32_t>(r)), dim_,
-                    q_.data() + r * dim_, &scale_[r], &zp_[r]);
+    q_.resize(backing_rows_ * dim_);
+    scale_.resize(backing_rows_);
+    zp_.resize(backing_rows_);
+    for (size_t r = 0; r < backing_rows_; ++r) {
+      QuantizeRowI8(values + r * dim_, dim_, q_.data() + r * dim_,
+                    &scale_[r], &zp_[r]);
     }
   } else {
-    b_.resize(vocab_ * dim_);
-    for (size_t r = 0; r < vocab_; ++r) {
-      const float* src = source.Row(static_cast<int32_t>(r));
+    b_.resize(backing_rows_ * dim_);
+    for (size_t r = 0; r < backing_rows_; ++r) {
+      const float* src = values + r * dim_;
       uint16_t* dst = b_.data() + r * dim_;
       for (size_t t = 0; t < dim_; ++t) dst[t] = FloatToBf16(src[t]);
     }
   }
 }
 
+void QuantizedTable::DequantBackingRow(size_t row, float* dst) const {
+  const KernelTable& table = ActiveKernels();
+  if (mode_ == QuantMode::kInt8) {
+    table.dequant_row_i8(q_.data() + row * dim_, scale_[row],
+                         static_cast<int32_t>(zp_[row]), dim_, dst);
+  } else {
+    table.dequant_row_bf16(b_.data() + row * dim_, dim_, dst);
+  }
+}
+
 void QuantizedTable::DequantRow(int32_t id, float* dst) const {
   CHECK_GE(id, 0);
   CHECK_LT(static_cast<size_t>(id), vocab_);
-  const size_t r = static_cast<size_t>(id);
-  const KernelTable& table = ActiveKernels();
-  if (mode_ == QuantMode::kInt8) {
-    table.dequant_row_i8(q_.data() + r * dim_, scale_[r],
-                         static_cast<int32_t>(zp_[r]), dim_, dst);
+  if (kind_ != EmbeddingBackendKind::kQR) {
+    DequantBackingRow(static_cast<size_t>(PrimaryRowOf(id)), dst);
+    return;
+  }
+  // QR: dequantize both factor rows and combine in the same order as
+  // EmbeddingTable::CopyRow. Scratch is thread-local so concurrent
+  // serving reads never share it.
+  static thread_local std::vector<float> scratch;
+  if (scratch.size() < dim_) scratch.resize(dim_);
+  DequantBackingRow(static_cast<size_t>(PrimaryRowOf(id)), dst);
+  DequantBackingRow(qr_num_q_ + static_cast<size_t>(id) % qr_rem_,
+                    scratch.data());
+  if (qr_combine_ == QrCombine::kSum) {
+    for (size_t t = 0; t < dim_; ++t) dst[t] += scratch[t];
   } else {
-    table.dequant_row_bf16(b_.data() + r * dim_, dim_, dst);
+    for (size_t t = 0; t < dim_; ++t) dst[t] *= scratch[t];
   }
 }
 

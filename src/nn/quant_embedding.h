@@ -14,6 +14,14 @@
 //    2× reduction, essentially lossless for CTR embeddings (8-bit
 //    mantissa ≈ the noise floor of Adam-trained weights).
 //
+// Quantization operates on the source table's BACKING rows, so the
+// compression composes with the storage backends of nn/embedding.h: a QR
+// or tiered table quantizes its num_q + r (or hot + bucket) rows, not the
+// full logical vocab, and the logical→backing mapping is replicated here
+// (the tiered remap is shared by pointer, never copied). QR logical rows
+// are composed at dequant time from the two dequantized factor rows, in
+// the same combine order as EmbeddingTable::CopyRow.
+//
 // Dequantization goes through the runtime dispatch table
 // (KernelTable::dequant_row_i8 / dequant_row_bf16). Both kernels are
 // bitwise backend-invariant — int8 dequant is an integer subtract plus
@@ -23,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/embedding.h"
@@ -37,36 +46,83 @@ inline const char* QuantModeName(QuantMode mode) {
   return mode == QuantMode::kInt8 ? "int8" : "bf16";
 }
 
-/// Immutable quantized [vocab × dim] table; all methods are const and
-/// concurrent reads are safe (the serving hot-swap publishes these inside
-/// an immutable snapshot).
+/// Immutable quantized [vocab × dim] logical table stored as quantized
+/// backing rows; all methods are const and concurrent reads are safe (the
+/// serving hot-swap publishes these inside an immutable snapshot).
 class QuantizedTable {
  public:
   QuantizedTable(const EmbeddingTable& source, QuantMode mode);
 
-  /// Dequantizes row `id` into dst[0:dim] via the active kernel table.
+  /// Dequantizes logical row `id` into dst[0:dim] via the active kernel
+  /// table, composing QR factor rows exactly as EmbeddingTable::CopyRow.
   void DequantRow(int32_t id, float* dst) const;
 
   size_t vocab_size() const { return vocab_; }
   size_t dim() const { return dim_; }
   QuantMode mode() const { return mode_; }
+  EmbeddingBackendKind backend_kind() const { return kind_; }
+  /// Rows actually stored (== vocab_size only for dense sources).
+  size_t backing_rows() const { return backing_rows_; }
 
-  /// Storage bytes per row, counting per-row metadata (scale/zero point).
+  /// Storage bytes per BACKING row, counting per-row metadata
+  /// (scale/zero point).
   size_t RowBytes() const {
     return mode_ == QuantMode::kInt8 ? dim_ + sizeof(float) + 1 : 2 * dim_;
   }
 
-  /// int8 quantization step of row `id` (kBf16: 0). The round-trip error
-  /// of any element of the row is bounded by 1.5 · RowScale(id): half a
-  /// step from rounding plus at most one step lost to edge clamping.
+  /// Total storage: quantized backing rows plus the replicated
+  /// logical→backing mapping (tiered remap bytes; QR needs none).
+  size_t StorageBytes() const {
+    return backing_rows_ * RowBytes() +
+           (remap_ ? remap_->size() * sizeof(int32_t) : 0);
+  }
+
+  /// int8 quantization step of `id`'s primary backing row (kBf16: 0).
+  /// For dense and tiered tables the round-trip error of any element of
+  /// the row is bounded by 1.5 · RowScale(id): half a step from rounding
+  /// plus at most one step lost to edge clamping. QR rows are composed
+  /// from two quantized factors, so the sum-combine bound is
+  /// 1.5 · (RowScale(id) + SecondaryRowScale(id)).
   float RowScale(int32_t id) const {
-    return mode_ == QuantMode::kInt8 ? scale_[static_cast<size_t>(id)] : 0.0f;
+    if (mode_ != QuantMode::kInt8) return 0.0f;
+    return scale_[static_cast<size_t>(PrimaryRowOf(id))];
+  }
+
+  /// int8 step of `id`'s QR remainder row (0 for non-QR or kBf16).
+  float SecondaryRowScale(int32_t id) const {
+    if (mode_ != QuantMode::kInt8 || kind_ != EmbeddingBackendKind::kQR) {
+      return 0.0f;
+    }
+    return scale_[qr_num_q_ + static_cast<size_t>(id) % qr_rem_];
   }
 
  private:
+  int32_t PrimaryRowOf(int32_t id) const {
+    switch (kind_) {
+      case EmbeddingBackendKind::kDense:
+        return id;
+      case EmbeddingBackendKind::kTiered:
+        return (*remap_)[static_cast<size_t>(id)];
+      case EmbeddingBackendKind::kQR:
+        return static_cast<int32_t>(static_cast<size_t>(id) / qr_rem_);
+    }
+    return id;
+  }
+
+  /// Dequantizes one backing row.
+  void DequantBackingRow(size_t row, float* dst) const;
+
   size_t vocab_;
   size_t dim_;
   QuantMode mode_;
+  // Backend mapping replicated from the source table (remap shared, not
+  // copied — see EmbeddingTable::remap()).
+  EmbeddingBackendKind kind_ = EmbeddingBackendKind::kDense;
+  QrCombine qr_combine_ = QrCombine::kSum;
+  size_t qr_num_q_ = 0;
+  size_t qr_rem_ = 1;
+  size_t backing_rows_ = 0;
+  std::shared_ptr<const std::vector<int32_t>> remap_;
   // int8 storage.
   AlignedVector<int8_t> q_;
   std::vector<float> scale_;

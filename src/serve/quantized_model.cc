@@ -199,34 +199,37 @@ void QuantizedFixedArchModel::Predict(const Batch& batch,
 }
 
 size_t QuantizedFixedArchModel::EmbeddingBytes() const {
+  // Backing rows, not logical vocab: QR/tiered sources stay compressed
+  // through the snapshot, and StorageBytes counts the tiered remap too.
   size_t total = 0;
-  for (const auto& t : cat_tables_) total += t.vocab_size() * t.RowBytes();
-  for (const auto& t : cross_tables_) total += t.vocab_size() * t.RowBytes();
-  for (const auto& t : triple_tables_) {
-    total += t.vocab_size() * t.RowBytes();
-  }
+  for (const auto& t : cat_tables_) total += t.StorageBytes();
+  for (const auto& t : cross_tables_) total += t.StorageBytes();
+  for (const auto& t : triple_tables_) total += t.StorageBytes();
   return total;
 }
 
 size_t QuantizedFixedArchModel::Fp32EmbeddingBytes() const {
+  // The fp32 footprint the snapshot replaced: same backing layout at
+  // 4 bytes/value (the backend compression is credited separately by
+  // comparing against dense layouts in bench/embedding_tradeoff.cc).
   size_t total = 0;
   for (const auto& t : cat_tables_) {
-    total += t.vocab_size() * t.dim() * sizeof(float);
+    total += t.backing_rows() * t.dim() * sizeof(float);
   }
   for (const auto& t : cross_tables_) {
-    total += t.vocab_size() * t.dim() * sizeof(float);
+    total += t.backing_rows() * t.dim() * sizeof(float);
   }
   for (const auto& t : triple_tables_) {
-    total += t.vocab_size() * t.dim() * sizeof(float);
+    total += t.backing_rows() * t.dim() * sizeof(float);
   }
   return total;
 }
 
 size_t QuantizedFixedArchModel::EmbeddingRows() const {
   size_t rows = 0;
-  for (const auto& t : cat_tables_) rows += t.vocab_size();
-  for (const auto& t : cross_tables_) rows += t.vocab_size();
-  for (const auto& t : triple_tables_) rows += t.vocab_size();
+  for (const auto& t : cat_tables_) rows += t.backing_rows();
+  for (const auto& t : cross_tables_) rows += t.backing_rows();
+  for (const auto& t : triple_tables_) rows += t.backing_rows();
   return rows;
 }
 

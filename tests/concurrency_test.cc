@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -313,6 +314,69 @@ TEST(DeterminismTest, EmbeddingScatterBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The same scatter contract for the compositional backends: gradient
+// shards are keyed on BACKING rows, so QR factor sharing and tiered
+// bucket collisions must accumulate bit-identically at any thread count.
+void CheckBackendScatterDeterminism(const EmbeddingBackendConfig& backend) {
+  const auto& p = SharedTinyData();
+  Rng rng(17);
+  FeatureEmbedding emb(p.data, 8, 1e-3f, 0.0f, &rng, backend);
+  Batch batch = HeadBatch(p, 1024);
+  Tensor d_out = RandomTensor({batch.size, emb.output_dim()}, &rng);
+  auto run = [&]() {
+    emb.ClearGrads();
+    Tensor out;
+    emb.Forward(batch, &out);
+    emb.Backward(d_out);
+    // Flatten accumulated grads over the BACKING rows of every table.
+    std::vector<float> grads;
+    for (size_t f = 0; f < p.data.num_categorical(); ++f) {
+      const EmbeddingTable& t = emb.cat_table(f);
+      for (size_t row = 0; row < t.BackingRows(); ++row) {
+        const float* g = t.AccumulatedGradForRow(static_cast<int32_t>(row));
+        if (g == nullptr) {
+          grads.insert(grads.end(), t.dim(), 0.0f);
+        } else {
+          grads.insert(grads.end(), g, g + t.dim());
+        }
+      }
+    }
+    return grads;
+  };
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<float> ref = run();
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<float> got = run();
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i]) << threads << " threads, index " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, QrSumScatterBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg = EmbeddingBackendConfig::QR();
+  cfg.min_vocab = 2;
+  CheckBackendScatterDeterminism(cfg);
+}
+
+TEST(DeterminismTest, QrMulScatterBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg =
+      EmbeddingBackendConfig::QR(0, QrCombine::kMul);
+  cfg.min_vocab = 2;
+  CheckBackendScatterDeterminism(cfg);
+}
+
+TEST(DeterminismTest, TieredScatterBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg = EmbeddingBackendConfig::Tiered();
+  cfg.min_vocab = 2;
+  CheckBackendScatterDeterminism(cfg);
+}
+
 // Flattened trainable state + predictions of a model, for bit-exact
 // comparison of whole training runs.
 std::vector<float> SnapshotModel(CtrModel* model, const Batch& batch) {
@@ -360,6 +424,35 @@ TEST(DeterminismTest, TrainModelBitIdenticalAcrossThreadCounts) {
   const std::vector<float> ref = run(1);
   ExpectBitIdentical(run(2), ref, 2);
   ExpectBitIdentical(run(8), ref, 8);
+}
+
+TEST(DeterminismTest, TrainModelBitIdenticalWithCompressedCrossTables) {
+  // Full training runs stay bit-identical across thread counts when the
+  // cross tables use QR / tiered storage (DESIGN.md §5 holds per
+  // BACKING row, not per logical id).
+  PoolGuard guard;
+  const auto& p = SharedTinyData();
+  for (const auto& backend :
+       {EmbeddingBackendConfig::QR(0, QrCombine::kMul),
+        EmbeddingBackendConfig::Tiered()}) {
+    auto run = [&](size_t threads) {
+      ThreadPool::SetGlobalThreads(threads);
+      HyperParams hp = TinyHp();
+      hp.cross_backend = backend;
+      hp.cross_backend.min_vocab = 2;
+      FixedArchModel model(p.data, MixedArch(p.data.num_pairs()), hp,
+                           "det");
+      TrainOptions opts;
+      opts.epochs = 1;
+      opts.batch_size = 1024;
+      opts.seed = 123;
+      TrainModel(&model, p.data, p.splits, opts);
+      return SnapshotModel(&model, HeadBatch(p, 256));
+    };
+    const std::vector<float> ref = run(1);
+    ExpectBitIdentical(run(2), ref, 2);
+    ExpectBitIdentical(run(8), ref, 8);
+  }
 }
 
 TEST(DeterminismTest, SearchModelBitIdenticalAcrossThreadCounts) {
@@ -499,6 +592,69 @@ TEST(GradCheckParallelTest, EmbeddingScatterAcrossThreadCounts) {
   CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
                                   table.mutable_values().data(),
                                   /*check_n=*/24, loss);
+}
+
+// Same finite-difference check against the BACKING parameters of a
+// compositional table: validates the QR sum/mul chain rules (including
+// the mul product rule reading the co-factor row) and tiered bucket
+// sharing numerically, at every thread count.
+void CheckBackendScatterGradient(const EmbeddingBackendConfig& backend) {
+  const auto& p = SharedTinyData();
+  Rng rng(23);
+  FeatureEmbedding emb(p.data, 8, 1e-3f, 0.0f, &rng, backend);
+  Batch batch = HeadBatch(p, 1024);
+  Tensor c = RandomTensor({batch.size, emb.output_dim()}, &rng);
+  EmbeddingTable& table = emb.cat_table(0);
+  auto compute = [&]() {
+    emb.ClearGrads();
+    Tensor out;
+    emb.Forward(batch, &out);
+    emb.Backward(c);
+    // Dense view of table 0's sparse grads in BACKING space, aligned
+    // with its values tensor.
+    std::vector<float> g(table.BackingRows() * table.dim(), 0.0f);
+    for (size_t row = 0; row < table.BackingRows(); ++row) {
+      const float* ag = table.AccumulatedGradForRow(static_cast<int32_t>(row));
+      if (ag != nullptr) {
+        std::memcpy(g.data() + row * table.dim(), ag,
+                    table.dim() * sizeof(float));
+      }
+    }
+    return g;
+  };
+  auto loss = [&]() {
+    Tensor out;
+    emb.Gather(batch, &out);
+    return WeightedSum(out, c);
+  };
+  // Tiered backings can be tiny (hot + buckets); cap at the table size.
+  const size_t check_n =
+      std::min<size_t>(24, table.BackingRows() * table.dim());
+  CheckGradientAcrossThreadCounts({1, 2, 8}, compute,
+                                  table.mutable_values().data(), check_n,
+                                  loss);
+}
+
+TEST(GradCheckParallelTest, QrSumScatterAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg = EmbeddingBackendConfig::QR();
+  cfg.min_vocab = 2;
+  CheckBackendScatterGradient(cfg);
+}
+
+TEST(GradCheckParallelTest, QrMulScatterAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg =
+      EmbeddingBackendConfig::QR(0, QrCombine::kMul);
+  cfg.min_vocab = 2;
+  CheckBackendScatterGradient(cfg);
+}
+
+TEST(GradCheckParallelTest, TieredScatterAcrossThreadCounts) {
+  PoolGuard guard;
+  EmbeddingBackendConfig cfg = EmbeddingBackendConfig::Tiered();
+  cfg.min_vocab = 2;
+  CheckBackendScatterGradient(cfg);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "core/autofis.h"
@@ -14,6 +16,14 @@ namespace {
 using testing::HeadBatch;
 using testing::SharedTinyData;
 
+// Dense/QR layout arithmetic keeps the paper's cost hierarchy
+// (memorize > factorize); a global tiered override shrinks memorized
+// cross tables ~8x and flips those size comparisons by design.
+bool TieredOverrideActive() {
+  const char* bk = std::getenv("OPTINTER_EMBED_BACKEND");
+  return bk != nullptr && std::strcmp(bk, "tiered") == 0;
+}
+
 HyperParams TinyHp() {
   HyperParams hp = DefaultHyperParams("tiny");
   hp.seed = 31;
@@ -25,6 +35,10 @@ HyperParams TinyHp() {
 // ---------------------------------------------------------------------------
 
 TEST(FixedArchTest, ParamCountDependsOnArchitecture) {
+  if (TieredOverrideActive()) {
+    GTEST_SKIP() << "tiered compression inverts the memorize/factorize "
+                    "size hierarchy this test asserts";
+  }
   const auto& p = SharedTinyData();
   HyperParams hp = TinyHp();
   auto naive = FixedArchModel::MakeFnn(p.data, hp);
@@ -40,8 +54,15 @@ TEST(FixedArchTest, MemorizedParamCountExact) {
   auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
   auto naive = FixedArchModel::MakeFnn(p.data, hp);
   // The all-memorize model adds one s2-wide table per pair plus the wider
-  // first MLP layer.
-  const size_t cross_params = p.data.TotalCrossVocab() * hp.cross_embed_dim;
+  // first MLP layer. Expected rows per pair go through the same backend
+  // resolution the layer applies (dense default == the full cross vocab;
+  // honest smaller counts under the OPTINTER_EMBED_BACKEND CI override).
+  size_t cross_params = 0;
+  for (size_t v : p.data.cross_vocab_sizes) {
+    EmbeddingTable ref("ref", v, hp.cross_embed_dim, 0.0f, 0.0f,
+                       ResolveBackendForVocab({}, v));
+    cross_params += ref.ParamCount();
+  }
   const size_t extra_cols = p.data.num_pairs() * hp.cross_embed_dim;
   const size_t first_hidden = hp.mlp_hidden.empty() ? 1 : hp.mlp_hidden[0];
   EXPECT_EQ(mem->ParamCount(),
@@ -265,9 +286,13 @@ TEST(PipelineTest, FullOptInterPipeline) {
   OptInterResult r = RunOptInter(p.data, p.splits, hp, sopts, topts);
   EXPECT_GT(r.retrain.final_test.auc, 0.55);
   EXPECT_GT(r.param_count, 0u);
-  // Re-trained model must not exceed the all-memorize size.
-  auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
-  EXPECT_LE(r.param_count, mem->ParamCount());
+  // Re-trained model must not exceed the all-memorize size. Dense/QR
+  // only: tiered compression makes cross tables so small that the
+  // all-memorize model no longer upper-bounds every mixed architecture.
+  if (!TieredOverrideActive()) {
+    auto mem = FixedArchModel::MakeOptInterM(p.data, hp);
+    EXPECT_LE(r.param_count, mem->ParamCount());
+  }
 }
 
 TEST(PipelineTest, AutoFisPipelineRuns) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "core/zoo.h"
 #include "models/deep_models.h"
 #include "models/interaction.h"
@@ -159,7 +162,16 @@ TEST(ParamCountTest, Poly2AddsCrossVocab) {
   const auto& p = SharedTinyData();
   Poly2Model poly(p.data, TinyHp());
   LrModel lr(p.data, TinyHp());
-  EXPECT_EQ(poly.ParamCount(), lr.ParamCount() + p.data.TotalCrossVocab());
+  // Expected cross-weight rows per pair, through the same backend
+  // resolution the layer applies (dense by default == TotalCrossVocab;
+  // honest smaller counts under the OPTINTER_EMBED_BACKEND CI override).
+  size_t cross_rows = 0;
+  for (size_t v : p.data.cross_vocab_sizes) {
+    EmbeddingTable ref("ref", v, 1, 0.0f, 0.0f,
+                       ResolveBackendForVocab({}, v));
+    cross_rows += ref.ParamCount();
+  }
+  EXPECT_EQ(poly.ParamCount(), lr.ParamCount() + cross_rows);
 }
 
 TEST(ParamCountTest, FmHasLinearPlusLatent) {
@@ -205,7 +217,13 @@ TEST(ParamCountTest, FmFmAddsPairMatrices) {
 
 TEST(ParamCountTest, MemorizedDwarfsFactorized) {
   // The paper's central efficiency observation: the all-memorize model is
-  // far larger than the all-factorize model on the same data.
+  // far larger than the all-factorize model on the same data. Holds for
+  // dense and QR layouts; the tiered backend exists precisely to break
+  // it, so skip under that global override.
+  if (const char* bk = std::getenv("OPTINTER_EMBED_BACKEND");
+      bk != nullptr && std::strcmp(bk, "tiered") == 0) {
+    GTEST_SKIP() << "tiered compression inverts this size comparison";
+  }
   const auto& p = SharedTinyData();
   HyperParams hp = TinyHp();
   auto mem = CreateBaseline("OptInter-M", p.data, hp);

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -458,6 +459,14 @@ TEST(QuantizeSnapshotTest, QuantizedModelsTrackFp32Probabilities) {
 }
 
 TEST(QuantizeSnapshotTest, FootprintShrinksAndParamCountIsSourced) {
+  // Byte-count arithmetic below assumes remap-free tables: under a global
+  // tiered override the shared id->row remap (vocab x 4 B, counted in
+  // EmbeddingBytes but not in the backing-row-only Fp32EmbeddingBytes)
+  // dominates at the tiny profile's dims and voids the comparisons.
+  if (const char* bk = std::getenv("OPTINTER_EMBED_BACKEND");
+      bk != nullptr && std::strcmp(bk, "tiered") == 0) {
+    GTEST_SKIP() << "remap bytes dominate tiny-profile footprints";
+  }
   std::shared_ptr<const CtrModel> fp32 = TrainedFp32(3);
   std::shared_ptr<const CtrModel> m8, m16;
   ASSERT_TRUE(QuantizeSnapshot(fp32, QuantMode::kInt8, &m8).ok());

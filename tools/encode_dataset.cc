@@ -117,6 +117,8 @@ Status Run(const FlagParser& flags) {
   options.hashed = flags.GetBool("hashed");
   options.hash_hot_values = static_cast<size_t>(flags.GetInt("hash-hot"));
   options.hash_buckets = static_cast<size_t>(flags.GetInt("hash-buckets"));
+  options.encoder.freq_stats_topk =
+      static_cast<size_t>(flags.GetInt("freq-topk"));
 
   const std::string source = flags.GetString("source");
   Stopwatch timer;
@@ -205,6 +207,9 @@ int main(int argc, char** argv) {
                 "frequency-capped hash encoding for unbounded vocabularies");
   flags.AddInt("hash-hot", 1024, "hashed: dedicated hot ids per field");
   flags.AddInt("hash-buckets", 1 << 16, "hashed: shared tail buckets");
+  flags.AddInt("freq-topk", 128,
+               "per-field hot ids recorded in the manifest for tiered "
+               "embedding backends (0 disables)");
   const Status flag_status = flags.Parse(argc, argv);
   if (!flag_status.ok()) {
     // --help surfaces as FailedPrecondition after printing usage.
